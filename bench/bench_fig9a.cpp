@@ -1,0 +1,24 @@
+// Figure 9a: time to generate repairs per scenario, broken down into the
+// paper's phases (history lookups / constraint solving / patch generation
+// / replay). The paper reports < 25 s per scenario on 2013 hardware; the
+// shape to check is the per-phase breakdown and scenario ordering.
+#include "bench/bench_util.h"
+#include "scenarios/pipeline.h"
+
+int main() {
+  using namespace mp;
+  bench::header("Figure 9a: repair generation turnaround, phase breakdown");
+  std::printf("%-5s %12s %12s %12s %12s %12s\n", "Q", "history(s)",
+              "solving(s)", "patching(s)", "replay(s)", "total(s)");
+  for (const auto& s : scenario::all_scenarios()) {
+    scenario::PipelineOptions opt;
+    opt.multiquery = true;
+    auto r = scenario::run_pipeline(s, opt);
+    std::printf("%-5s %12.4f %12.4f %12.4f %12.4f %12.4f\n", s.id.c_str(),
+                r.phases.get("history lookups"),
+                r.phases.get("constraint solving"),
+                r.phases.get("patch generation"), r.phases.get("replay"),
+                r.total_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 9b: time to backtest the first k repair candidates of Q1,
+// sequentially vs jointly with multi-query optimization (Section 4.4).
+// The paper: ~2 min sequential vs ~40 s joint for 9 candidates; the shape
+// to check is sequential growing ~linearly in k while joint grows much
+// more slowly (shared computation).
+#include "bench/bench_util.h"
+#include "scenarios/pipeline.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace mp;
+  auto s = scenario::q1_copy_paste({});
+  scenario::ScenarioHarness harness(s);
+  harness.replay_baseline();
+
+  // Generate the candidate list once.
+  repair::RepairGenerator gen(harness.buggy_run().engine(), s.space);
+  auto report = gen.generate(s.symptoms[0]);
+  auto& cands = report.candidates;
+  if (cands.size() > 9) cands.resize(9);
+
+  bench::header("Figure 9b: joint backtesting of the first k candidates");
+  std::printf("%-4s %16s %16s %10s\n", "k", "sequential(s)", "multiquery(s)",
+              "speedup");
+  for (size_t k = 1; k <= cands.size(); ++k) {
+    std::vector<repair::RepairCandidate> first_k(cands.begin(),
+                                                 cands.begin() + k);
+    Timer seq_t;
+    for (const auto& c : first_k) harness.replay(c);
+    const double seq = seq_t.seconds();
+    Timer joint_t;
+    harness.replay_joint(first_k);
+    const double joint = joint_t.seconds();
+    std::printf("%-4zu %16.3f %16.3f %9.2fx\n", k, seq, joint,
+                joint > 0 ? seq / joint : 0.0);
+  }
+  return 0;
+}

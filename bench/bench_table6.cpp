@@ -1,0 +1,24 @@
+// Table 6 (appendix E): candidate repair listings with KS statistics and
+// decisions for scenarios Q2-Q5.
+#include "bench/bench_util.h"
+#include "scenarios/pipeline.h"
+
+int main() {
+  using namespace mp;
+  for (const auto& s : scenario::all_scenarios()) {
+    if (s.id == "Q1") continue;  // Q1 is Table 2
+    scenario::PipelineOptions opt;
+    opt.multiquery = true;
+    auto r = scenario::run_pipeline(s, opt);
+    bench::header("Table 6 (" + s.id + "): " + s.query);
+    char label = 'A';
+    for (const auto& e : r.backtest.entries) {
+      std::printf("%c  %-72s (%s) KS=%.5f\n", label++,
+                  e.candidate.description.c_str(),
+                  e.accepted ? "accepted" : "rejected", e.ks.statistic);
+    }
+    std::printf("   -> %zu candidates, %zu effective, %zu accepted\n",
+                r.candidates, r.effective, r.accepted);
+  }
+  return 0;
+}

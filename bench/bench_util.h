@@ -1,0 +1,19 @@
+// Shared helpers for the bench binaries: paper-style table printing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/strings.h"
+
+namespace mp::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row(const std::string& left, const std::string& right) {
+  std::printf("%s %s\n", rpad(left, 68).c_str(), right.c_str());
+}
+
+}  // namespace mp::bench

@@ -1,0 +1,82 @@
+// Section 5.8 in miniature: the same copy-and-paste bug expressed in the
+// three supported controller languages (NDlog, the Trema-like imperative
+// language, the Pyretic-like policy DSL), repaired by the language-
+// appropriate repair space. Notice how the Pyretic version offers fewer
+// repairs: match() is equality-only, so operator mutations do not exist.
+//
+//   $ ./examples/multilang_repair
+#include <cstdio>
+
+#include "langs/imp/imp.h"
+#include "langs/netcore/netcore.h"
+#include "meta/meta_model.h"
+#include "ndlog/parser.h"
+#include "repair/generator.h"
+
+int main() {
+  using namespace mp;
+
+  std::printf("Meta models (rules/tuple types): uDlog %zu/%zu, NDlog %zu/%zu,"
+              " Trema %zu/%zu, Pyretic %zu/%zu\n\n",
+              meta::udlog_meta_model().rule_count(),
+              meta::udlog_meta_model().tuple_count(),
+              meta::ndlog_meta_model().rule_count(),
+              meta::ndlog_meta_model().tuple_count(),
+              meta::trema_meta_model().rule_count(),
+              meta::trema_meta_model().tuple_count(),
+              meta::pyretic_meta_model().rule_count(),
+              meta::pyretic_meta_model().tuple_count());
+
+  // --- NDlog -------------------------------------------------------------
+  auto prog = ndlog::parse_program(
+      "table FlowTable/3.\nevent PacketIn/3.\n"
+      "r7 FlowTable(@Swi,Hdr,Prt) :- PacketIn(@C,Swi,Hdr), Swi == 2, "
+      "Hdr == 80, Prt := 2.");
+  eval::Engine engine(prog);
+  engine.insert(eval::Tuple{"PacketIn", {Value::str("C"), Value(3), Value(80)}});
+  repair::Symptom sym;
+  sym.pattern.table = "FlowTable";
+  sym.pattern.fields = {{0, ndlog::CmpOp::Eq, Value(3)},
+                        {1, ndlog::CmpOp::Eq, Value(80)}};
+  repair::RepairGenerator gen(engine, {});
+  auto ndlog_cands = gen.generate(sym).candidates;
+  std::printf("NDlog (rule r7, Swi == 2 should be 3): %zu candidates\n",
+              ndlog_cands.size());
+  for (const auto& c : ndlog_cands) std::printf("  %s\n", c.description.c_str());
+
+  // --- Trema-like --------------------------------------------------------
+  using imp::Cond;
+  using imp::Install;
+  using imp::Operand;
+  imp::Program ip;
+  ip.blocks = {{{Cond{Operand::switch_id(), ndlog::CmpOp::Eq,
+                      Operand::literal(2)},
+                 Cond{Operand::pkt(sdn::Field::Dpt), ndlog::CmpOp::Eq,
+                      Operand::literal(80)}},
+                {Install{{sdn::Field::Dpt}, Operand::literal(2), true}}}};
+  imp::ImpSymptom isym;
+  isym.sw = 3;
+  isym.packet.dpt = 80;
+  isym.want_port = 2;
+  auto imp_cands = imp::generate_repairs(ip, isym);
+  std::printf("\nTrema-like (same bug): %zu candidates\n", imp_cands.size());
+  for (const auto& c : imp_cands) std::printf("  %s\n", c.describe(ip).c_str());
+
+  // --- Pyretic-like -------------------------------------------------------
+  using netcore::Policy;
+  auto pol = Policy::match_sw(
+      2, Policy::match(sdn::Field::Dpt, 80, Policy::fwd(2)));
+  netcore::NetcoreSymptom nsym;
+  nsym.sw = 3;
+  nsym.packet.dpt = 80;
+  nsym.want_port = 2;
+  auto nc_cands = netcore::generate_repairs(pol, nsym);
+  std::printf("\nPyretic-like (same bug; equality-only matches): %zu candidates\n",
+              nc_cands.size());
+  for (const auto& c : nc_cands) std::printf("  %s\n", c.describe(pol).c_str());
+
+  std::printf("\nNote: the Pyretic list has no operator mutations -- the\n"
+              "match(...) syntax only supports equality, exactly the effect\n"
+              "the paper reports for Q1 across languages.\n");
+  return 0;
+}

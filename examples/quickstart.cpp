@@ -1,0 +1,64 @@
+// Quickstart: the smallest end-to-end use of the library, no network
+// simulator involved. We write a 2-rule NDlog program with an off-by-one
+// bug, run it in the evaluation engine, ask why an expected tuple is
+// missing (negative provenance), and let the meta-provenance repair
+// engine propose cost-ordered fixes.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "ndlog/parser.h"
+#include "provenance/query.h"
+#include "repair/generator.h"
+
+int main() {
+  using namespace mp;
+
+  // A tiny "controller": forward requests whose port equals 80.
+  // The operator mistyped the constant: 81 instead of 80.
+  auto program = ndlog::parse_program(R"(
+    table Forward/3.
+    event Request/3.
+    r1 Forward(@Swi,Prt,Dst) :- Request(@C,Swi,Prt), Prt == 81, Dst := 2.
+  )");
+  std::printf("Buggy program:\n%s\n", program.to_string().c_str());
+
+  // Run it: an HTTP request arrives, but nothing is forwarded.
+  eval::Engine engine(program);
+  engine.insert(eval::Tuple{"Request", {Value::str("C"), Value(1), Value(80)}});
+  std::printf("Forward tuples at switch 1: %zu\n\n",
+              engine.rows(Value(1), "Forward").size());
+
+  // Step 1: diagnosis -- why is Forward(..., 80, ...) missing?
+  prov::TuplePattern pattern;
+  pattern.table = "Forward";
+  pattern.fields = {{1, ndlog::CmpOp::Eq, Value(80)}};
+  auto graph = prov::explain_missing(engine, pattern);
+  std::printf("Negative provenance:\n%s\n", graph.to_string().c_str());
+
+  // Step 2: repair -- explore the meta-provenance forest.
+  repair::Symptom symptom;
+  symptom.polarity = repair::Symptom::Polarity::Missing;
+  symptom.pattern = pattern;
+  symptom.description = "HTTP requests are never forwarded";
+
+  repair::RepairGenerator generator(engine, repair::RepairSpaceConfig{});
+  auto report = generator.generate(symptom);
+  std::printf("Suggested repairs (cost order):\n");
+  for (const auto& cand : report.candidates) {
+    std::printf("  [cost %.2f] %s\n", cand.cost, cand.description.c_str());
+  }
+
+  // Step 3: verify the cheapest repair actually works.
+  if (!report.candidates.empty()) {
+    auto fixed = repair::apply_candidate(program, report.candidates.front());
+    if (fixed) {
+      eval::Engine check(*fixed);
+      check.insert(
+          eval::Tuple{"Request", {Value::str("C"), Value(1), Value(80)}});
+      std::printf("\nAfter applying the cheapest repair, Forward tuples: %zu\n",
+                  check.rows(Value(1), "Forward").size());
+    }
+  }
+  return 0;
+}

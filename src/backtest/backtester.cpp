@@ -1,0 +1,62 @@
+#include "backtest/backtester.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace mp::backtest {
+
+std::vector<const BacktestEntry*> BacktestReport::ranked_accepted() const {
+  std::vector<const BacktestEntry*> out;
+  for (const auto& e : entries) {
+    if (e.accepted) out.push_back(&e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BacktestEntry* a, const BacktestEntry* b) {
+              if (a->ks.statistic != b->ks.statistic) {
+                return a->ks.statistic < b->ks.statistic;
+              }
+              return a->candidate.cost < b->candidate.cost;
+            });
+  return out;
+}
+
+BacktestReport Backtester::run(
+    ReplayHarness& harness,
+    const std::vector<repair::RepairCandidate>& candidates) const {
+  BacktestReport report;
+  Timer timer;
+  const ReplayOutcome baseline = harness.replay_baseline();
+
+  std::vector<ReplayOutcome> outcomes;
+  if (cfg_.use_multiquery) {
+    outcomes = harness.replay_joint(candidates);
+  } else {
+    outcomes.reserve(candidates.size());
+    for (const auto& c : candidates) outcomes.push_back(harness.replay(c));
+  }
+
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    BacktestEntry e;
+    e.candidate = candidates[i];
+    e.outcome = outcomes[i];
+    e.effective = e.outcome.valid && e.outcome.symptom_fixed;
+    e.ks = compare(baseline, e.outcome, cfg_.alpha);
+    // Control-plane load gate: repairs that flood the controller with
+    // PacketIns (e.g. retargeting a FlowMod-producing rule, Q4) are side
+    // effects the per-host KS cannot see.
+    const bool ctrl_ok =
+        e.outcome.packet_ins <= baseline.packet_ins * 2 + 16;
+    e.accepted = e.effective && !e.ks.significant && ctrl_ok;
+    e.candidate.effective = e.effective;
+    e.candidate.accepted = e.accepted;
+    e.candidate.ks_statistic = e.ks.statistic;
+    if (e.effective) ++report.effective_count;
+    if (e.accepted) ++report.accepted_count;
+    report.entries.push_back(std::move(e));
+  }
+  report.replay_seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace mp::backtest

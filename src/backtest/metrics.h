@@ -1,0 +1,29 @@
+// Backtest metrics (Section 4.3): per-host traffic distributions act as
+// the "test suite". A candidate repair must (a) fix the symptom and
+// (b) leave the rest of the distribution statistically unchanged
+// (two-sample KS test at alpha = 0.05 against the pre-repair run).
+#pragma once
+
+#include "sdn/network.h"
+#include "util/stats.h"
+
+namespace mp::backtest {
+
+struct ReplayOutcome {
+  CountDistribution per_host;       // host -> delivered packets
+  CountDistribution per_host_port;  // "host:dpt" -> delivered packets
+  bool symptom_fixed = false;
+  size_t delivered = 0;
+  size_t dropped = 0;
+  size_t packet_ins = 0;
+  double seconds = 0.0;
+  bool valid = true;  // false if the candidate program failed to apply
+};
+
+ReplayOutcome outcome_from_stats(const sdn::DeliveryStats& stats);
+
+// KS comparison of two outcomes' per-host distributions.
+KsResult compare(const ReplayOutcome& baseline, const ReplayOutcome& repaired,
+                 double alpha = 0.05);
+
+}  // namespace mp::backtest

@@ -1,0 +1,62 @@
+#include "backtest/multiquery.h"
+
+namespace mp::backtest {
+
+eval::TagMask CombinedProgram::config_mask(const eval::Tuple& t) const {
+  eval::TagMask mask = candidate_count >= eval::kMaxTags
+                           ? eval::kAllTags
+                           : (eval::TagMask{1} << candidate_count) - 1;
+  for (const auto& [tuple, tags] : deletions) {
+    if (tuple == t) mask &= ~tags;
+  }
+  return mask;
+}
+
+CombinedProgram build_backtest_program(
+    const ndlog::Program& base,
+    const std::vector<repair::RepairCandidate>& candidates) {
+  CombinedProgram out;
+  out.program = base;
+  out.candidate_count = std::min(candidates.size(), eval::kMaxTags);
+  const eval::TagMask all =
+      out.candidate_count >= eval::kMaxTags
+          ? eval::kAllTags
+          : (eval::TagMask{1} << out.candidate_count) - 1;
+  for (const auto& rule : base.rules) out.rule_restrict[rule.name] = all;
+
+  for (size_t i = 0; i < out.candidate_count; ++i) {
+    const eval::TagMask bit = eval::TagMask{1} << i;
+    auto prog = repair::apply_candidate(base, candidates[i]);
+    if (!prog) {
+      out.invalid.push_back(i);
+      // An invalid candidate participates with the unmodified program.
+      continue;
+    }
+    // Diff against the base program by rule name + printed form.
+    for (const auto& rule : prog->rules) {
+      const ndlog::Rule* orig = base.find_rule(rule.name);
+      if (orig != nullptr && orig->to_string() == rule.to_string()) continue;
+      // Modified or new rule: add a tagged copy.
+      ndlog::Rule copy = rule;
+      copy.name = rule.name + "#" + std::to_string(i);
+      out.program.rules.push_back(copy);
+      out.rule_restrict[copy.name] = bit;
+      if (orig != nullptr) out.rule_restrict[orig->name] &= ~bit;
+    }
+    // Rules deleted by the candidate: restrict the original away.
+    for (const auto& rule : base.rules) {
+      if (prog->find_rule(rule.name) == nullptr) {
+        out.rule_restrict[rule.name] &= ~bit;
+      }
+    }
+    for (const eval::Tuple& t : repair::candidate_insertions(candidates[i])) {
+      out.insertions.emplace_back(t, bit);
+    }
+    for (const eval::Tuple& t : repair::candidate_deletions(candidates[i])) {
+      out.deletions.emplace_back(t, bit);
+    }
+  }
+  return out;
+}
+
+}  // namespace mp::backtest

@@ -1,0 +1,13 @@
+#include "backtest/replay.h"
+
+namespace mp::backtest {
+
+std::vector<ReplayOutcome> ReplayHarness::replay_joint(
+    const std::vector<repair::RepairCandidate>& cands) {
+  std::vector<ReplayOutcome> out;
+  out.reserve(cands.size());
+  for (const auto& c : cands) out.push_back(replay(c));
+  return out;
+}
+
+}  // namespace mp::backtest

@@ -1,0 +1,30 @@
+// Replay harness interface: something that can re-run the recorded
+// workload under a candidate repair. Scenarios implement it on top of the
+// SDN simulator (scenarios/pipeline.h); tests implement lightweight fakes.
+#pragma once
+
+#include <vector>
+
+#include "backtest/metrics.h"
+#include "repair/change.h"
+
+namespace mp::backtest {
+
+class ReplayHarness {
+ public:
+  virtual ~ReplayHarness() = default;
+
+  // Replays the workload with the original (buggy) program.
+  virtual ReplayOutcome replay_baseline() = 0;
+
+  // Replays the workload with one candidate applied.
+  virtual ReplayOutcome replay(const repair::RepairCandidate& cand) = 0;
+
+  // Joint replay of many candidates; default falls back to a sequential
+  // loop. The scenario pipeline overrides this with tag-mode multi-query
+  // evaluation (Section 4.4).
+  virtual std::vector<ReplayOutcome> replay_joint(
+      const std::vector<repair::RepairCandidate>& cands);
+};
+
+}  // namespace mp::backtest

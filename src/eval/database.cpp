@@ -1,0 +1,51 @@
+#include "eval/database.h"
+
+namespace mp::eval {
+
+Entry* TableStore::find(const Row& row) {
+  auto it = rows_.find(row);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+const Entry* TableStore::find(const Row& row) const {
+  auto it = rows_.find(row);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+Entry& TableStore::insert(const Row& row) { return rows_[row]; }
+
+void TableStore::erase(const Row& row) { rows_.erase(row); }
+
+std::optional<Row> TableStore::row_with_key(const Row& key) const {
+  auto it = key_index_.find(key);
+  if (it == key_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TableStore::index_key(const Row& key, const Row& row) {
+  key_index_[key] = row;
+}
+
+void TableStore::unindex_key(const Row& key) { key_index_.erase(key); }
+
+std::vector<Row> Database::rows(const std::string& table) const {
+  std::vector<Row> out;
+  const TableStore* t = this->table(table);
+  if (t == nullptr) return out;
+  for (const auto& [row, entry] : t->rows()) {
+    if (entry.support > 0) out.push_back(row);
+  }
+  return out;
+}
+
+size_t Database::tuple_count() const {
+  size_t n = 0;
+  for (const auto& [name, t] : tables_) {
+    for (const auto& [row, entry] : t.rows()) {
+      if (entry.support > 0) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace mp::eval

@@ -1,0 +1,67 @@
+// Per-node storage for materialized tables: rows with derivation-support
+// counts, candidate-tag masks and primary-key replacement semantics.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/tuple.h"
+#include "ndlog/schema.h"
+
+namespace mp::eval {
+
+struct Entry {
+  int support = 0;        // number of live derivations (base insert counts 1)
+  TagMask tags = 0;       // candidate worlds in which the row exists
+  uint64_t appear_event = 0;  // event id of the most recent appearance
+};
+
+class TableStore {
+ public:
+  using RowMap = std::unordered_map<Row, Entry, RowHash>;
+
+  Entry* find(const Row& row);
+  const Entry* find(const Row& row) const;
+  Entry& insert(const Row& row);  // creates entry with support 0 if absent
+  void erase(const Row& row);
+  const RowMap& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  // Key index support: returns the currently stored row with the given
+  // primary key, if any (used for key-replacement updates).
+  std::optional<Row> row_with_key(const Row& key) const;
+  void index_key(const Row& key, const Row& row);
+  void unindex_key(const Row& key);
+
+ private:
+  RowMap rows_;
+  std::unordered_map<Row, Row, RowHash> key_index_;
+};
+
+// All materialized state of one simulated node.
+class Database {
+ public:
+  TableStore& table(const std::string& name) { return tables_[name]; }
+  const TableStore* table(const std::string& name) const {
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : &it->second;
+  }
+  bool exists(const std::string& table, const Row& row) const {
+    const TableStore* t = this->table(table);
+    if (t == nullptr) return false;
+    const Entry* e = t->find(row);
+    return e != nullptr && e->support > 0;
+  }
+  std::vector<Row> rows(const std::string& table) const;
+  size_t tuple_count() const;
+  const std::unordered_map<std::string, TableStore>& tables() const {
+    return tables_;
+  }
+
+ private:
+  std::unordered_map<std::string, TableStore> tables_;
+};
+
+}  // namespace mp::eval

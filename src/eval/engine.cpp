@@ -1,0 +1,382 @@
+#include "eval/engine.h"
+
+namespace mp::eval {
+
+bool eval_expr(const ndlog::Expr& e, const Env& env, Value& out) {
+  using ndlog::Expr;
+  switch (e.kind()) {
+    case Expr::Kind::Const:
+      out = e.cval();
+      return true;
+    case Expr::Kind::Var: {
+      auto it = env.find(e.var_name());
+      if (it == env.end()) return false;
+      out = it->second;
+      return true;
+    }
+    case Expr::Kind::Binary: {
+      Value a, b;
+      if (!eval_expr(*e.lhs(), env, a) || !eval_expr(*e.rhs(), env, b)) return false;
+      if (!a.is_int() || !b.is_int()) return false;
+      switch (e.op()) {
+        case ndlog::ArithOp::Add: out = Value(a.as_int() + b.as_int()); return true;
+        case ndlog::ArithOp::Sub: out = Value(a.as_int() - b.as_int()); return true;
+        case ndlog::ArithOp::Mul: out = Value(a.as_int() * b.as_int()); return true;
+        case ndlog::ArithOp::Div:
+          if (b.as_int() == 0) return false;
+          out = Value(a.as_int() / b.as_int());
+          return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+Engine::Engine(ndlog::Program program, EngineOptions opt)
+    : program_(std::move(program)), catalog_(program_), opt_(opt) {
+  for (size_t r = 0; r < program_.rules.size(); ++r) {
+    for (size_t b = 0; b < program_.rules[r].body.size(); ++b) {
+      trigger_index_[program_.rules[r].body[b].table].emplace_back(r, b);
+    }
+  }
+}
+
+void Engine::insert(const Tuple& t, TagMask tags) {
+  if (!opt_.tag_mode) tags = kAllTags;
+  EventId cause = kNoEvent;
+  if (opt_.record_provenance) {
+    cause = log_.append(EventKind::Insert, t.location(), t, tags);
+  }
+  enqueue_appear(t, tags, cause);
+  run_queue();
+}
+
+void Engine::remove(const Tuple& t) {
+  auto node_it = nodes_.find(t.location());
+  if (node_it == nodes_.end()) return;
+  TableStore& store = node_it->second.table(t.table);
+  Entry* e = store.find(t.row);
+  if (e == nullptr || e->support <= 0) return;
+  if (opt_.record_provenance) {
+    log_.append(EventKind::Delete, t.location(), t, e->tags);
+  }
+  e->support -= 1;
+  if (e->support <= 0) retract(t.location(), t);
+  run_queue();
+}
+
+bool Engine::exists(const Value& node, const std::string& table,
+                    const Row& row) const {
+  auto it = nodes_.find(node);
+  return it != nodes_.end() && it->second.exists(table, row);
+}
+
+std::vector<Row> Engine::rows(const Value& node, const std::string& table) const {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return {};
+  return it->second.rows(table);
+}
+
+std::vector<Tuple> Engine::all_tuples(const std::string& table) const {
+  std::vector<Tuple> out;
+  for (const auto& [node, db] : nodes_) {
+    for (Row& row : db.rows(table)) {
+      out.push_back(Tuple{table, std::move(row)});
+    }
+  }
+  return out;
+}
+
+TagMask Engine::tags_of(const Value& node, const std::string& table,
+                        const Row& row) const {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return 0;
+  const TableStore* t = it->second.table(table);
+  if (t == nullptr) return 0;
+  const Entry* e = t->find(row);
+  return (e != nullptr && e->support > 0) ? e->tags : 0;
+}
+
+const Database* Engine::db(const Value& node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+void Engine::on_appear(const std::string& table,
+                       std::function<void(const Tuple&, TagMask)> cb) {
+  callbacks_[table].push_back(std::move(cb));
+}
+
+void Engine::set_rule_restrict(const std::string& rule, TagMask mask) {
+  rule_restrict_[rule] = mask;
+}
+
+void Engine::enqueue_appear(Tuple t, TagMask tags, EventId cause) {
+  queue_.push_back(PendingAppear{std::move(t), tags, cause});
+}
+
+void Engine::run_queue() {
+  if (running_) return;  // re-entrant insert from a callback: outer loop drains
+  running_ = true;
+  while (!queue_.empty()) {
+    if (++steps_ > opt_.max_steps) {
+      diverged_ = true;
+      queue_.clear();
+      break;
+    }
+    PendingAppear p = std::move(queue_.front());
+    queue_.erase(queue_.begin());
+    handle_appear(p);
+  }
+  running_ = false;
+}
+
+void Engine::handle_appear(const PendingAppear& p) {
+  const Value& node = p.tuple.location();
+  const bool is_event = catalog_.is_event(p.tuple.table);
+  EventId appear_ev = p.cause;
+
+  if (!is_event) {
+    Database& db = nodes_[node];
+    TableStore& store = db.table(p.tuple.table);
+
+    // Primary-key replacement: displace an existing row with the same key.
+    const ndlog::TableDecl* decl = catalog_.find(p.tuple.table);
+    if (decl != nullptr && !decl->keys.empty() &&
+        decl->keys.size() < decl->arity) {
+      const Row key = catalog_.key_of(p.tuple.table, p.tuple.row);
+      if (auto old = store.row_with_key(key); old && *old != p.tuple.row) {
+        const Entry* oe = store.find(*old);
+        if (oe != nullptr && oe->support > 0) {
+          retract(node, Tuple{p.tuple.table, *old});
+        }
+      }
+      store.index_key(key, p.tuple.row);
+    }
+
+    Entry& e = store.insert(p.tuple.row);
+    const bool was_present = e.support > 0;
+    const TagMask new_tags = opt_.tag_mode ? (e.tags | p.tags) : kAllTags;
+    e.support += 1;
+    const TagMask added_tags = opt_.tag_mode ? (new_tags & ~e.tags) : kAllTags;
+    e.tags = new_tags;
+    if (was_present && (!opt_.tag_mode || added_tags == 0)) {
+      // Extra support for an already-visible row: no new appearance.
+      return;
+    }
+    if (opt_.record_provenance) {
+      appear_ev = log_.append(EventKind::Appear, node, p.tuple, e.tags,
+                              p.cause == kNoEvent ? std::vector<EventId>{}
+                                                  : std::vector<EventId>{p.cause});
+    }
+    e.appear_event = appear_ev;
+  } else {
+    if (opt_.record_provenance) {
+      appear_ev = log_.append(EventKind::Appear, node, p.tuple, p.tags,
+                              p.cause == kNoEvent ? std::vector<EventId>{}
+                                                  : std::vector<EventId>{p.cause});
+    }
+  }
+
+  auto cb_it = callbacks_.find(p.tuple.table);
+  if (cb_it != callbacks_.end()) {
+    for (const auto& cb : cb_it->second) cb(p.tuple, p.tags);
+  }
+
+  fire_rules(node, p.tuple, p.tags, appear_ev);
+}
+
+void Engine::fire_rules(const Value& node, const Tuple& trigger, TagMask mask,
+                        EventId trigger_event) {
+  auto it = trigger_index_.find(trigger.table);
+  if (it == trigger_index_.end()) return;
+  for (const auto& [rule_idx, body_idx] : it->second) {
+    const ndlog::Rule& rule = program_.rules[rule_idx];
+    TagMask rule_mask = mask;
+    if (opt_.tag_mode) {
+      auto rit = rule_restrict_.find(rule.name);
+      if (rit != rule_restrict_.end()) rule_mask &= rit->second;
+      if (rule_mask == 0) continue;
+    }
+    Env env;
+    if (!unify(rule.body[body_idx], trigger.row, env)) continue;
+    std::vector<size_t> remaining;
+    for (size_t b = 0; b < rule.body.size(); ++b) {
+      if (b != body_idx) remaining.push_back(b);
+    }
+    std::vector<EventId> causes{trigger_event};
+    std::vector<Tuple> body_tuples{trigger};
+    join_rest(rule, node, remaining, env, rule_mask, causes, body_tuples,
+              trigger_event, trigger);
+  }
+}
+
+void Engine::join_rest(const ndlog::Rule& rule, const Value& node,
+                       std::vector<size_t>& remaining, Env& env, TagMask mask,
+                       std::vector<EventId>& cause_events,
+                       std::vector<Tuple>& body_tuples, EventId trigger_event,
+                       const Tuple& trigger) {
+  if (++steps_ > opt_.max_steps) {
+    diverged_ = true;
+    return;
+  }
+  if (remaining.empty()) {
+    finish_rule(rule, node, env, mask, cause_events, body_tuples);
+    return;
+  }
+  const size_t atom_idx = remaining.back();
+  remaining.pop_back();
+  const ndlog::Atom& atom = rule.body[atom_idx];
+
+  // Event tables cannot be joined from storage (they are transient); the
+  // only way an event atom is satisfied is as the trigger itself.
+  if (!catalog_.is_event(atom.table)) {
+    auto node_it = nodes_.find(node);
+    if (node_it != nodes_.end()) {
+      const Database& node_db = node_it->second;
+      const TableStore* store = node_db.table(atom.table);
+      if (store != nullptr) {
+        for (const auto& [row, entry] : store->rows()) {
+          if (entry.support <= 0) continue;
+          TagMask m = opt_.tag_mode ? (mask & entry.tags) : mask;
+          if (opt_.tag_mode && m == 0) continue;
+          Env saved = env;
+          if (unify(atom, row, env)) {
+            cause_events.push_back(entry.appear_event);
+            body_tuples.push_back(Tuple{atom.table, row});
+            join_rest(rule, node, remaining, env, m, cause_events, body_tuples,
+                      trigger_event, trigger);
+            cause_events.pop_back();
+            body_tuples.pop_back();
+          }
+          env = std::move(saved);
+        }
+      }
+    }
+  } else if (atom.table == trigger.table) {
+    // Self-join with the triggering event tuple (rare but legal).
+    Env saved = env;
+    if (unify(atom, trigger.row, env)) {
+      cause_events.push_back(trigger_event);
+      body_tuples.push_back(trigger);
+      join_rest(rule, node, remaining, env, mask, cause_events, body_tuples,
+                trigger_event, trigger);
+      cause_events.pop_back();
+      body_tuples.pop_back();
+    }
+    env = std::move(saved);
+  }
+  remaining.push_back(atom_idx);
+}
+
+void Engine::finish_rule(const ndlog::Rule& rule, const Value& node, Env env,
+                         TagMask mask, std::vector<EventId> cause_events,
+                         std::vector<Tuple> body_tuples) {
+  // Assignments bind new variables in order, then selections filter.
+  for (const auto& asg : rule.assigns) {
+    Value v;
+    if (!eval_expr(*asg.expr, env, v)) return;
+    env[asg.var] = std::move(v);
+  }
+  for (const auto& sel : rule.sels) {
+    Value a, b;
+    if (!eval_expr(*sel.lhs, env, a) || !eval_expr(*sel.rhs, env, b)) return;
+    if (!ndlog::cmp_eval(sel.op, a, b)) return;
+  }
+  Tuple head;
+  head.table = rule.head.table;
+  head.row.reserve(rule.head.args.size());
+  for (const auto& arg : rule.head.args) {
+    Value v;
+    if (!eval_expr(*arg, env, v)) return;
+    head.row.push_back(std::move(v));
+  }
+  ++firings_;
+  derive(rule, node, std::move(head), mask, std::move(cause_events),
+         std::move(body_tuples));
+}
+
+void Engine::derive(const ndlog::Rule& rule, const Value& src_node, Tuple head,
+                    TagMask mask, std::vector<EventId> cause_events,
+                    std::vector<Tuple> body_tuples) {
+  EventId derive_ev = kNoEvent;
+  if (opt_.record_provenance) {
+    derive_ev = log_.append(EventKind::Derive, src_node, head, mask,
+                            cause_events, rule.name);
+    DerivRecord rec;
+    rec.derive_event = derive_ev;
+    rec.rule = rule.name;
+    rec.head = head;
+    rec.body = body_tuples;
+    log_.add_derivation(std::move(rec));
+  }
+  EventId cause = derive_ev;
+  const Value& dst = head.location();
+  if (!(dst == src_node) && opt_.record_provenance) {
+    const EventId send_ev =
+        log_.append(EventKind::Send, src_node, head, mask,
+                    derive_ev == kNoEvent ? std::vector<EventId>{}
+                                          : std::vector<EventId>{derive_ev});
+    cause = log_.append(EventKind::Receive, dst, head, mask, {send_ev});
+  }
+  enqueue_appear(std::move(head), mask, cause);
+}
+
+void Engine::retract(const Value& node, const Tuple& t) {
+  auto node_it = nodes_.find(node);
+  if (node_it == nodes_.end()) return;
+  TableStore& store = node_it->second.table(t.table);
+  Entry* e = store.find(t.row);
+  if (e == nullptr) return;
+  e->support = 0;
+  const TagMask tags = e->tags;
+  e->tags = 0;
+  if (opt_.record_provenance) {
+    log_.append(EventKind::Disappear, node, t, tags);
+  }
+  const ndlog::TableDecl* decl = catalog_.find(t.table);
+  if (decl != nullptr && !decl->keys.empty() && decl->keys.size() < decl->arity) {
+    const Row key = catalog_.key_of(t.table, t.row);
+    if (auto cur = store.row_with_key(key); cur && *cur == t.row) {
+      store.unindex_key(key);
+    }
+  }
+  store.erase(t.row);
+
+  // Cascade: every live derivation that consumed t loses support.
+  if (!opt_.record_provenance) return;
+  for (size_t idx : log_.derivations_using(t)) {
+    DerivRecord& rec = log_.derivation(idx);
+    if (!rec.live) continue;
+    rec.live = false;
+    log_.append(EventKind::Underive, rec.head.location(), rec.head, kAllTags,
+                {}, rec.rule);
+    if (catalog_.is_event(rec.head.table)) continue;  // nothing stored
+    auto dst_it = nodes_.find(rec.head.location());
+    if (dst_it == nodes_.end()) continue;
+    TableStore& hstore = dst_it->second.table(rec.head.table);
+    Entry* he = hstore.find(rec.head.row);
+    if (he == nullptr || he->support <= 0) continue;
+    he->support -= 1;
+    if (he->support <= 0) retract(rec.head.location(), rec.head);
+  }
+}
+
+bool Engine::unify(const ndlog::Atom& atom, const Row& row, Env& env) {
+  if (atom.args.size() != row.size()) return false;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const ndlog::Expr& arg = *atom.args[i];
+    if (arg.is_const()) {
+      if (!(arg.cval() == row[i])) return false;
+    } else if (arg.is_var()) {
+      auto [it, inserted] = env.try_emplace(arg.var_name(), row[i]);
+      if (!inserted && !(it->second == row[i])) return false;
+    } else {
+      return false;  // binary exprs are not legal atom args
+    }
+  }
+  return true;
+}
+
+}  // namespace mp::eval

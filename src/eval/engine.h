@@ -1,0 +1,127 @@
+// Distributed NDlog evaluation engine.
+//
+// Each simulated node (controller, switch, host) holds a Database; rules
+// fire in an event-driven fashion: when a tuple appears at a node, every
+// rule with a matching body atom joins the remaining atoms against that
+// node's materialized state, evaluates assignments then selections, and
+// derives the head at the head's location (shipping a message if remote).
+//
+// - Event tables (declared `event`) are transient: they trigger rules and
+//   callbacks but are not stored (NDlog message semantics).
+// - Materialized tables use derivation-support counting; deleting a base
+//   tuple cascades through recorded derivations (counting algorithm).
+// - Tables with declared primary keys follow key-replacement semantics:
+//   a new row with an existing key displaces the old row.
+// - Tag mode (Section 4.4): every tuple carries a candidate bitmask; a
+//   rule firing ANDs the masks of its body tuples and the rule's own
+//   restriction mask; derived tuples accumulate tags. This implements the
+//   paper's multi-query backtesting ("one tag per repair candidate").
+// - All activity is recorded in the EventLog for provenance and replay.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/database.h"
+#include "eval/event_log.h"
+#include "ndlog/ast.h"
+#include "ndlog/schema.h"
+
+namespace mp::eval {
+
+// Variable bindings during a join.
+using Env = std::unordered_map<std::string, Value>;
+
+// Evaluates an expression under bindings; returns false if a variable is
+// unbound or arithmetic is invalid (e.g. division by zero, string arith).
+bool eval_expr(const ndlog::Expr& e, const Env& env, Value& out);
+
+struct EngineOptions {
+  bool record_provenance = true;  // turn off to measure overhead (S5.4)
+  bool tag_mode = false;
+  size_t max_steps = 1'000'000;   // guard against runaway candidate programs
+};
+
+class Engine {
+ public:
+  explicit Engine(ndlog::Program program, EngineOptions opt = {});
+
+  // External base-tuple insertion at tuple.location(). Runs the rule queue
+  // to fixpoint before returning.
+  void insert(const Tuple& t, TagMask tags = kAllTags);
+  // External deletion of a base tuple; cascades through derivations.
+  void remove(const Tuple& t);
+
+  bool exists(const Value& node, const std::string& table, const Row& row) const;
+  std::vector<Row> rows(const Value& node, const std::string& table) const;
+  // All currently-live tuples of `table` across every node.
+  std::vector<Tuple> all_tuples(const std::string& table) const;
+  TagMask tags_of(const Value& node, const std::string& table, const Row& row) const;
+  const Database* db(const Value& node) const;
+
+  // Called whenever a tuple of `table` appears anywhere (controller proxy
+  // hooks FlowTable/packetOut derivations here).
+  void on_appear(const std::string& table,
+                 std::function<void(const Tuple&, TagMask)> cb);
+
+  // Restrict a rule to a candidate tag mask (multi-query backtesting).
+  void set_rule_restrict(const std::string& rule, TagMask mask);
+
+  EventLog& log() { return log_; }
+  const EventLog& log() const { return log_; }
+  const ndlog::Program& program() const { return program_; }
+  const ndlog::Catalog& catalog() const { return catalog_; }
+
+  bool diverged() const { return diverged_; }
+  size_t steps() const { return steps_; }
+  size_t rule_firings() const { return firings_; }
+
+ private:
+  struct PendingAppear {
+    Tuple tuple;
+    TagMask tags;
+    EventId cause;  // event that produced it (Insert/Receive/Derive)
+  };
+
+  void enqueue_appear(Tuple t, TagMask tags, EventId cause);
+  void run_queue();
+  void handle_appear(const PendingAppear& p);
+  void fire_rules(const Value& node, const Tuple& trigger, TagMask mask,
+                  EventId trigger_event);
+  void join_rest(const ndlog::Rule& rule, const Value& node,
+                 std::vector<size_t>& remaining, Env& env, TagMask mask,
+                 std::vector<EventId>& cause_events,
+                 std::vector<Tuple>& body_tuples, EventId trigger_event,
+                 const Tuple& trigger);
+  void finish_rule(const ndlog::Rule& rule, const Value& node, Env env,
+                   TagMask mask, std::vector<EventId> cause_events,
+                   std::vector<Tuple> body_tuples);
+  void derive(const ndlog::Rule& rule, const Value& src_node, Tuple head,
+              TagMask mask, std::vector<EventId> cause_events,
+              std::vector<Tuple> body_tuples);
+  void retract(const Value& node, const Tuple& t);
+
+  static bool unify(const ndlog::Atom& atom, const Row& row, Env& env);
+
+  ndlog::Program program_;
+  ndlog::Catalog catalog_;
+  EngineOptions opt_;
+  std::map<Value, Database> nodes_;
+  EventLog log_;
+  std::vector<PendingAppear> queue_;
+  std::unordered_map<std::string, std::vector<std::function<void(const Tuple&, TagMask)>>>
+      callbacks_;
+  std::unordered_map<std::string, TagMask> rule_restrict_;
+  // body-atom trigger index: table name -> (rule idx, body atom idx)
+  std::unordered_map<std::string, std::vector<std::pair<size_t, size_t>>> trigger_index_;
+  bool diverged_ = false;
+  size_t steps_ = 0;
+  size_t firings_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace mp::eval

@@ -1,0 +1,110 @@
+#include "eval/event_log.h"
+
+namespace mp::eval {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::Insert: return "INSERT";
+    case EventKind::Delete: return "DELETE";
+    case EventKind::Derive: return "DERIVE";
+    case EventKind::Underive: return "UNDERIVE";
+    case EventKind::Appear: return "APPEAR";
+    case EventKind::Disappear: return "DISAPPEAR";
+    case EventKind::Send: return "SEND";
+    case EventKind::Receive: return "RECEIVE";
+  }
+  return "?";
+}
+
+std::string Event::to_string() const {
+  std::string out = mp::eval::to_string(kind);
+  out += "(t=" + std::to_string(time) + ", @" + node.to_string() + ", " +
+         tuple.to_string();
+  if (!rule.empty()) out += ", rule=" + rule;
+  out += ")";
+  return out;
+}
+
+EventId EventLog::append(EventKind kind, Value node, Tuple tuple, TagMask tags,
+                         std::vector<EventId> causes, std::string rule) {
+  Event e;
+  e.id = events_.size();
+  e.kind = kind;
+  e.time = tick();
+  e.node = std::move(node);
+  e.tuple = std::move(tuple);
+  e.rule = std::move(rule);
+  e.causes = std::move(causes);
+  e.tags = tags;
+
+  if (kind == EventKind::Appear) {
+    if (!history_seen_.count(e.tuple)) {
+      history_seen_.emplace(e.tuple, 1);
+      history_[e.tuple.table].push_back(e.tuple);
+      ++history_total_;
+    }
+  }
+  events_.push_back(std::move(e));
+  return events_.back().id;
+}
+
+size_t EventLog::add_derivation(DerivRecord rec) {
+  const size_t idx = derivations_.size();
+  head_index_[rec.head].push_back(idx);
+  for (const Tuple& b : rec.body) body_index_[b].push_back(idx);
+  derivations_.push_back(std::move(rec));
+  return idx;
+}
+
+std::vector<size_t> EventLog::derivations_of(const Tuple& t) const {
+  std::vector<size_t> out;
+  auto it = head_index_.find(t);
+  if (it == head_index_.end()) return out;
+  for (size_t idx : it->second) {
+    if (derivations_[idx].live) out.push_back(idx);
+  }
+  return out;
+}
+
+std::vector<size_t> EventLog::derivations_using(const Tuple& t) const {
+  std::vector<size_t> out;
+  auto it = body_index_.find(t);
+  if (it == body_index_.end()) return out;
+  for (size_t idx : it->second) {
+    if (derivations_[idx].live) out.push_back(idx);
+  }
+  return out;
+}
+
+const std::vector<Tuple>& EventLog::history(const std::string& table) const {
+  static const std::vector<Tuple> kEmpty;
+  auto it = history_.find(table);
+  return it == history_.end() ? kEmpty : it->second;
+}
+
+size_t EventLog::byte_estimate() const {
+  // Fixed 32-byte header (id, kind, time, tag mask) + values. Strings count
+  // their length; ints count 8 bytes. The paper logs ~120 B per packet.
+  size_t total = 0;
+  for (const Event& e : events_) {
+    size_t sz = 32 + e.tuple.table.size() + e.rule.size();
+    for (const Value& v : e.tuple.row) {
+      sz += v.is_int() ? 8 : v.as_str().size() + 8;
+    }
+    total += sz;
+  }
+  return total;
+}
+
+void EventLog::clear() {
+  events_.clear();
+  derivations_.clear();
+  head_index_.clear();
+  body_index_.clear();
+  history_.clear();
+  history_seen_.clear();
+  history_total_ = 0;
+  time_ = 0;
+}
+
+}  // namespace mp::eval

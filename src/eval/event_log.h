@@ -1,0 +1,101 @@
+// Append-only event log: the runtime's provenance record (Section 3.1).
+// Every insert / derive / appear / send / receive / delete is logged with a
+// logical timestamp and causal links. Three consumers read it:
+//   - provenance graph construction (src/provenance),
+//   - meta-provenance "history lookups" (src/repair),
+//   - backtest replay and storage accounting (src/backtest, Section 5.4).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "eval/tuple.h"
+
+namespace mp::eval {
+
+using EventId = uint64_t;
+using Time = uint64_t;
+inline constexpr EventId kNoEvent = ~0ULL;
+
+enum class EventKind : uint8_t {
+  Insert,     // base tuple inserted externally
+  Delete,     // base tuple deleted externally
+  Derive,     // rule produced a tuple
+  Underive,   // rule-produced support lost
+  Appear,     // tuple became visible at a node
+  Disappear,  // tuple vanished from a node
+  Send,       // +tuple shipped to a remote node
+  Receive,    // +tuple arrived from a remote node
+};
+
+const char* to_string(EventKind k);
+
+struct Event {
+  EventId id = kNoEvent;
+  EventKind kind = EventKind::Insert;
+  Time time = 0;
+  Value node;       // where the event happened
+  Tuple tuple;
+  std::string rule;              // rule name for Derive/Underive
+  std::vector<EventId> causes;   // direct causal predecessors
+  TagMask tags = kAllTags;
+  std::string to_string() const;
+};
+
+// A derivation record links a derived head tuple to the concrete body
+// tuples that produced it; used for positive provenance trees and for
+// support-count cascade on deletion.
+struct DerivRecord {
+  EventId derive_event = kNoEvent;
+  std::string rule;
+  Tuple head;
+  std::vector<Tuple> body;
+  bool live = true;  // false once the derivation has been retracted
+};
+
+class EventLog {
+ public:
+  EventId append(EventKind kind, Value node, Tuple tuple, TagMask tags,
+                 std::vector<EventId> causes = {}, std::string rule = {});
+
+  size_t add_derivation(DerivRecord rec);  // returns record index
+
+  const std::vector<Event>& events() const { return events_; }
+  const Event& event(EventId id) const { return events_[id]; }
+  const std::vector<DerivRecord>& derivations() const { return derivations_; }
+  DerivRecord& derivation(size_t idx) { return derivations_[idx]; }
+
+  // Indices of live derivation records whose head equals `t`.
+  std::vector<size_t> derivations_of(const Tuple& t) const;
+  // Indices of live derivation records with `t` among their body tuples.
+  std::vector<size_t> derivations_using(const Tuple& t) const;
+
+  // Historical relation contents: every row ever observed in `table`,
+  // across all nodes (includes transient event tuples). This is the data
+  // the paper's "history lookups" walk when expanding meta provenance.
+  const std::vector<Tuple>& history(const std::string& table) const;
+  size_t history_size() const { return history_total_; }
+
+  Time now() const { return time_; }
+  Time tick() { return ++time_; }
+
+  // Rough on-disk footprint of the log if each event were serialized as a
+  // fixed header plus its values; the paper reports ~120-byte entries.
+  size_t byte_estimate() const;
+  size_t size() const { return events_.size(); }
+  void clear();
+
+ private:
+  std::vector<Event> events_;
+  std::vector<DerivRecord> derivations_;
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> head_index_;
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> body_index_;
+  std::unordered_map<std::string, std::vector<Tuple>> history_;
+  std::unordered_map<Tuple, char, TupleHash> history_seen_;
+  size_t history_total_ = 0;
+  Time time_ = 0;
+};
+
+}  // namespace mp::eval

@@ -1,0 +1,34 @@
+// Tuples and candidate-tag masks used throughout the runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/value.h"
+
+namespace mp::eval {
+
+// Bitmask of backtest candidate tags (Section 4.4). Bit i set means the
+// tuple exists in the world of candidate i. Normal evaluation uses kAllTags.
+using TagMask = uint64_t;
+inline constexpr TagMask kAllTags = ~0ULL;
+inline constexpr size_t kMaxTags = 64;
+
+struct Tuple {
+  std::string table;
+  Row row;  // row[0] is the location (node id)
+
+  const Value& location() const { return row[0]; }
+  std::string to_string() const { return table + row_to_string(row); }
+  bool operator==(const Tuple& o) const {
+    return table == o.table && row == o.row;
+  }
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    return hash_combine(std::hash<std::string>{}(t.table), hash_row(t.row));
+  }
+};
+
+}  // namespace mp::eval

@@ -1,0 +1,26 @@
+// Text frontend for the Trema stand-in. Grammar:
+//
+//   program  := "def" "packet_in" "(" "sw" "," "pkt" ")" "{" block* "}"
+//   block    := "if" "(" cond ("&&" cond)* ")" "{" install* "}"
+//   cond     := operand cmp operand
+//   operand  := int | "sw" | "pkt" "." field
+//   install  := "install" "(" "match" "(" field ("," field)* ")" ","
+//               "out" "(" int ")" [ "," "no_packet_out" ] ")" ";"
+//   field    := in_port|sip|dip|smc|dmc|spt|dpt|proto|bucket
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+
+#include "langs/imp/imp.h"
+
+namespace mp::imp {
+
+class ImpParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+Program parse_program(std::string_view src);
+
+}  // namespace mp::imp

@@ -1,0 +1,28 @@
+// Text frontend for the Pyretic stand-in. Grammar (NetCore-style):
+//
+//   policy := seq ("|" seq)*                 parallel composition
+//   seq    := factor (">>" factor)*          sequential composition
+//   factor := "fwd" "(" int ")"
+//           | "drop"
+//           | "match" "(" key "=" int ")" "[" policy "]"
+//           | "modify" "(" field "=" int ")" "[" policy "]"
+//           | "(" policy ")"
+//   key    := "switch" | field
+//   field  := in_port|sip|dip|smc|dmc|spt|dpt|proto|bucket
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+
+#include "langs/netcore/netcore.h"
+
+namespace mp::netcore {
+
+class NetcoreParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+PolicyPtr parse_policy(std::string_view src);
+
+}  // namespace mp::netcore

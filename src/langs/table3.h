@@ -1,0 +1,25 @@
+// Table 3 runner (Section 5.8): the five scenarios re-implemented in the
+// Trema stand-in ("imp") and the Pyretic stand-in ("netcore"), run through
+// the same simulator, workload and backtesting gate as the NDlog versions.
+// Q4 is not reproducible in netcore because the runtime releases buffered
+// packets itself -- exactly the paper's observation for Pyretic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mp::langs {
+
+struct LangCell {
+  std::string scenario;       // "Q1".."Q5"
+  bool supported = true;
+  size_t generated = 0;       // repair candidates produced
+  size_t passed = 0;          // candidates surviving backtest
+  std::vector<std::string> accepted_descriptions;
+};
+
+std::vector<LangCell> run_trema_scenarios();
+std::vector<LangCell> run_pyretic_scenarios();
+
+}  // namespace mp::langs

@@ -1,0 +1,96 @@
+#include "meta/extract.h"
+
+namespace mp::meta {
+
+namespace {
+
+void extract_expr_consts(const ndlog::ExprPtr& e, const std::string& rule,
+                         SyntaxRef::Site site, size_t index, size_t side,
+                         std::vector<MetaTuple>& out) {
+  if (!e) return;
+  if (e->is_const()) {
+    MetaTuple t;
+    t.kind = MetaKind::Const;
+    t.ref = SyntaxRef{rule, site, index, side};
+    t.payload = e->cval();
+    out.push_back(std::move(t));
+  } else if (e->kind() == ndlog::Expr::Kind::Binary) {
+    // Constants inside arithmetic share the operand's site reference; the
+    // change algebra rewrites whole operands, which covers nested cases.
+    extract_expr_consts(e->lhs(), rule, site, index, side, out);
+    extract_expr_consts(e->rhs(), rule, site, index, side, out);
+  }
+}
+
+}  // namespace
+
+std::vector<MetaTuple> program_meta_tuples(const ndlog::Program& p) {
+  std::vector<MetaTuple> out;
+  for (const auto& r : p.rules) {
+    {
+      MetaTuple t;
+      t.kind = MetaKind::HeadFunc;
+      t.ref = SyntaxRef{r.name, SyntaxRef::Site::HeadTable, 0, 0};
+      t.table = r.head.table;
+      for (const auto& a : r.head.args) {
+        t.args.push_back(a->to_string());
+      }
+      out.push_back(std::move(t));
+    }
+    for (size_t b = 0; b < r.body.size(); ++b) {
+      MetaTuple t;
+      t.kind = MetaKind::PredFunc;
+      t.ref = SyntaxRef{r.name, SyntaxRef::Site::BodyAtom, b, 0};
+      t.table = r.body[b].table;
+      for (const auto& a : r.body[b].args) t.args.push_back(a->to_string());
+      out.push_back(std::move(t));
+      for (size_t i = 0; i < r.body[b].args.size(); ++i) {
+        extract_expr_consts(r.body[b].args[i], r.name,
+                            SyntaxRef::Site::BodyAtomArg, b, i, out);
+      }
+    }
+    for (size_t s = 0; s < r.sels.size(); ++s) {
+      MetaTuple t;
+      t.kind = MetaKind::Oper;
+      t.ref = SyntaxRef{r.name, SyntaxRef::Site::SelOp, s, 0};
+      t.payload = Value::str(ndlog::to_string(r.sels[s].op));
+      out.push_back(std::move(t));
+      extract_expr_consts(r.sels[s].lhs, r.name, SyntaxRef::Site::SelLhs, s, 0,
+                          out);
+      extract_expr_consts(r.sels[s].rhs, r.name, SyntaxRef::Site::SelRhs, s, 1,
+                          out);
+    }
+    for (size_t a = 0; a < r.assigns.size(); ++a) {
+      MetaTuple t;
+      t.kind = MetaKind::Assign;
+      t.ref = SyntaxRef{r.name, SyntaxRef::Site::AssignWhole, a, 0};
+      t.table = r.assigns[a].var;
+      out.push_back(std::move(t));
+      extract_expr_consts(r.assigns[a].expr, r.name,
+                          SyntaxRef::Site::AssignRhs, a, 0, out);
+    }
+    for (size_t i = 0; i < r.head.args.size(); ++i) {
+      extract_expr_consts(r.head.args[i], r.name, SyntaxRef::Site::HeadArg, 0,
+                          i, out);
+    }
+  }
+  return out;
+}
+
+std::vector<MetaTuple> constants_of(const ndlog::Program& p) {
+  std::vector<MetaTuple> out;
+  for (auto& t : program_meta_tuples(p)) {
+    if (t.kind == MetaKind::Const) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<MetaTuple> operators_of(const ndlog::Program& p) {
+  std::vector<MetaTuple> out;
+  for (auto& t : program_meta_tuples(p)) {
+    if (t.kind == MetaKind::Oper) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace mp::meta

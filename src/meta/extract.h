@@ -1,0 +1,23 @@
+// Extraction of program-based meta tuples from an NDlog program: every
+// constant, operator, predicate, assignment and rule head becomes a meta
+// tuple naming a mutable syntactic site. This is the "tuple generator"
+// component of the prototype (Section 5.1): program-based meta tuples are
+// generated once per program; runtime-based ones are materialized by the
+// forest explorer from the engine's log.
+#pragma once
+
+#include <vector>
+
+#include "meta/meta_tuple.h"
+#include "ndlog/ast.h"
+
+namespace mp::meta {
+
+// All program-based meta tuples of `p`, in deterministic order.
+std::vector<MetaTuple> program_meta_tuples(const ndlog::Program& p);
+
+// Subsets by kind (convenience for the repair engine and tests).
+std::vector<MetaTuple> constants_of(const ndlog::Program& p);
+std::vector<MetaTuple> operators_of(const ndlog::Program& p);
+
+}  // namespace mp::meta

@@ -1,0 +1,245 @@
+#include "meta/meta_model.h"
+
+namespace mp::meta {
+
+const char* to_string(Language l) {
+  switch (l) {
+    case Language::UDlog: return "uDlog";
+    case Language::NDlog: return "NDlog";
+    case Language::Trema: return "Trema (Ruby)";
+    case Language::Pyretic: return "Pyretic (DSL + Python)";
+  }
+  return "?";
+}
+
+const MetaRuleInfo* MetaModel::find_rule(const std::string& name) const {
+  for (const auto& r : rules)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+// --- uDlog: Figure 4 of the paper (15 meta rules, 13 meta tuples). -------
+const MetaModel& udlog_meta_model() {
+  static const MetaModel model = [] {
+    MetaModel m;
+    m.language = Language::UDlog;
+    m.rules = {
+        {"h1", "base tuples exist because they were inserted"},
+        {"h2", "a head tuple is derived when all selections hold on a join"},
+        {"p1", "a concrete tuple satisfies a rule's body predicate"},
+        {"p2", "count the body predicates of a rule"},
+        {"j1", "join two body tables into a Join4 cross product"},
+        {"j2", "a single body table forms a Join2"},
+        {"e1", "a constant evaluates to an expression (JID wildcard)"},
+        {"e2", "Join2 arg1 value flows into an expression"},
+        {"e3", "Join2 arg2 value flows into an expression"},
+        {"e4", "Join4 arg1 value flows into an expression"},
+        {"e5", "Join4 arg2 value flows into an expression"},
+        {"e6", "Join4 arg3 value flows into an expression"},
+        {"e7", "Join4 arg4 value flows into an expression"},
+        {"a1", "an assignment binds a head value from an expression"},
+        {"s1", "a selection evaluates `expr opr expr` per join state"},
+    };
+    m.tuples = {
+        {"HeadFunc", true},  {"PredFunc", true}, {"Assign", true},
+        {"Const", true},     {"Oper", true},     {"Base", false},
+        {"Tuple", false},    {"TuplePred", false}, {"Expr", false},
+        {"Join2", false},    {"Join4", false},   {"Sel", false},
+        {"HeadVal", false},
+    };
+    return m;
+  }();
+  return model;
+}
+
+// --- NDlog: Appendix B.1 (23 meta rules, 23 meta tuples). ----------------
+const MetaModel& ndlog_meta_model() {
+  static const MetaModel model = [] {
+    MetaModel m;
+    m.language = Language::NDlog;
+    m.rules = {
+        {"h1", "base insertion derives a transient Message"},
+        {"h2", "base insertion derives a materialized State"},
+        {"h3", "a rule head derives a Message (timeout 0)"},
+        {"h4", "a rule head derives a State (timeout 1)"},
+        {"h5", "head values + matched constraints derive a Head"},
+        {"h6", "rules without constraints trivially match"},
+        {"h7", "all k constraints true => ConstraintMatch"},
+        {"p1", "runtime Message satisfies a body predicate"},
+        {"p2", "runtime State satisfies a body predicate"},
+        {"j1", "count Message predicates of a rule"},
+        {"j2", "count State predicates of a rule"},
+        {"j3", "join of state-only bodies"},
+        {"j4", "join of message-only bodies"},
+        {"j5", "join of mixed message/state bodies"},
+        {"e1", "join columns flow into expressions"},
+        {"e2", "constants flow into expressions (JID wildcard)"},
+        {"e3", "operator trees compose sub-expressions"},
+        {"a1", "assignments bind head values from expressions"},
+        {"c1", "count the constraints of a rule"},
+        {"c2", "boolean expressions act as constraints"},
+        {"g1", "a join matching all constraints is an AggWrap match"},
+        {"g2", "count matches per trigger (AggWrap)"},
+        {"g3", "aggregate count feeds back as a predicate value"},
+    };
+    m.tuples = {
+        {"Base", false},        {"Schema", true},
+        {"Message", false},     {"State", false},
+        {"Head", false},        {"HeadMeta", true},
+        {"HeadValue", false},   {"ConstraintMatch", false},
+        {"ConstraintCount", false}, {"Constraint", false},
+        {"IsConstraint", true}, {"PredicateMeta", true},
+        {"MessagePredicate", false}, {"StatePredicate", false},
+        {"MessagePredicateCount", false}, {"StatePredicateCount", false},
+        {"Join", false},        {"Expression", false},
+        {"Constant", true},     {"Operator", true},
+        {"LeftEdge", true},     {"RightEdge", true},
+        {"Assignment", true},
+    };
+    return m;
+  }();
+  return model;
+}
+
+// --- Trema: Appendix B.2 (42 meta rules, 32 meta tuples). ----------------
+const MetaModel& trema_meta_model() {
+  static const MetaModel model = [] {
+    MetaModel m;
+    m.language = Language::Trema;
+    auto add = [&](const char* name, const char* desc) {
+      m.rules.push_back({name, desc});
+    };
+    // Processing PacketIn.
+    add("pi1", "entering the packet_in handler");
+    add("pi2", "creating the packet object");
+    add("pi3", "creating attributes of the packet object");
+    add("pi4", "creating the switch variable");
+    // Installing flow entries.
+    add("fe1", "send_flow_mod_add installs a micro flow entry");
+    add("fe2", "micro flow entry adopts the PacketIn header fields");
+    add("fe3", "send_flow_mod_wildcard installs a macro flow entry");
+    add("fe4", "send_packet_out emits a PacketOut for the cached packet");
+    add("fe5", "PacketOut adopts the PacketIn header fields");
+    // If clauses.
+    add("cj1", "true predicate executes the if body");
+    add("cj2", "true predicate propagates variables into the if body");
+    add("cj3", "false predicate skips to the else line");
+    add("cj4", "false predicate propagates variables past the if body");
+    // Expressions.
+    add("e1", "a constant derives an expression");
+    add("e2", "a local variable derives an expression");
+    add("e3", "an object attribute derives an expression");
+    add("e4", "operators compose sub-expressions");
+    add("e5", "hash-table membership count");
+    add("e6", "hash-table hit derives a true expression");
+    add("e7", "hash-table miss derives a false expression");
+    add("e8", "hash-table lookup derives the stored value");
+    // Function calls.
+    add("fc1", "a call site triggers a function execution");
+    add("fc2", "arguments are copied to the callee");
+    add("fc3", "object-argument attributes are copied to the callee");
+    add("fc4", "execution enters the function body");
+    // Function returns.
+    add("fr1", "a return statement triggers a function return");
+    add("fr2", "the return value is copied to the caller");
+    add("fr3", "execution resumes after the call site");
+    // Objects.
+    add("of1", "object construction calls the constructor");
+    add("of2", "constructor allocates the attributes");
+    add("of3", "constructor allocates the object itself");
+    add("of4", "member-function call on an object reference");
+    add("of5", "object attributes are copied into the member call");
+    add("of6", "member call lowers to a plain function call");
+    // Assignments.
+    add("a1", "assignment stores an expression into a variable");
+    add("a2", "count assignments per line/variable");
+    add("a3", "no assignment on this line for the variable");
+    add("a4", "unassigned variables propagate to the next line");
+    // Hash tables.
+    add("ht1", "hash-table store updates an entry");
+    add("ht2", "count hash-table writes per line");
+    add("ht3", "no hash-table write on this line");
+    add("ht4", "unwritten hash entries propagate to the next line");
+    auto tup = [&](const char* name, bool prog) {
+      m.tuples.push_back({name, prog});
+    };
+    tup("packetIn", false);       tup("ExecLine", false);
+    tup("EntryLine", true);       tup("FuncCall", true);
+    tup("FuncDecl", true);        tup("FuncExec", false);
+    tup("FuncRet", false);        tup("Return", true);
+    tup("NextLine", true);        tup("Expression", false);
+    tup("Value", false);          tup("ClassMap", false);
+    tup("Constant", true);        tup("VarName", true);
+    tup("AttributeOf", true);     tup("Operator", true);
+    tup("HashTableCheck", true);  tup("HashTableGet", true);
+    tup("HashTableSet", true);    tup("HashTableEntry", false);
+    tup("HashTableCount", false); tup("flowEntryMicro", false);
+    tup("flowEntry", false);      tup("packetOutMicro", false);
+    tup("packetOut", false);      tup("IfClause", true);
+    tup("ObjectNew", true);       tup("ObjectDecl", true);
+    tup("FuncCallObject", false); tup("Assignment", true);
+    tup("AssignmentCount", false); tup("NoAssignment", false);
+    return m;
+  }();
+  return model;
+}
+
+// --- Pyretic: Appendix B.3 (53 meta rules, 41 meta tuples). --------------
+const MetaModel& pyretic_meta_model() {
+  static const MetaModel model = [] {
+    MetaModel m;
+    m.language = Language::Pyretic;
+    // Pyretic shares the imperative core with the Trema model (Appendix B:
+    // "a set of imperative features of Python, similar to that of Ruby")
+    // minus one PacketIn rule, plus the NetCore policy rules of Figure 16.
+    const MetaModel& trema = trema_meta_model();
+    for (const auto& r : trema.rules) {
+      if (r.name == "pi4") continue;  // no switch variable in Pyretic
+      m.rules.push_back(r);
+    }
+    // fe6 exists in the Pyretic model (PacketOut adoption is split).
+    m.rules.push_back({"fe6", "PacketOut adopts header fields (macro path)"});
+    auto add = [&](const char* name, const char* desc) {
+      m.rules.push_back({name, desc});
+    };
+    // NetCore policies (Figure 16).
+    add("pa1", "primitive action sets the output port");
+    add("pa2", "primitive modify action rewrites a header field");
+    add("pa3", "primitive action forwards to its sub-policies");
+    add("pa4", "unmodified packet fields propagate through an action");
+    add("pr1", "field predicate compares a packet field");
+    add("pr2", "constant predicate (all/none)");
+    add("pr3", "restricted policy applies sub-policies when true");
+    add("pp1", "parallel composition builds a Para policy");
+    add("pp2", "parallel policy executes both branches");
+    add("ps1", "sequential composition chains policies");
+    add("ps2", "sequential policy feeds actions into the successor");
+    m.tuples = trema.tuples;
+    auto tup = [&](const char* name, bool prog) {
+      m.tuples.push_back({name, prog});
+    };
+    tup("Policy", true);
+    tup("PredicateValue", false);
+    tup("FieldPredicate", true);
+    tup("ConstantPredicate", true);
+    tup("ConstantAction", true);
+    tup("ModifyAction", true);
+    tup("Parallel", true);
+    tup("Sequential", true);
+    tup("NoHashTableSet", false);
+    return m;
+  }();
+  return model;
+}
+
+const MetaModel& meta_model(Language l) {
+  switch (l) {
+    case Language::UDlog: return udlog_meta_model();
+    case Language::NDlog: return ndlog_meta_model();
+    case Language::Trema: return trema_meta_model();
+    case Language::Pyretic: return pyretic_meta_model();
+  }
+  return udlog_meta_model();
+}
+
+}  // namespace mp::meta

@@ -1,0 +1,45 @@
+// Meta models (Section 3.2, Section 5.8, Appendix B): for each supported
+// controller language, the catalog of meta rules (operational semantics)
+// and meta tuple types. The uDlog catalog mirrors Figure 4 exactly; the
+// NDlog, Trema and Pyretic catalogs mirror Appendix B. The catalogs are
+// real data: the forest explorer dispatches on the uDlog/NDlog rules, and
+// the Table 3 bench and tests verify the counts the paper reports
+// (uDlog 15 rules / 13 tuple types, NDlog 23/23, Trema 42/32, Pyretic 53/41).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mp::meta {
+
+enum class Language : uint8_t { UDlog, NDlog, Trema, Pyretic };
+
+const char* to_string(Language l);
+
+struct MetaRuleInfo {
+  std::string name;         // e.g. "h2", "j1", "fc4"
+  std::string description;  // what the operational-semantics rule encodes
+};
+
+struct MetaTupleInfo {
+  std::string name;         // e.g. "Sel", "HeadVal", "ExecLine"
+  bool program_based = false;  // syntactic (true) vs runtime (false)
+};
+
+struct MetaModel {
+  Language language = Language::UDlog;
+  std::vector<MetaRuleInfo> rules;
+  std::vector<MetaTupleInfo> tuples;
+
+  size_t rule_count() const { return rules.size(); }
+  size_t tuple_count() const { return tuples.size(); }
+  const MetaRuleInfo* find_rule(const std::string& name) const;
+};
+
+const MetaModel& udlog_meta_model();
+const MetaModel& ndlog_meta_model();
+const MetaModel& trema_meta_model();
+const MetaModel& pyretic_meta_model();
+const MetaModel& meta_model(Language l);
+
+}  // namespace mp::meta

@@ -1,0 +1,303 @@
+#include "meta/meta_program.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "meta/extract.h"
+#include "util/strings.h"
+
+namespace mp::meta {
+
+namespace {
+
+const Value kCtl = Value::str("C");
+
+std::string join_args(const std::vector<ndlog::ExprPtr>& args) {
+  std::vector<std::string> parts;
+  for (const auto& a : args) parts.push_back(a->to_string());
+  return join(parts, "|");
+}
+
+// Operand reconstruction: integer literal, wildcard, or variable name.
+struct Operand {
+  bool is_const = false;
+  Value cval;
+  std::string var;
+};
+
+Operand parse_operand(const std::string& s) {
+  Operand op;
+  if (s == "*") {
+    op.is_const = true;
+    op.cval = Value::wildcard();
+    return op;
+  }
+  if (!s.empty() &&
+      (std::isdigit(static_cast<unsigned char>(s[0])) || s[0] == '-')) {
+    op.is_const = true;
+    op.cval = Value(static_cast<int64_t>(std::stoll(s)));
+    return op;
+  }
+  op.var = s;
+  return op;
+}
+
+ndlog::CmpOp parse_op(const std::string& s) {
+  if (s == "==") return ndlog::CmpOp::Eq;
+  if (s == "!=") return ndlog::CmpOp::Ne;
+  if (s == "<") return ndlog::CmpOp::Lt;
+  if (s == ">") return ndlog::CmpOp::Gt;
+  if (s == "<=") return ndlog::CmpOp::Le;
+  return ndlog::CmpOp::Ge;
+}
+
+// A rule reconstructed purely from meta facts.
+struct MetaRule {
+  std::string name;
+  std::string head_table;
+  std::vector<Operand> head_args;
+  struct BodyAtom {
+    std::string table;
+    std::vector<Operand> args;
+  };
+  std::map<int64_t, BodyAtom> body;
+  struct Sel {
+    Operand lhs;
+    ndlog::CmpOp op;
+    Operand rhs;
+  };
+  std::map<int64_t, Sel> sels;
+  struct Asg {
+    std::string var;
+    Operand rhs;
+  };
+  std::map<int64_t, Asg> assigns;
+};
+
+bool expr_is_operand(const ndlog::ExprPtr& e) {
+  return e && (e->is_const() || e->is_var());
+}
+
+}  // namespace
+
+bool in_udlog_fragment(const ndlog::Program& p) {
+  for (const auto& r : p.rules) {
+    for (const auto& a : r.head.args) {
+      if (!expr_is_operand(a)) return false;
+    }
+    for (const auto& b : r.body) {
+      for (const auto& a : b.args) {
+        if (!expr_is_operand(a)) return false;
+      }
+    }
+    for (const auto& s : r.sels) {
+      if (!expr_is_operand(s.lhs) || !expr_is_operand(s.rhs)) return false;
+    }
+    for (const auto& asg : r.assigns) {
+      if (!expr_is_operand(asg.expr)) return false;
+    }
+  }
+  return true;
+}
+
+MetaProgram build_meta_program(const ndlog::Program& p) {
+  MetaProgram out;
+  out.tuples = program_meta_tuples(p);
+  for (const auto& r : p.rules) {
+    out.facts.push_back(eval::Tuple{
+        "HeadFunc",
+        {kCtl, Value::str(r.name), Value::str(r.head.table),
+         Value::str(join_args(r.head.args))}});
+    for (size_t b = 0; b < r.body.size(); ++b) {
+      out.facts.push_back(eval::Tuple{
+          "PredFunc",
+          {kCtl, Value::str(r.name), Value(static_cast<int64_t>(b)),
+           Value::str(r.body[b].table), Value::str(join_args(r.body[b].args))}});
+    }
+    for (size_t s = 0; s < r.sels.size(); ++s) {
+      out.facts.push_back(eval::Tuple{
+          "Oper",
+          {kCtl, Value::str(r.name), Value(static_cast<int64_t>(s)),
+           Value::str(ndlog::to_string(r.sels[s].op)),
+           Value::str(r.sels[s].lhs->to_string()),
+           Value::str(r.sels[s].rhs->to_string())}});
+      // The two operands also surface as Const meta tuples when constant,
+      // mirroring the Const(@C,Rul,ID,Val) facts of Figure 4.
+      for (int side = 0; side < 2; ++side) {
+        const ndlog::ExprPtr& e = side == 0 ? r.sels[s].lhs : r.sels[s].rhs;
+        if (e->is_const()) {
+          out.facts.push_back(eval::Tuple{
+              "Const",
+              {kCtl, Value::str(r.name),
+               Value::str("sel" + std::to_string(s) +
+                          (side == 0 ? ".lhs" : ".rhs")),
+               e->cval()}});
+        }
+      }
+    }
+    for (size_t a = 0; a < r.assigns.size(); ++a) {
+      out.facts.push_back(eval::Tuple{
+          "Assign",
+          {kCtl, Value::str(r.name), Value(static_cast<int64_t>(a)),
+           Value::str(r.assigns[a].var),
+           Value::str(r.assigns[a].expr->to_string())}});
+    }
+  }
+
+  out.meta_rules_text =
+      "h1 Tuple(@C,Tab,Val1,Val2) :- Base(@C,Tab,Val1,Val2).\n"
+      "h2 Tuple(@L,Tab,Val1,Val2) :- HeadFunc(@C,Rul,Tab,Loc,Arg1,Arg2),\n"
+      "     HeadVal(@C,Rul,JID,Loc,L), Sel(@C,Rul,JID,SID,Val), Val == True,\n"
+      "     Sel(@C,Rul,JID,SID',Val'), Val' == True, SID != SID', ...\n"
+      "p1 TuplePred(@C,Rul,Tab,Args,Vals) :- Tuple(@C,Tab,Vals), "
+      "PredFunc(@C,Rul,Tab,Args).\n"
+      "p2 PredFuncCount(@C,Rul,Count<N>) :- PredFunc(@C,Rul,Tab,Args).\n"
+      "j1 Join4(...) :- TuplePred x TuplePred, PredFuncCount == 2.\n"
+      "j2 Join2(...) :- TuplePred, PredFuncCount == 1.\n"
+      "e1-e7 Expr(...) :- Const | Join2/Join4 columns.\n"
+      "a1 HeadVal(@C,Rul,JID,Arg,Val) :- Assign(@C,Rul,Arg,ID), "
+      "Expr(@C,Rul,JID,ID,Val).\n"
+      "s1 Sel(@C,Rul,JID,SID,Val) :- Oper(@C,Rul,SID,ID',ID'',Opr), "
+      "Expr x Expr, Val := (Val' Opr Val'').\n";
+  return out;
+}
+
+std::vector<eval::Tuple> meta_eval(const ndlog::Program& p,
+                                   const MetaProgram& meta,
+                                   const std::vector<eval::Tuple>& base) {
+  // Reconstruct the rules from the meta facts alone.
+  std::map<std::string, MetaRule> rules;
+  for (const eval::Tuple& f : meta.facts) {
+    if (f.table == "HeadFunc") {
+      MetaRule& r = rules[f.row[1].as_str()];
+      r.name = f.row[1].as_str();
+      r.head_table = f.row[2].as_str();
+      for (const auto& s : split(f.row[3].as_str(), '|')) {
+        r.head_args.push_back(parse_operand(s));
+      }
+    } else if (f.table == "PredFunc") {
+      MetaRule& r = rules[f.row[1].as_str()];
+      MetaRule::BodyAtom atom;
+      atom.table = f.row[3].as_str();
+      for (const auto& s : split(f.row[4].as_str(), '|')) {
+        atom.args.push_back(parse_operand(s));
+      }
+      r.body[f.row[2].as_int()] = std::move(atom);
+    } else if (f.table == "Oper") {
+      MetaRule& r = rules[f.row[1].as_str()];
+      MetaRule::Sel sel;
+      sel.op = parse_op(f.row[3].as_str());
+      sel.lhs = parse_operand(f.row[4].as_str());
+      sel.rhs = parse_operand(f.row[5].as_str());
+      r.sels[f.row[2].as_int()] = std::move(sel);
+    } else if (f.table == "Assign") {
+      MetaRule& r = rules[f.row[1].as_str()];
+      r.assigns[f.row[2].as_int()] =
+          MetaRule::Asg{f.row[3].as_str(), parse_operand(f.row[4].as_str())};
+    }
+  }
+  (void)p;
+
+  // Naive fixpoint over Base/Tuple facts (meta rules h1, p1, j1/j2,
+  // e1-e7, a1, s1, h2 executed in concert per candidate join).
+  std::set<std::string> seen;
+  std::vector<eval::Tuple> db = base;
+  for (const auto& t : db) seen.insert(t.to_string());
+
+  using Env = std::map<std::string, Value>;
+  auto bind = [](const MetaRule::BodyAtom& atom, const Row& row, Env& env) {
+    if (atom.args.size() != row.size()) return false;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Operand& a = atom.args[i];
+      if (a.is_const) {
+        if (!(a.cval == row[i])) return false;
+      } else {
+        auto [it, inserted] = env.try_emplace(a.var, row[i]);
+        if (!inserted && !(it->second == row[i])) return false;
+      }
+    }
+    return true;
+  };
+  auto operand_value = [](const Operand& o, const Env& env, Value& out) {
+    if (o.is_const) {
+      out = o.cval;
+      return true;
+    }
+    auto it = env.find(o.var);
+    if (it == env.end()) return false;
+    out = it->second;
+    return true;
+  };
+
+  bool changed = true;
+  for (int round = 0; round < 64 && changed; ++round) {
+    changed = false;
+    for (const auto& [name, rule] : rules) {
+      // Enumerate joins over the current database (meta rules j1/j2
+      // compute the cross product; s1/h2 then filter it).
+      std::vector<Env> envs{Env{}};
+      for (const auto& [idx, atom] : rule.body) {
+        std::vector<Env> next;
+        for (const Env& env : envs) {
+          for (const eval::Tuple& t : db) {
+            if (t.table != atom.table) continue;
+            Env e2 = env;
+            if (bind(atom, t.row, e2)) next.push_back(std::move(e2));
+          }
+        }
+        envs = std::move(next);
+      }
+      for (Env& env : envs) {
+        // a1: assignments bind HeadVals...
+        bool ok = true;
+        for (const auto& [idx, asg] : rule.assigns) {
+          Value v;
+          if (!operand_value(asg.rhs, env, v)) {
+            ok = false;
+            break;
+          }
+          env[asg.var] = std::move(v);
+        }
+        if (!ok) continue;
+        // s1 + h2: all selections must evaluate to True.
+        for (const auto& [idx, sel] : rule.sels) {
+          Value a, b;
+          if (!operand_value(sel.lhs, env, a) ||
+              !operand_value(sel.rhs, env, b) ||
+              !ndlog::cmp_eval(sel.op, a, b)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        eval::Tuple head;
+        head.table = rule.head_table;
+        for (const Operand& o : rule.head_args) {
+          Value v;
+          if (!operand_value(o, env, v)) {
+            ok = false;
+            break;
+          }
+          head.row.push_back(std::move(v));
+        }
+        if (!ok) continue;
+        if (seen.insert(head.to_string()).second) {
+          db.push_back(std::move(head));
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Return only derived tuples (drop the base facts).
+  std::set<std::string> base_keys;
+  for (const auto& t : base) base_keys.insert(t.to_string());
+  std::vector<eval::Tuple> out;
+  for (const auto& t : db) {
+    if (!base_keys.count(t.to_string())) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace mp::meta

@@ -1,0 +1,47 @@
+// The uDlog meta program (Section 3.2, Figure 4) made concrete: a program
+// is lowered to meta tuples (Const / Oper / PredFunc / HeadFunc / Assign
+// facts), and a reference evaluator implements the meta rules' operational
+// semantics *driven purely by those meta tuples* -- the program really is
+// "just another kind of data". A property test (tests/core_test.cpp)
+// checks that meta-level evaluation derives exactly the tuples the direct
+// engine derives, for programs in the uDlog fragment (selections and
+// assignments over plain variables/constants).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/tuple.h"
+#include "meta/meta_tuple.h"
+#include "ndlog/ast.h"
+
+namespace mp::meta {
+
+struct MetaProgram {
+  // Program-based meta tuples as concrete facts, e.g.
+  //   Const(@C, "r7", "sel0.rhs", 2)
+  //   Oper(@C, "r7", "sel0", "==")
+  //   PredFunc(@C, "r1", 0, "PacketIn", "C,Swi,Hdr,Src")
+  std::vector<eval::Tuple> facts;
+  // The structured meta tuples they were derived from.
+  std::vector<MetaTuple> tuples;
+  // Figure 4's meta rules, pretty-printed (for docs/inspection).
+  std::string meta_rules_text;
+};
+
+MetaProgram build_meta_program(const ndlog::Program& p);
+
+// Reference evaluation at the meta level: reconstructs the rules from the
+// meta tuples alone (not the AST) and evaluates them to fixpoint over the
+// given base tuples. Only the uDlog fragment is supported: body atom args,
+// selection operands and assignment right-hand sides must be variables or
+// constants. Table declarations are taken from `p` (schemas are meta
+// tuples of their own in the full model; here they ride along).
+std::vector<eval::Tuple> meta_eval(const ndlog::Program& p,
+                                   const MetaProgram& meta,
+                                   const std::vector<eval::Tuple>& base);
+
+// True if `p` fits the uDlog fragment meta_eval supports.
+bool in_udlog_fragment(const ndlog::Program& p);
+
+}  // namespace mp::meta

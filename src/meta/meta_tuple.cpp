@@ -1,0 +1,59 @@
+#include "meta/meta_tuple.h"
+
+namespace mp::meta {
+
+const char* to_string(MetaKind k) {
+  switch (k) {
+    case MetaKind::HeadFunc: return "HeadFunc";
+    case MetaKind::PredFunc: return "PredFunc";
+    case MetaKind::Assign: return "Assign";
+    case MetaKind::Const: return "Const";
+    case MetaKind::Oper: return "Oper";
+    case MetaKind::Base: return "Base";
+    case MetaKind::TupleRt: return "Tuple";
+    case MetaKind::TuplePred: return "TuplePred";
+    case MetaKind::Expr: return "Expr";
+    case MetaKind::Join2: return "Join2";
+    case MetaKind::Join4: return "Join4";
+    case MetaKind::Sel: return "Sel";
+    case MetaKind::HeadVal: return "HeadVal";
+  }
+  return "?";
+}
+
+std::string SyntaxRef::to_string() const {
+  const char* site_name = "?";
+  switch (site) {
+    case Site::SelLhs: site_name = "sel.lhs"; break;
+    case Site::SelRhs: site_name = "sel.rhs"; break;
+    case Site::SelOp: site_name = "sel.op"; break;
+    case Site::SelWhole: site_name = "sel"; break;
+    case Site::AssignRhs: site_name = "assign.rhs"; break;
+    case Site::AssignWhole: site_name = "assign"; break;
+    case Site::BodyAtom: site_name = "atom"; break;
+    case Site::BodyAtomArg: site_name = "atom.arg"; break;
+    case Site::HeadArg: site_name = "head.arg"; break;
+    case Site::HeadTable: site_name = "head.table"; break;
+    case Site::RuleWhole: site_name = "rule"; break;
+  }
+  std::string out = rule + "/" + site_name + "[" + std::to_string(index);
+  if (site == Site::BodyAtomArg || site == Site::SelLhs ||
+      site == Site::SelRhs || site == Site::HeadArg) {
+    out += "." + std::to_string(side);
+  }
+  out += "]";
+  return out;
+}
+
+std::string MetaTuple::to_string() const {
+  std::string out = mp::meta::to_string(kind);
+  out += "(" + ref.to_string();
+  if (!table.empty()) out += ", " + table;
+  if (payload.is_str() ? !payload.as_str().empty() : true) {
+    out += ", " + payload.to_string();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace mp::meta

@@ -1,0 +1,78 @@
+// Meta tuples (Section 3.2): the program's syntactic elements represented
+// as data, so that provenance can reason about program changes. Program-
+// based meta tuples (Const, Oper, PredFunc, HeadFunc, Assign) are extracted
+// once per program and name the sites the repair engine may mutate;
+// runtime-based meta tuples (Tuple, TuplePred, Join, Sel, Expr, HeadVal,
+// Base) are materialized on demand while expanding meta-provenance trees.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ndlog/ast.h"
+#include "util/value.h"
+
+namespace mp::meta {
+
+enum class MetaKind : uint8_t {
+  // Program-based.
+  HeadFunc,
+  PredFunc,
+  Assign,
+  Const,
+  Oper,
+  // Runtime-based.
+  Base,
+  TupleRt,
+  TuplePred,
+  Expr,
+  Join2,
+  Join4,
+  Sel,
+  HeadVal,
+};
+
+const char* to_string(MetaKind k);
+
+// Identifies a syntactic site inside a rule. `index` is the selection /
+// assignment / body-atom ordinal; `side` distinguishes the two operands of
+// a selection (0 = lhs, 1 = rhs) or the argument position of an atom.
+struct SyntaxRef {
+  std::string rule;
+  enum class Site : uint8_t {
+    SelLhs,
+    SelRhs,
+    SelOp,
+    SelWhole,
+    AssignRhs,
+    AssignWhole,
+    BodyAtom,
+    BodyAtomArg,
+    HeadArg,
+    HeadTable,
+    RuleWhole,
+  };
+  Site site = Site::RuleWhole;
+  size_t index = 0;
+  size_t side = 0;
+
+  std::string to_string() const;
+  bool operator==(const SyntaxRef& o) const {
+    return rule == o.rule && site == o.site && index == o.index && side == o.side;
+  }
+};
+
+// One meta tuple instance. For program-based kinds, `ref` names the site
+// and `payload` carries the syntactic content (constant value, operator
+// symbol, table name...).
+struct MetaTuple {
+  MetaKind kind = MetaKind::Const;
+  SyntaxRef ref;
+  Value payload;           // Const: the value; Oper: op symbol as string
+  std::string table;       // PredFunc/HeadFunc: table name
+  std::vector<std::string> args;  // PredFunc/HeadFunc: argument variables
+  std::string to_string() const;
+};
+
+}  // namespace mp::meta

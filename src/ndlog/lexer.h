@@ -1,0 +1,30 @@
+// Hand-written lexer for the NDlog subset. `//` comments run to end of
+// line. Throws ParseError with line/column on invalid input.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ndlog/token.h"
+
+namespace mp::ndlog {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, size_t line, size_t col)
+      : std::runtime_error("parse error at " + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + msg),
+        line_(line),
+        col_(col) {}
+  size_t line() const { return line_; }
+  size_t col() const { return col_; }
+
+ private:
+  size_t line_, col_;
+};
+
+std::vector<Token> lex(std::string_view src);
+
+}  // namespace mp::ndlog

@@ -1,0 +1,179 @@
+#include "ndlog/parser.h"
+
+namespace mp::ndlog {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : toks_(lex(src)) {}
+
+  Program program() {
+    Program p;
+    while (!at(TokKind::End)) {
+      if (at(TokKind::KwTable) || at(TokKind::KwEvent)) {
+        p.tables.push_back(decl());
+      } else {
+        p.rules.push_back(rule());
+      }
+    }
+    return p;
+  }
+
+  Rule single_rule() {
+    Rule r = rule();
+    expect(TokKind::End);
+    return r;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(size_t n = 1) const {
+    return toks_[std::min(pos_ + n, toks_.size() - 1)];
+  }
+  bool at(TokKind k) const { return cur().kind == k; }
+  Token take() { return toks_[pos_++]; }
+  Token expect(TokKind k) {
+    if (!at(k)) {
+      throw ParseError("expected " + to_string(k) + ", found " +
+                           to_string(cur().kind) +
+                           (cur().text.empty() ? "" : " ('" + cur().text + "')"),
+                       cur().line, cur().col);
+    }
+    return take();
+  }
+
+  TableDecl decl() {
+    TableDecl d;
+    d.kind = take().kind == TokKind::KwEvent ? TableKind::Event
+                                             : TableKind::Materialized;
+    d.name = expect(TokKind::Ident).text;
+    expect(TokKind::Slash);
+    d.arity = static_cast<size_t>(expect(TokKind::Int).ival);
+    if (at(TokKind::KwKeys)) {
+      take();
+      expect(TokKind::LParen);
+      d.keys.push_back(static_cast<size_t>(expect(TokKind::Int).ival));
+      while (at(TokKind::Comma)) {
+        take();
+        d.keys.push_back(static_cast<size_t>(expect(TokKind::Int).ival));
+      }
+      expect(TokKind::RParen);
+    }
+    expect(TokKind::Dot);
+    return d;
+  }
+
+  Rule rule() {
+    Rule r;
+    r.name = expect(TokKind::Ident).text;
+    r.head = atom();
+    expect(TokKind::Derives);
+    body_item(r);
+    while (at(TokKind::Comma)) {
+      take();
+      body_item(r);
+    }
+    expect(TokKind::Dot);
+    return r;
+  }
+
+  void body_item(Rule& r) {
+    if (at(TokKind::Ident) && peek().kind == TokKind::LParen) {
+      r.body.push_back(atom());
+      return;
+    }
+    if (at(TokKind::Ident) && peek().kind == TokKind::Assign) {
+      Assignment a;
+      a.var = take().text;
+      take();  // :=
+      a.expr = expr();
+      r.assigns.push_back(std::move(a));
+      return;
+    }
+    Selection s;
+    s.lhs = expr();
+    switch (cur().kind) {
+      case TokKind::EqEq: s.op = CmpOp::Eq; break;
+      case TokKind::NotEq: s.op = CmpOp::Ne; break;
+      case TokKind::Lt: s.op = CmpOp::Lt; break;
+      case TokKind::Gt: s.op = CmpOp::Gt; break;
+      case TokKind::Le: s.op = CmpOp::Le; break;
+      case TokKind::Ge: s.op = CmpOp::Ge; break;
+      default:
+        throw ParseError("expected comparison operator, found " +
+                             to_string(cur().kind),
+                         cur().line, cur().col);
+    }
+    take();
+    s.rhs = expr();
+    r.sels.push_back(std::move(s));
+  }
+
+  Atom atom() {
+    Atom a;
+    a.table = expect(TokKind::Ident).text;
+    expect(TokKind::LParen);
+    expect(TokKind::At);
+    a.args.push_back(expr());
+    while (at(TokKind::Comma)) {
+      take();
+      a.args.push_back(expr());
+    }
+    expect(TokKind::RParen);
+    return a;
+  }
+
+  ExprPtr expr() {
+    ExprPtr e = term();
+    while (at(TokKind::Plus) || at(TokKind::Minus)) {
+      const ArithOp op = take().kind == TokKind::Plus ? ArithOp::Add : ArithOp::Sub;
+      e = Expr::binary(op, std::move(e), term());
+    }
+    return e;
+  }
+
+  ExprPtr term() {
+    ExprPtr e = factor();
+    while (at(TokKind::Star) || at(TokKind::Slash)) {
+      // A '*' directly followed by ',' ')' or '.' would have been consumed
+      // as a wildcard in factor(); here it is multiplication.
+      const ArithOp op = take().kind == TokKind::Star ? ArithOp::Mul : ArithOp::Div;
+      e = Expr::binary(op, std::move(e), factor());
+    }
+    return e;
+  }
+
+  ExprPtr factor() {
+    if (at(TokKind::Int)) return Expr::constant(Value(take().ival));
+    if (at(TokKind::Minus)) {
+      take();
+      return Expr::constant(Value(-expect(TokKind::Int).ival));
+    }
+    if (at(TokKind::Str)) return Expr::constant(Value::str(take().text));
+    if (at(TokKind::Star)) {
+      take();
+      return Expr::constant(Value::wildcard());
+    }
+    if (at(TokKind::Ident)) return Expr::var(take().text);
+    if (at(TokKind::LParen)) {
+      take();
+      ExprPtr e = expr();
+      expect(TokKind::RParen);
+      return e;
+    }
+    throw ParseError("expected expression, found " + to_string(cur().kind),
+                     cur().line, cur().col);
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse_program(std::string_view src) { return Parser(src).program(); }
+
+Rule parse_rule(std::string_view src) { return Parser(src).single_rule(); }
+
+}  // namespace mp::ndlog

@@ -1,0 +1,27 @@
+// Recursive-descent parser for the NDlog subset.
+//
+//   program    := (decl | rule)*
+//   decl       := ("table"|"event") Ident "/" Int [ "keys" "(" ints ")" ] "."
+//   rule       := Ident atom ":-" bodyitem ("," bodyitem)* "."
+//   bodyitem   := atom | assignment | selection
+//   atom       := Ident "(" "@" expr ("," expr)* ")"
+//   assignment := Ident ":=" expr
+//   selection  := expr cmp expr
+//   expr       := term (("+"|"-") term)* ; term := factor (("*"|"/") factor)*
+//   factor     := Int | "-" Int | Ident | '"'str'"' | "*" (wildcard) | "(" expr ")"
+#pragma once
+
+#include <string_view>
+
+#include "ndlog/ast.h"
+#include "ndlog/lexer.h"
+
+namespace mp::ndlog {
+
+// Parses a full program; throws ParseError on malformed input.
+Program parse_program(std::string_view src);
+
+// Parses a single rule (convenience for tests and repair printing).
+Rule parse_rule(std::string_view src);
+
+}  // namespace mp::ndlog

@@ -1,0 +1,16 @@
+#include "ndlog/schema.h"
+
+namespace mp::ndlog {
+
+Row Catalog::key_of(const std::string& table, const Row& row) const {
+  const TableDecl* d = find(table);
+  if (d == nullptr || d->keys.empty()) return row;
+  Row key;
+  key.reserve(d->keys.size());
+  for (size_t col : d->keys) {
+    if (col < row.size()) key.push_back(row[col]);
+  }
+  return key;
+}
+
+}  // namespace mp::ndlog

@@ -1,0 +1,37 @@
+// Catalog: fast access to table declarations plus primary-key helpers.
+#pragma once
+
+#include <unordered_map>
+
+#include "ndlog/ast.h"
+#include "util/value.h"
+
+namespace mp::ndlog {
+
+class Catalog {
+ public:
+  Catalog() = default;
+  explicit Catalog(const Program& p) {
+    for (const auto& t : p.tables) add(t);
+  }
+
+  void add(const TableDecl& decl) { tables_[decl.name] = decl; }
+  const TableDecl* find(const std::string& name) const {
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : &it->second;
+  }
+  bool is_event(const std::string& name) const {
+    const TableDecl* d = find(name);
+    return d != nullptr && d->kind == TableKind::Event;
+  }
+  size_t size() const { return tables_.size(); }
+
+  // Primary-key projection of a row. If no keys are declared the whole row
+  // is the key (set semantics).
+  Row key_of(const std::string& table, const Row& row) const;
+
+ private:
+  std::unordered_map<std::string, TableDecl> tables_;
+};
+
+}  // namespace mp::ndlog

@@ -1,0 +1,35 @@
+#include "ndlog/token.h"
+
+namespace mp::ndlog {
+
+std::string to_string(TokKind kind) {
+  switch (kind) {
+    case TokKind::Ident: return "identifier";
+    case TokKind::Int: return "integer";
+    case TokKind::Str: return "string";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::Comma: return "','";
+    case TokKind::Dot: return "'.'";
+    case TokKind::At: return "'@'";
+    case TokKind::Derives: return "':-'";
+    case TokKind::Assign: return "':='";
+    case TokKind::EqEq: return "'=='";
+    case TokKind::NotEq: return "'!='";
+    case TokKind::Lt: return "'<'";
+    case TokKind::Gt: return "'>'";
+    case TokKind::Le: return "'<='";
+    case TokKind::Ge: return "'>='";
+    case TokKind::Plus: return "'+'";
+    case TokKind::Minus: return "'-'";
+    case TokKind::Star: return "'*'";
+    case TokKind::Slash: return "'/'";
+    case TokKind::KwTable: return "'table'";
+    case TokKind::KwEvent: return "'event'";
+    case TokKind::KwKeys: return "'keys'";
+    case TokKind::End: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace mp::ndlog

@@ -1,0 +1,46 @@
+// Tokens shared by the NDlog lexer/parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mp::ndlog {
+
+enum class TokKind : uint8_t {
+  Ident,    // FlowTable, Swi, r1
+  Int,      // 42, -1
+  Str,      // "abc"
+  LParen,
+  RParen,
+  Comma,
+  Dot,
+  At,
+  Derives,  // :-
+  Assign,   // :=
+  EqEq,
+  NotEq,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  KwTable,
+  KwEvent,
+  KwKeys,
+  End,
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  int64_t ival = 0;
+  size_t line = 0;
+  size_t col = 0;
+};
+
+std::string to_string(TokKind kind);
+
+}  // namespace mp::ndlog

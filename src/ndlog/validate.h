@@ -1,0 +1,19 @@
+// Static validation of NDlog programs: declared tables, matching arities,
+// bound variables, and acyclic assignment chains. The repair engine also
+// validates every candidate program before backtesting it (Section 4.2:
+// changes must keep the syntax valid).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ndlog/ast.h"
+
+namespace mp::ndlog {
+
+// Returns a list of human-readable problems; empty means valid.
+std::vector<std::string> validate(const Program& p);
+
+inline bool is_valid(const Program& p) { return validate(p).empty(); }
+
+}  // namespace mp::ndlog

@@ -1,0 +1,57 @@
+#include "provenance/graph.h"
+
+namespace mp::prov {
+
+const char* to_string(VertexKind k) {
+  switch (k) {
+    case VertexKind::Exist: return "EXIST";
+    case VertexKind::Insert: return "INSERT";
+    case VertexKind::Delete: return "DELETE";
+    case VertexKind::Derive: return "DERIVE";
+    case VertexKind::Underive: return "UNDERIVE";
+    case VertexKind::Appear: return "APPEAR";
+    case VertexKind::Disappear: return "DISAPPEAR";
+    case VertexKind::Send: return "SEND";
+    case VertexKind::Receive: return "RECEIVE";
+    case VertexKind::NExist: return "NEXIST";
+    case VertexKind::NDerive: return "NDERIVE";
+    case VertexKind::NAppear: return "NAPPEAR";
+  }
+  return "?";
+}
+
+bool is_negative(VertexKind k) {
+  return k == VertexKind::NExist || k == VertexKind::NDerive ||
+         k == VertexKind::NAppear;
+}
+
+std::string Vertex::label() const {
+  std::string out = mp::prov::to_string(kind);
+  out += "[" + tuple.to_string() + " @" + node.to_string();
+  if (!rule.empty()) out += ", rule " + rule;
+  out += ", t=" + std::to_string(time) + "]";
+  return out;
+}
+
+std::vector<size_t> ProvenanceGraph::leaves() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].children.empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::string ProvenanceGraph::to_string() const {
+  std::string out;
+  if (!vertices_.empty()) print(out, 0, 0);
+  return out;
+}
+
+void ProvenanceGraph::print(std::string& out, size_t idx, int depth) const {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  out += vertices_[idx].label();
+  out += "\n";
+  for (size_t c : vertices_[idx].children) print(out, c, depth + 1);
+}
+
+}  // namespace mp::prov

@@ -1,0 +1,73 @@
+// Classic provenance graphs (Section 3.1): vertices are events, edges are
+// direct causality. Positive vertices (EXIST/INSERT/DERIVE/APPEAR/SEND/
+// RECEIVE) are materialized from the engine's event log; negative vertices
+// (NEXIST/NDERIVE/...) are produced by counterfactual queries.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/event_log.h"
+#include "eval/tuple.h"
+
+namespace mp::prov {
+
+enum class VertexKind : uint8_t {
+  Exist,
+  Insert,
+  Delete,
+  Derive,
+  Underive,
+  Appear,
+  Disappear,
+  Send,
+  Receive,
+  // Negative twins (negative provenance, [54]).
+  NExist,
+  NDerive,
+  NAppear,
+};
+
+const char* to_string(VertexKind k);
+bool is_negative(VertexKind k);
+
+struct Vertex {
+  VertexKind kind = VertexKind::Exist;
+  Value node;
+  eval::Tuple tuple;
+  std::string rule;             // rule involved, if any
+  eval::Time time = 0;
+  std::vector<size_t> children;  // indices into ProvenanceGraph::vertices
+
+  std::string label() const;
+};
+
+// A provenance tree/DAG rooted at the queried event. Vertices are stored
+// in a flat arena; index 0 is the root.
+class ProvenanceGraph {
+ public:
+  size_t add(Vertex v) {
+    vertices_.push_back(std::move(v));
+    return vertices_.size() - 1;
+  }
+  void link(size_t parent, size_t child) {
+    vertices_[parent].children.push_back(child);
+  }
+  const Vertex& root() const { return vertices_.front(); }
+  const Vertex& at(size_t i) const { return vertices_[i]; }
+  size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+
+  // Leaves = vertices with no children (base tuples / missing tuples).
+  std::vector<size_t> leaves() const;
+  // Pretty-printed tree (indented), for debugger output.
+  std::string to_string() const;
+
+ private:
+  void print(std::string& out, size_t idx, int depth) const;
+  std::vector<Vertex> vertices_;
+};
+
+}  // namespace mp::prov

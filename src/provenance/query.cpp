@@ -1,0 +1,143 @@
+#include "provenance/query.h"
+
+#include <set>
+
+namespace mp::prov {
+
+std::string FieldConstraint::to_string() const {
+  return "col" + std::to_string(col) + " " + ndlog::to_string(op) + " " +
+         value.to_string();
+}
+
+bool TuplePattern::matches(const Row& row) const {
+  for (const auto& f : fields) {
+    if (f.col >= row.size()) return false;
+    if (!ndlog::cmp_eval(f.op, row[f.col], f.value)) return false;
+  }
+  return true;
+}
+
+std::string TuplePattern::to_string() const {
+  std::string out = table + "[";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ", ";
+    out += fields[i].to_string();
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+
+void explain_tuple(const eval::Engine& engine, ProvenanceGraph& g,
+                   size_t parent, const eval::Tuple& tuple, size_t depth,
+                   std::set<std::string>& on_path) {
+  const auto& log = engine.log();
+  const std::string key = tuple.to_string();
+  if (depth == 0 || on_path.count(key)) return;
+  on_path.insert(key);
+
+  auto derivs = log.derivations_of(tuple);
+  if (derivs.empty()) {
+    // Base tuple: leaf INSERT vertex.
+    Vertex v;
+    v.kind = VertexKind::Insert;
+    v.node = tuple.location();
+    v.tuple = tuple;
+    const size_t idx = g.add(std::move(v));
+    g.link(parent, idx);
+  } else {
+    for (size_t d : derivs) {
+      const eval::DerivRecord& rec = log.derivations()[d];
+      Vertex v;
+      v.kind = VertexKind::Derive;
+      v.node = rec.head.location();
+      v.tuple = rec.head;
+      v.rule = rec.rule;
+      v.time = log.event(rec.derive_event).time;
+      const size_t idx = g.add(std::move(v));
+      g.link(parent, idx);
+      for (const eval::Tuple& b : rec.body) {
+        Vertex bv;
+        bv.kind = VertexKind::Exist;
+        bv.node = b.location();
+        bv.tuple = b;
+        const size_t bidx = g.add(std::move(bv));
+        g.link(idx, bidx);
+        explain_tuple(engine, g, bidx, b, depth - 1, on_path);
+      }
+    }
+  }
+  on_path.erase(key);
+}
+
+}  // namespace
+
+ProvenanceGraph explain_exists(const eval::Engine& engine,
+                               const eval::Tuple& tuple, size_t max_depth) {
+  ProvenanceGraph g;
+  Vertex root;
+  root.kind = VertexKind::Exist;
+  root.node = tuple.location();
+  root.tuple = tuple;
+  g.add(std::move(root));
+  std::set<std::string> on_path;
+  explain_tuple(engine, g, 0, tuple, max_depth, on_path);
+  return g;
+}
+
+ProvenanceGraph explain_missing(const eval::Engine& engine,
+                                const TuplePattern& pattern,
+                                size_t max_depth) {
+  ProvenanceGraph g;
+  Vertex root;
+  root.kind = VertexKind::NExist;
+  root.tuple.table = pattern.table;
+  root.node = Value::str("?");
+  g.add(std::move(root));
+  if (max_depth == 0) return g;
+
+  const auto& program = engine.program();
+  for (const auto& rule : program.rules) {
+    if (rule.head.table != pattern.table) continue;
+    // NDERIVE: this rule failed to derive a matching tuple.
+    Vertex nd;
+    nd.kind = VertexKind::NDerive;
+    nd.rule = rule.name;
+    nd.tuple.table = pattern.table;
+    nd.node = Value::str("?");
+    const size_t nd_idx = g.add(std::move(nd));
+    g.link(0, nd_idx);
+
+    // For each body atom, record whether any historical tuple could have
+    // matched it (EXIST child) or none did (NAPPEAR child).
+    for (const auto& atom : rule.body) {
+      const auto& hist = engine.log().history(atom.table);
+      bool any = false;
+      for (const auto& t : hist) {
+        // Cheap arity screen: full unification is done by the repair
+        // engine; here we only build the explanatory tree.
+        if (t.row.size() != atom.args.size()) continue;
+        any = true;
+        Vertex ev;
+        ev.kind = VertexKind::Exist;
+        ev.node = t.location();
+        ev.tuple = t;
+        const size_t eidx = g.add(std::move(ev));
+        g.link(nd_idx, eidx);
+        break;  // one representative per atom keeps the tree readable
+      }
+      if (!any) {
+        Vertex nv;
+        nv.kind = VertexKind::NAppear;
+        nv.tuple.table = atom.table;
+        nv.node = Value::str("?");
+        const size_t nidx = g.add(std::move(nv));
+        g.link(nd_idx, nidx);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace mp::prov

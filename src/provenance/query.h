@@ -1,0 +1,45 @@
+// Provenance queries over the engine's event log.
+//
+// explain_exists() reconstructs the positive provenance tree of a tuple:
+// derivations recurse into their body tuples until base-inserted leaves.
+//
+// explain_missing() produces a negative provenance tree for a tuple
+// pattern: for each rule that could have derived a matching tuple, the
+// tree records which body atoms had matching historical tuples and which
+// selection predicates failed — the raw material the meta-provenance
+// repair engine elaborates into program changes.
+#pragma once
+
+#include <optional>
+
+#include "eval/engine.h"
+#include "provenance/graph.h"
+
+namespace mp::prov {
+
+// A pattern constrains some columns of a table's rows.
+struct FieldConstraint {
+  size_t col = 0;
+  ndlog::CmpOp op = ndlog::CmpOp::Eq;
+  Value value;
+  std::string to_string() const;
+};
+
+struct TuplePattern {
+  std::string table;
+  std::vector<FieldConstraint> fields;
+  bool matches(const Row& row) const;
+  std::string to_string() const;
+};
+
+// Positive provenance of an existing tuple; returns an empty graph if the
+// tuple never appeared. max_depth bounds recursion through derivations.
+ProvenanceGraph explain_exists(const eval::Engine& engine,
+                               const eval::Tuple& tuple, size_t max_depth = 32);
+
+// Negative provenance of a missing tuple pattern.
+ProvenanceGraph explain_missing(const eval::Engine& engine,
+                                const TuplePattern& pattern,
+                                size_t max_depth = 8);
+
+}  // namespace mp::prov

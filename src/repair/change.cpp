@@ -1,0 +1,276 @@
+#include "repair/change.h"
+
+#include "ndlog/validate.h"
+
+namespace mp::repair {
+
+namespace {
+
+using ndlog::Expr;
+using ndlog::ExprPtr;
+
+// Rewrites the constant leaf of an operand expression. For plain constants
+// the whole operand is replaced; inside arithmetic the first constant leaf
+// is rewritten (change sites are extracted the same way in meta/extract).
+ExprPtr replace_const(const ExprPtr& e, const Value& v, bool& done) {
+  if (done || !e) return e;
+  if (e->is_const()) {
+    done = true;
+    return Expr::constant(v);
+  }
+  if (e->kind() == Expr::Kind::Binary) {
+    ExprPtr l = replace_const(e->lhs(), v, done);
+    ExprPtr r = replace_const(e->rhs(), v, done);
+    if (l != e->lhs() || r != e->rhs()) {
+      return Expr::binary(e->op(), std::move(l), std::move(r));
+    }
+  }
+  return e;
+}
+
+std::string operand_desc(const ndlog::Selection& sel) { return sel.to_string(); }
+
+}  // namespace
+
+const char* to_string(ChangeKind k) {
+  switch (k) {
+    case ChangeKind::ChangeSelConst: return "change-constant";
+    case ChangeKind::ChangeSelOp: return "change-operator";
+    case ChangeKind::ChangeSelVar: return "change-variable";
+    case ChangeKind::DeleteSel: return "delete-selection";
+    case ChangeKind::ChangeAssignConst: return "change-assignment-constant";
+    case ChangeKind::ChangeAssignVar: return "change-assignment-variable";
+    case ChangeKind::DeleteBodyAtom: return "delete-predicate";
+    case ChangeKind::ChangeHeadTable: return "change-head";
+    case ChangeKind::CopyRuleRetarget: return "copy-rule";
+    case ChangeKind::DeleteRule: return "delete-rule";
+    case ChangeKind::InsertBaseTuple: return "insert-tuple";
+    case ChangeKind::DeleteBaseTuple: return "delete-tuple";
+  }
+  return "?";
+}
+
+std::string Change::describe(const ndlog::Program& p) const {
+  const ndlog::Rule* r = p.find_rule(rule);
+  switch (kind) {
+    case ChangeKind::ChangeSelConst:
+    case ChangeKind::ChangeSelVar: {
+      if (r == nullptr || index >= r->sels.size()) return "(stale change)";
+      const ndlog::Selection& sel = r->sels[index];
+      ndlog::Selection after = sel;
+      const ExprPtr repl = kind == ChangeKind::ChangeSelVar
+                               ? Expr::var(new_value.as_str())
+                               : Expr::constant(new_value);
+      if (side == 0) after.lhs = repl; else after.rhs = repl;
+      return "Changing " + operand_desc(sel) + " in " + rule + " to " +
+             operand_desc(after);
+    }
+    case ChangeKind::ChangeSelOp: {
+      if (r == nullptr || index >= r->sels.size()) return "(stale change)";
+      const ndlog::Selection& sel = r->sels[index];
+      ndlog::Selection after = sel;
+      after.op = new_op;
+      return "Changing " + operand_desc(sel) + " in " + rule + " to " +
+             operand_desc(after);
+    }
+    case ChangeKind::DeleteSel: {
+      if (r == nullptr || index >= r->sels.size()) return "(stale change)";
+      return "Deleting " + operand_desc(r->sels[index]) + " in " + rule;
+    }
+    case ChangeKind::ChangeAssignConst: {
+      if (r == nullptr || index >= r->assigns.size()) return "(stale change)";
+      const ndlog::Assignment& a = r->assigns[index];
+      ndlog::Assignment after = a;
+      bool done = false;
+      after.expr = replace_const(a.expr, new_value, done);
+      return "Changing " + a.to_string() + " in " + rule + " to " +
+             after.to_string();
+    }
+    case ChangeKind::ChangeAssignVar: {
+      if (r == nullptr || index >= r->assigns.size()) return "(stale change)";
+      const ndlog::Assignment& a = r->assigns[index];
+      return "Changing " + a.to_string() + " in " + rule + " to " + a.var +
+             " := " + new_value.as_str();
+    }
+    case ChangeKind::DeleteBodyAtom: {
+      if (r == nullptr || index >= r->body.size()) return "(stale change)";
+      return "Deleting predicate " + r->body[index].table + " in " + rule;
+    }
+    case ChangeKind::ChangeHeadTable:
+    case ChangeKind::CopyRuleRetarget: {
+      std::string head = new_head_table + "(";
+      if (r != nullptr) {
+        for (size_t i = 0; i < head_perm.size(); ++i) {
+          if (i) head += ",";
+          head += head_perm[i] < r->head.args.size()
+                      ? r->head.args[head_perm[i]]->to_string()
+                      : "?";
+        }
+      }
+      head += head_perm.empty() ? "...)" : ")";
+      if (kind == ChangeKind::ChangeHeadTable) {
+        return "Changing the head of " + rule + " to " + head;
+      }
+      return "Copying " + rule + " and replacing head with " + head;
+    }
+    case ChangeKind::DeleteRule:
+      return "Deleting rule " + rule;
+    case ChangeKind::InsertBaseTuple:
+      return "Manually installing " + tuple.to_string();
+    case ChangeKind::DeleteBaseTuple:
+      return "Deleting base tuple " + tuple.to_string();
+  }
+  return "?";
+}
+
+bool Change::apply(ndlog::Program& p) const {
+  switch (kind) {
+    case ChangeKind::ChangeSelConst:
+    case ChangeKind::ChangeSelVar: {
+      ndlog::Rule* r = p.find_rule(rule);
+      if (r == nullptr || index >= r->sels.size()) return false;
+      ndlog::Selection& sel = r->sels[index];
+      ExprPtr& slot = side == 0 ? sel.lhs : sel.rhs;
+      if (kind == ChangeKind::ChangeSelVar) {
+        if (!new_value.is_str()) return false;
+        slot = Expr::var(new_value.as_str());
+      } else {
+        bool done = false;
+        ExprPtr next = replace_const(slot, new_value, done);
+        if (!done) return false;  // no constant at this site
+        slot = std::move(next);
+      }
+      return true;
+    }
+    case ChangeKind::ChangeSelOp: {
+      ndlog::Rule* r = p.find_rule(rule);
+      if (r == nullptr || index >= r->sels.size()) return false;
+      r->sels[index].op = new_op;
+      return true;
+    }
+    case ChangeKind::DeleteSel: {
+      ndlog::Rule* r = p.find_rule(rule);
+      if (r == nullptr || index >= r->sels.size()) return false;
+      r->sels.erase(r->sels.begin() + static_cast<long>(index));
+      return true;
+    }
+    case ChangeKind::ChangeAssignConst: {
+      ndlog::Rule* r = p.find_rule(rule);
+      if (r == nullptr || index >= r->assigns.size()) return false;
+      bool done = false;
+      ExprPtr next = replace_const(r->assigns[index].expr, new_value, done);
+      if (!done) return false;
+      r->assigns[index].expr = std::move(next);
+      return true;
+    }
+    case ChangeKind::ChangeAssignVar: {
+      ndlog::Rule* r = p.find_rule(rule);
+      if (r == nullptr || index >= r->assigns.size()) return false;
+      if (!new_value.is_str()) return false;
+      r->assigns[index].expr = Expr::var(new_value.as_str());
+      return true;
+    }
+    case ChangeKind::DeleteBodyAtom: {
+      ndlog::Rule* r = p.find_rule(rule);
+      if (r == nullptr || index >= r->body.size()) return false;
+      if (r->body.size() <= 1) return false;  // a rule needs a body
+      r->body.erase(r->body.begin() + static_cast<long>(index));
+      return true;
+    }
+    case ChangeKind::ChangeHeadTable: {
+      ndlog::Rule* r = p.find_rule(rule);
+      if (r == nullptr) return false;
+      const ndlog::TableDecl* decl = p.find_table(new_head_table);
+      if (decl == nullptr) return false;
+      ndlog::Atom head;
+      head.table = new_head_table;
+      if (head_perm.empty()) {
+        if (decl->arity != r->head.args.size()) return false;
+        head.args = r->head.args;
+      } else {
+        if (head_perm.size() != decl->arity) return false;
+        for (size_t src : head_perm) {
+          if (src >= r->head.args.size()) return false;
+          head.args.push_back(r->head.args[src]);
+        }
+      }
+      r->head = std::move(head);
+      return true;
+    }
+    case ChangeKind::CopyRuleRetarget: {
+      const ndlog::Rule* r = p.find_rule(rule);
+      if (r == nullptr) return false;
+      ndlog::Rule copy = *r;
+      copy.name = copy_name.empty() ? rule + "'" : copy_name;
+      if (p.find_rule(copy.name) != nullptr) return false;
+      const ndlog::TableDecl* decl = p.find_table(new_head_table);
+      if (decl == nullptr) return false;
+      ndlog::Atom head;
+      head.table = new_head_table;
+      if (head_perm.empty()) {
+        if (decl->arity != r->head.args.size()) return false;
+        head.args = r->head.args;
+      } else {
+        if (head_perm.size() != decl->arity) return false;
+        for (size_t src : head_perm) {
+          if (src >= r->head.args.size()) return false;
+          head.args.push_back(r->head.args[src]);
+        }
+      }
+      copy.head = std::move(head);
+      p.rules.push_back(std::move(copy));
+      return true;
+    }
+    case ChangeKind::DeleteRule: {
+      for (size_t i = 0; i < p.rules.size(); ++i) {
+        if (p.rules[i].name == rule) {
+          p.rules.erase(p.rules.begin() + static_cast<long>(i));
+          return true;
+        }
+      }
+      return false;
+    }
+    case ChangeKind::InsertBaseTuple:
+    case ChangeKind::DeleteBaseTuple:
+      return true;  // applied by the replay harness, not the program
+  }
+  return false;
+}
+
+std::string RepairCandidate::describe(const ndlog::Program& p) const {
+  if (!description.empty()) return description;
+  std::string out;
+  for (size_t i = 0; i < changes.size(); ++i) {
+    if (i) out += " and ";
+    out += changes[i].describe(p);
+  }
+  return out;
+}
+
+std::optional<ndlog::Program> apply_candidate(const ndlog::Program& base,
+                                              const RepairCandidate& cand) {
+  ndlog::Program p = base;
+  for (const Change& c : cand.changes) {
+    if (!c.apply(p)) return std::nullopt;
+  }
+  if (!ndlog::is_valid(p)) return std::nullopt;
+  return p;
+}
+
+std::vector<eval::Tuple> candidate_insertions(const RepairCandidate& cand) {
+  std::vector<eval::Tuple> out;
+  for (const Change& c : cand.changes) {
+    if (c.kind == ChangeKind::InsertBaseTuple) out.push_back(c.tuple);
+  }
+  return out;
+}
+
+std::vector<eval::Tuple> candidate_deletions(const RepairCandidate& cand) {
+  std::vector<eval::Tuple> out;
+  for (const Change& c : cand.changes) {
+    if (c.kind == ChangeKind::DeleteBaseTuple) out.push_back(c.tuple);
+  }
+  return out;
+}
+
+}  // namespace mp::repair

@@ -1,0 +1,76 @@
+// The program-change algebra: each Change names one edit to an NDlog
+// program (or a base-tuple insertion/deletion) that a completed meta-
+// provenance tree proposes. apply() produces the candidate program; every
+// change is validated so that repairs keep the syntax legal (Section 4.2:
+// deleting a Const that would leave `Swi >` incomplete is not allowed).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/tuple.h"
+#include "meta/meta_tuple.h"
+#include "ndlog/ast.h"
+
+namespace mp::repair {
+
+enum class ChangeKind : uint8_t {
+  ChangeSelConst,    // replace the constant operand of a selection
+  ChangeSelOp,       // replace the comparison operator of a selection
+  ChangeSelVar,      // replace a variable operand of a selection
+  DeleteSel,         // drop a selection predicate
+  ChangeAssignConst, // replace a constant in an assignment RHS
+  ChangeAssignVar,   // replace the assignment RHS with a variable
+  DeleteBodyAtom,    // drop a body predicate (PredFunc deletion)
+  ChangeHeadTable,   // retarget the head of an existing rule
+  CopyRuleRetarget,  // copy a rule and retarget/permute its head
+  DeleteRule,        // drop a whole rule
+  InsertBaseTuple,   // manual state injection (e.g. install a flow entry)
+  DeleteBaseTuple,   // remove a base tuple
+};
+
+const char* to_string(ChangeKind k);
+
+struct Change {
+  ChangeKind kind = ChangeKind::ChangeSelConst;
+  std::string rule;          // target rule (unused for base-tuple changes)
+  size_t index = 0;          // selection / assignment / body-atom ordinal
+  size_t side = 0;           // 0 = lhs, 1 = rhs (selection operands)
+  Value new_value;           // constant or variable name (as Str)
+  ndlog::CmpOp new_op = ndlog::CmpOp::Eq;
+  eval::Tuple tuple;         // for Insert/DeleteBaseTuple
+  std::string new_head_table;          // for head retargeting
+  std::vector<size_t> head_perm;       // argument permutation for retarget
+  std::string copy_name;               // name of the copied rule
+
+  // Human-readable description in the paper's style, e.g.
+  //   "Changing Swi==2 in r7 to Swi==3".
+  std::string describe(const ndlog::Program& p) const;
+  // Applies to `p`; returns false if the change does not fit the program
+  // (stale index, missing rule) or would break validity.
+  bool apply(ndlog::Program& p) const;
+};
+
+struct RepairCandidate {
+  std::vector<Change> changes;
+  double cost = 0.0;
+  std::string description;
+  // Filled by the backtester:
+  bool effective = false;
+  bool accepted = false;
+  double ks_statistic = 0.0;
+
+  std::string describe(const ndlog::Program& p) const;
+};
+
+// Applies all changes of a candidate to a copy of `base`; nullopt if any
+// change fails to apply or the result does not validate.
+std::optional<ndlog::Program> apply_candidate(const ndlog::Program& base,
+                                              const RepairCandidate& cand);
+
+// Base tuples a candidate wants inserted (manual repairs).
+std::vector<eval::Tuple> candidate_insertions(const RepairCandidate& cand);
+std::vector<eval::Tuple> candidate_deletions(const RepairCandidate& cand);
+
+}  // namespace mp::repair

@@ -1,0 +1,19 @@
+#include "repair/generator.h"
+
+namespace mp::repair {
+
+GenerationReport RepairGenerator::generate(const Symptom& symptom) const {
+  GenerationReport report;
+  Timer total;
+  ForestExplorer explorer(engine_, config_, costs_);
+  report.candidates =
+      explorer.explore(symptom, &report.phases, &report.stats);
+  // Anything not booked to a named phase is patch generation (tree
+  // bookkeeping, option assembly).
+  const double booked = report.phases.total();
+  const double rest = total.seconds() - booked;
+  if (rest > 0) report.phases.add("patch generation", rest);
+  return report;
+}
+
+}  // namespace mp::repair

@@ -1,0 +1,34 @@
+// Public entry point of the repair engine (Figure 5 / Figure 17): given an
+// engine whose log captured the buggy execution and a symptom, produce a
+// cost-ordered list of repair candidates. Phase timings are accounted the
+// way Figure 9a reports them (history lookups / constraint solving / patch
+// generation); replay time is added by the backtester.
+#pragma once
+
+#include "repair/forest.h"
+
+namespace mp::repair {
+
+struct GenerationReport {
+  std::vector<RepairCandidate> candidates;
+  PhaseClock phases;
+  ExploreStats stats;
+};
+
+class RepairGenerator {
+ public:
+  RepairGenerator(const eval::Engine& engine, RepairSpaceConfig config,
+                  const CostModel& costs = default_cost_model())
+      : engine_(engine), config_(std::move(config)), costs_(costs) {}
+
+  GenerationReport generate(const Symptom& symptom) const;
+
+  const RepairSpaceConfig& config() const { return config_; }
+
+ private:
+  const eval::Engine& engine_;
+  RepairSpaceConfig config_;
+  const CostModel& costs_;
+};
+
+}  // namespace mp::repair

@@ -1,0 +1,224 @@
+#include "scenarios/pipeline.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mp::scenario {
+
+ScenarioRun::ScenarioRun(const Scenario& s, const ndlog::Program& program,
+                         eval::EngineOptions eopts)
+    : scenario_(s) {
+  net_ = std::make_unique<sdn::Network>();
+  campus_ = sdn::build_campus(*net_, s.campus);
+  if (s.wire_app) s.wire_app(*net_, campus_);
+  engine_ = std::make_unique<eval::Engine>(program, eopts);
+  controller_ = std::make_unique<sdn::NdlogController>(*net_, *engine_,
+                                                       s.make_bindings());
+  net_->set_controller(controller_.get());
+}
+
+void ScenarioRun::insert_config(
+    const std::vector<std::pair<eval::Tuple, eval::TagMask>>& extra) {
+  if (!config_inserted_) {
+    config_inserted_ = true;
+    for (const eval::Tuple& t : scenario_.config_tuples) {
+      engine_->insert(t);
+    }
+  }
+  for (const auto& [t, mask] : extra) engine_->insert(t, mask);
+}
+
+void ScenarioRun::set_rule_restrictions(
+    const std::map<std::string, eval::TagMask>& restrict_map) {
+  for (const auto& [rule, mask] : restrict_map) {
+    engine_->set_rule_restrict(rule, mask);
+  }
+}
+
+void ScenarioRun::set_tag_mode(eval::TagMask active) {
+  net_->set_tag_mode(true, active);
+}
+
+void ScenarioRun::replay(const std::vector<sdn::Injection>& workload) {
+  sdn::replay(*net_, workload);
+}
+
+ScenarioHarness::ScenarioHarness(const Scenario& s) : scenario_(s) {
+  // Workload generation needs the topology (host placement), so build a
+  // throwaway network first.
+  sdn::Network probe;
+  sdn::Campus campus = sdn::build_campus(probe, s.campus);
+  if (s.wire_app) s.wire_app(probe, campus);
+  workload_ = s.make_workload(probe);
+}
+
+ScenarioRun& ScenarioHarness::buggy_run() {
+  if (!buggy_) {
+    buggy_ = std::make_unique<ScenarioRun>(scenario_, scenario_.program);
+    buggy_->insert_config();
+    buggy_->replay(workload_);
+  }
+  return *buggy_;
+}
+
+backtest::ReplayOutcome ScenarioHarness::replay_baseline() {
+  if (!baseline_) {
+    ScenarioRun& run = buggy_run();
+    auto out = backtest::outcome_from_stats(run.net().stats());
+    out.symptom_fixed = false;
+    baseline_ = std::make_unique<backtest::ReplayOutcome>(std::move(out));
+  }
+  return *baseline_;
+}
+
+backtest::ReplayOutcome ScenarioHarness::replay(
+    const repair::RepairCandidate& cand) {
+  Timer timer;
+  auto program = repair::apply_candidate(scenario_.program, cand);
+  backtest::ReplayOutcome out;
+  if (!program) {
+    out.valid = false;
+    return out;
+  }
+  // Provenance recording is off during backtests: we only need metrics.
+  eval::EngineOptions eopts;
+  eopts.record_provenance = false;
+  ScenarioRun run(scenario_, *program, eopts);
+
+  std::vector<std::pair<eval::Tuple, eval::TagMask>> inserts;
+  for (const eval::Tuple& t : repair::candidate_insertions(cand)) {
+    inserts.emplace_back(t, eval::kAllTags);
+  }
+  const auto deletions = repair::candidate_deletions(cand);
+  // Config insertion honouring deletions: withheld tuples never enter.
+  bool skip_config = false;
+  if (!deletions.empty()) {
+    skip_config = true;
+    for (const eval::Tuple& t : scenario_.config_tuples) {
+      bool deleted = false;
+      for (const eval::Tuple& d : deletions) {
+        if (d == t) deleted = true;
+      }
+      if (!deleted) inserts.emplace_back(t, eval::kAllTags);
+    }
+  }
+  if (skip_config) {
+    // insert only `inserts` (config already folded in).
+    for (const auto& [t, mask] : inserts) run.engine().insert(t, mask);
+  } else {
+    run.insert_config(inserts);
+  }
+  run.replay(workload_);
+
+  out = backtest::outcome_from_stats(run.net().stats());
+  const backtest::ReplayOutcome base = replay_baseline();
+  out.symptom_fixed =
+      scenario_.symptom_fixed
+          ? scenario_.symptom_fixed(out, base, run.engine(), eval::kAllTags)
+          : false;
+  out.seconds = timer.seconds();
+  return out;
+}
+
+std::vector<backtest::ReplayOutcome> ScenarioHarness::replay_joint(
+    const std::vector<repair::RepairCandidate>& cands) {
+  Timer timer;
+  std::vector<backtest::ReplayOutcome> outs(cands.size());
+  if (cands.empty()) return outs;
+
+  backtest::CombinedProgram combined =
+      backtest::build_backtest_program(scenario_.program, cands);
+
+  eval::EngineOptions eopts;
+  eopts.record_provenance = false;
+  eopts.tag_mode = true;
+  ScenarioRun run(scenario_, combined.program, eopts);
+  run.set_rule_restrictions(combined.rule_restrict);
+  const eval::TagMask active =
+      combined.candidate_count >= eval::kMaxTags
+          ? eval::kAllTags
+          : (eval::TagMask{1} << combined.candidate_count) - 1;
+  run.set_tag_mode(active);
+
+  // Config tuples with deletion masks, then candidate insertions.
+  std::vector<std::pair<eval::Tuple, eval::TagMask>> inserts;
+  for (const eval::Tuple& t : scenario_.config_tuples) {
+    inserts.emplace_back(t, combined.config_mask(t));
+  }
+  for (const auto& [t, mask] : combined.insertions) {
+    inserts.emplace_back(t, mask);
+  }
+  // Bypass the untagged config path: insert everything explicitly.
+  for (const auto& [t, mask] : inserts) run.engine().insert(t, mask);
+  run.replay(workload_);
+
+  const backtest::ReplayOutcome base = replay_baseline();
+  const double elapsed = timer.seconds();
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (i >= combined.candidate_count) break;
+    backtest::ReplayOutcome o =
+        backtest::outcome_from_stats(run.net().tag_stats(i));
+    o.valid = std::find(combined.invalid.begin(), combined.invalid.end(), i) ==
+              combined.invalid.end();
+    const eval::TagMask bit = eval::TagMask{1} << i;
+    o.symptom_fixed =
+        o.valid && scenario_.symptom_fixed
+            ? scenario_.symptom_fixed(o, base, run.engine(), bit)
+            : false;
+    o.seconds = elapsed / static_cast<double>(cands.size());
+    outs[i] = std::move(o);
+  }
+  return outs;
+}
+
+PipelineResult run_pipeline(const Scenario& s, const PipelineOptions& opt) {
+  PipelineResult result;
+  Timer total;
+  ScenarioHarness harness(s);
+  ScenarioRun& buggy = harness.buggy_run();
+
+  // Repair generation over all symptoms (merged, deduplicated).
+  repair::RepairGenerator generator(buggy.engine(), s.space);
+  std::set<std::string> seen;
+  for (const auto& symptom : s.symptoms) {
+    repair::GenerationReport rep = generator.generate(symptom);
+    result.generation.phases.merge(rep.phases);
+    result.generation.stats.trees_forked += rep.stats.trees_forked;
+    result.generation.stats.trees_completed += rep.stats.trees_completed;
+    result.generation.stats.goals_expanded += rep.stats.goals_expanded;
+    result.generation.stats.history_tuples_scanned +=
+        rep.stats.history_tuples_scanned;
+    result.generation.stats.solver.calls += rep.stats.solver.calls;
+    for (auto& cand : rep.candidates) {
+      if (seen.insert(cand.description).second) {
+        result.generation.candidates.push_back(std::move(cand));
+      }
+    }
+  }
+  std::sort(result.generation.candidates.begin(),
+            result.generation.candidates.end(),
+            [](const repair::RepairCandidate& a,
+               const repair::RepairCandidate& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.description < b.description;
+            });
+  if (result.generation.candidates.size() > opt.max_backtested) {
+    result.generation.candidates.resize(opt.max_backtested);
+  }
+  result.candidates = result.generation.candidates.size();
+
+  // Backtest.
+  Timer replay_timer;
+  backtest::BacktestConfig bcfg;
+  bcfg.use_multiquery = opt.multiquery;
+  backtest::Backtester tester(bcfg);
+  result.backtest = tester.run(harness, result.generation.candidates);
+  result.phases.merge(result.generation.phases);
+  result.phases.add("replay", replay_timer.seconds());
+  result.effective = result.backtest.effective_count;
+  result.accepted = result.backtest.accepted_count;
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace mp::scenario

@@ -1,0 +1,15 @@
+#include "scenarios/scenario.h"
+
+namespace mp::scenario {
+
+std::vector<Scenario> all_scenarios(const sdn::CampusOptions& campus) {
+  std::vector<Scenario> out;
+  out.push_back(q1_copy_paste(campus));
+  out.push_back(q2_forwarding(campus));
+  out.push_back(q3_policy_update(campus));
+  out.push_back(q4_forgotten_packets(campus));
+  out.push_back(q5_mac_learning(campus));
+  return out;
+}
+
+}  // namespace mp::scenario

@@ -1,0 +1,44 @@
+#include "sdn/controller.h"
+
+namespace mp::sdn {
+
+NdlogController::NdlogController(Network& net, eval::Engine& engine,
+                                 ControllerBindings bindings)
+    : net_(net), engine_(&engine), bindings_(std::move(bindings)) {
+  engine_->on_appear(bindings_.flow_table, [this](const eval::Tuple& t,
+                                                  eval::TagMask tags) {
+    if (!bindings_.decode_flow) return;
+    auto spec = bindings_.decode_flow(t);
+    if (!spec) return;
+    spec->entry.tags = tags;
+    net_.install(spec->sw, spec->entry);
+    // Common controller idiom: release the buffered packet along the entry
+    // just installed for the missing switch.
+    if (bindings_.auto_packet_out && ctx_.active && spec->sw == ctx_.sw &&
+        ctx_.packet != nullptr &&
+        spec->entry.matches(*ctx_.packet, ctx_.in_port) &&
+        spec->entry.action.kind == Action::Kind::Output) {
+      net_.packet_out(spec->sw, spec->entry.action.port, tags & ctx_.tags);
+    }
+  });
+  if (!bindings_.packet_out_table.empty()) {
+    engine_->on_appear(bindings_.packet_out_table,
+                       [this](const eval::Tuple& t, eval::TagMask tags) {
+                         if (!bindings_.decode_packet_out) return;
+                         auto spec = bindings_.decode_packet_out(t);
+                         if (!spec) return;
+                         net_.packet_out(spec->sw, spec->port, tags);
+                       });
+  }
+}
+
+void NdlogController::on_packet_in(int64_t sw, int64_t in_port, const Packet& p,
+                                   eval::TagMask miss_tags) {
+  ctx_ = MissContext{sw, &p, in_port, miss_tags, true};
+  eval::Tuple t = bindings_.encode_packet_in(sw, in_port, p);
+  engine_->insert(t, miss_tags);
+  ctx_.active = false;
+  ctx_.packet = nullptr;
+}
+
+}  // namespace mp::sdn

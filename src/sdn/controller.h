@@ -1,0 +1,73 @@
+// The controller proxy (Section 5.1): interposes between the NDlog engine
+// and the simulated network, translating PacketIn events into tuples and
+// derived tuples back into OpenFlow-style FlowMod / PacketOut operations.
+// The translation is scenario-specific (each scenario defines its own
+// table schemas), so the proxy is parameterized with encoder/decoder
+// functions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "eval/engine.h"
+#include "sdn/network.h"
+
+namespace mp::sdn {
+
+struct InstallSpec {
+  int64_t sw = 0;
+  FlowEntry entry;
+};
+
+struct PacketOutSpec {
+  int64_t sw = 0;
+  int64_t port = 0;
+};
+
+struct ControllerBindings {
+  // Encode a PacketIn as a (transient) tuple inserted into the engine.
+  std::function<eval::Tuple(int64_t sw, int64_t in_port, const Packet&)>
+      encode_packet_in;
+  // Tables whose derivations install flow entries; decode may reject a
+  // tuple (returns nullopt) e.g. when it targets an unknown switch.
+  std::string flow_table = "FlowTable";
+  std::function<std::optional<InstallSpec>(const eval::Tuple&)> decode_flow;
+  // Optional packet-out channel.
+  std::string packet_out_table;  // empty = program never releases packets
+  std::function<std::optional<PacketOutSpec>(const eval::Tuple&)>
+      decode_packet_out;
+  // When true (default), a PacketIn whose processing installed at least
+  // one flow entry for that switch also releases the buffered packet along
+  // the installed entry's action (the common OpenFlow controller idiom of
+  // sending FlowMod+PacketOut together). Scenario Q4 sets this to false:
+  // its buggy program forgets the release.
+  bool auto_packet_out = true;
+};
+
+class NdlogController : public ControllerIface {
+ public:
+  NdlogController(Network& net, eval::Engine& engine,
+                  ControllerBindings bindings);
+
+  void on_packet_in(int64_t sw, int64_t in_port, const Packet& p,
+                    eval::TagMask miss_tags) override;
+
+  eval::Engine& engine() { return *engine_; }
+
+ private:
+  Network& net_;
+  eval::Engine* engine_;
+  ControllerBindings bindings_;
+  // Per-PacketIn bookkeeping for auto packet-out.
+  struct MissContext {
+    int64_t sw = 0;
+    const Packet* packet = nullptr;
+    int64_t in_port = 0;
+    eval::TagMask tags = 0;
+    bool active = false;
+  };
+  MissContext ctx_;
+};
+
+}  // namespace mp::sdn

@@ -1,0 +1,69 @@
+#include "sdn/flowtable.h"
+
+#include <algorithm>
+
+namespace mp::sdn {
+
+bool FlowEntry::matches(const Packet& p, int64_t in_port) const {
+  for (const MatchField& m : match) {
+    if (m.value.is_wildcard()) continue;
+    if (!m.value.is_int()) return false;
+    if (field_of(p, in_port, m.field) != m.value.as_int()) return false;
+  }
+  return true;
+}
+
+std::string FlowEntry::to_string() const {
+  std::string out = "[";
+  for (size_t i = 0; i < match.size(); ++i) {
+    if (i) out += ", ";
+    out += std::string(mp::sdn::to_string(match[i].field)) + "=" +
+           match[i].value.to_string();
+  }
+  out += "] prio=" + std::to_string(priority) + " -> " + action.to_string();
+  return out;
+}
+
+void FlowTable::add(FlowEntry entry) {
+  entries_.push_back(std::move(entry));
+  ordered_.clear();
+}
+
+const std::vector<size_t>& FlowTable::ordered() const {
+  if (ordered_.size() != entries_.size()) {
+    ordered_.resize(entries_.size());
+    for (size_t i = 0; i < entries_.size(); ++i) ordered_[i] = i;
+    std::stable_sort(ordered_.begin(), ordered_.end(), [this](size_t a, size_t b) {
+      return entries_[a].priority > entries_[b].priority;
+    });
+  }
+  return ordered_;
+}
+
+const FlowEntry* FlowTable::lookup(const Packet& p, int64_t in_port,
+                                   eval::TagMask tag_bit) const {
+  for (size_t idx : ordered()) {
+    const FlowEntry& e = entries_[idx];
+    if ((e.tags & tag_bit) == 0) continue;
+    if (e.matches(p, in_port)) return &e;
+  }
+  return nullptr;
+}
+
+eval::TagMask FlowTable::partition(
+    const Packet& p, int64_t in_port, eval::TagMask tags,
+    const std::function<void(const FlowEntry&, eval::TagMask)>& cb) const {
+  eval::TagMask remaining = tags;
+  for (size_t idx : ordered()) {
+    if (remaining == 0) break;
+    const FlowEntry& e = entries_[idx];
+    const eval::TagMask sub = remaining & e.tags;
+    if (sub == 0) continue;
+    if (!e.matches(p, in_port)) continue;
+    cb(e, sub);
+    remaining &= ~sub;
+  }
+  return remaining;
+}
+
+}  // namespace mp::sdn

@@ -1,0 +1,68 @@
+// Flow tables with wildcard matching, priorities and candidate-tag masks.
+// A match on a field whose value is the wildcard "*" is skipped -- this is
+// how the Q5 MAC-learning bug (too-coarse entries) is modelled.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "eval/tuple.h"
+#include "sdn/packet.h"
+
+namespace mp::sdn {
+
+struct Action {
+  enum class Kind : uint8_t { Output, Drop };
+  Kind kind = Kind::Drop;
+  int64_t port = -1;
+
+  static Action output(int64_t port) {
+    return Action{Kind::Output, port};
+  }
+  static Action drop() { return Action{Kind::Drop, -1}; }
+  std::string to_string() const {
+    return kind == Kind::Drop ? "drop" : "output-" + std::to_string(port);
+  }
+};
+
+struct MatchField {
+  Field field = Field::Dpt;
+  Value value;  // wildcard "*" matches anything
+};
+
+struct FlowEntry {
+  std::vector<MatchField> match;
+  int priority = 0;
+  Action action;
+  eval::TagMask tags = eval::kAllTags;
+
+  bool matches(const Packet& p, int64_t in_port) const;
+  std::string to_string() const;
+};
+
+class FlowTable {
+ public:
+  void add(FlowEntry entry);
+  // Highest-priority matching entry visible under `tag_bit`; ties resolve
+  // to the earliest-installed entry (switch-like behaviour).
+  const FlowEntry* lookup(const Packet& p, int64_t in_port,
+                          eval::TagMask tag_bit = eval::kAllTags) const;
+  // Partition `tags` by best matching entry: invokes cb(entry, submask)
+  // once per distinct winning entry and returns the mask of tags with no
+  // matching entry. This is what lets multi-query backtesting walk one
+  // shared path for all candidates that agree (Section 4.4).
+  eval::TagMask partition(
+      const Packet& p, int64_t in_port, eval::TagMask tags,
+      const std::function<void(const FlowEntry&, eval::TagMask)>& cb) const;
+  void clear() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+  const std::vector<FlowEntry>& entries() const { return entries_; }
+
+ private:
+  const std::vector<size_t>& ordered() const;  // priority-desc, then age
+  std::vector<FlowEntry> entries_;
+  mutable std::vector<size_t> ordered_;  // lazily rebuilt after add()
+};
+
+}  // namespace mp::sdn

@@ -1,0 +1,122 @@
+// The simulated network: switches, hosts, links, and the forwarding loop
+// with reactive control. On a flow-table miss the packet is buffered and
+// the controller is invoked (PacketIn); the controller may install flow
+// entries (FlowMod) and/or release the buffered packet (PacketOut). If no
+// PacketOut arrives the buffered packet is dropped -- exactly the failure
+// mode of scenario Q4 ("forgotten packets").
+//
+// Tag support: in tag mode every flow entry carries a candidate mask and
+// forwarding is resolved per tag; the controller is still invoked only
+// once per distinct miss, with the mask of tags that missed (Section 4.4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sdn/recorder.h"
+#include "sdn/switch.h"
+#include "util/stats.h"
+
+namespace mp::sdn {
+
+struct Host {
+  int64_t id = 0;
+  std::string name;
+  int64_t ip = 0;
+  int64_t mac = 0;
+  int64_t sw = 0;
+  int64_t port = 0;
+};
+
+class ControllerIface {
+ public:
+  virtual ~ControllerIface() = default;
+  // `miss_tags`: candidate worlds in which the packet missed (kAllTags in
+  // normal operation).
+  virtual void on_packet_in(int64_t sw, int64_t in_port, const Packet& p,
+                            eval::TagMask miss_tags) = 0;
+};
+
+struct DeliveryStats {
+  CountDistribution per_host;          // host name -> packets delivered
+  CountDistribution per_host_port;     // "host:dpt" -> packets
+  size_t delivered = 0;
+  size_t dropped = 0;
+  size_t external = 0;
+  size_t packet_ins = 0;
+  size_t flow_mods = 0;
+  size_t packet_outs = 0;
+  size_t hops = 0;
+};
+
+class Network {
+ public:
+  Switch& add_switch(int64_t id);
+  Switch* find_switch(int64_t id);
+  const Switch* find_switch(int64_t id) const;
+  Host& add_host(Host h);  // also connects the switch port to the host
+  const Host* host_by_ip(int64_t ip) const;
+  const Host* host_by_id(int64_t id) const;
+  const std::vector<Host>& hosts() const { return hosts_; }
+  size_t switch_count() const { return switches_.size(); }
+
+  // Bidirectional switch-to-switch link.
+  void link(int64_t sw_a, int64_t port_a, int64_t sw_b, int64_t port_b);
+  // Marks a port as an external uplink (e.g. the Internet).
+  void external(int64_t sw, int64_t port);
+
+  void set_controller(ControllerIface* c) { controller_ = c; }
+  void set_tag_mode(bool on, eval::TagMask active = eval::kAllTags) {
+    tag_mode_ = on;
+    active_tags_ = active;
+  }
+
+  // Control-plane operations (called by the controller).
+  void install(int64_t sw, FlowEntry entry);
+  void packet_out(int64_t sw, int64_t port, eval::TagMask tags = eval::kAllTags);
+
+  // Injects a packet at (sw, in_port) and runs it to completion, invoking
+  // the controller on misses. Records ingress in the recorder when
+  // `record` is true.
+  void inject(int64_t sw, int64_t in_port, const Packet& p, bool record = true);
+
+  DeliveryStats& stats() { return stats_; }
+  const DeliveryStats& stats() const { return stats_; }
+  // Per-candidate statistics in tag mode (tag_index = bit position).
+  const DeliveryStats& tag_stats(size_t tag_index) const;
+  Recorder& recorder() { return recorder_; }
+  const Recorder& recorder() const { return recorder_; }
+  uint64_t now() const { return clock_; }
+
+  // Clears dynamic state (flow entries, stats) but keeps the topology;
+  // used between backtest runs.
+  void reset_dynamic_state();
+
+ private:
+  void forward_one(int64_t sw, int64_t in_port, const Packet& p,
+                   eval::TagMask tags);
+
+  std::map<int64_t, Switch> switches_;
+  std::vector<Host> hosts_;
+  ControllerIface* controller_ = nullptr;
+  DeliveryStats stats_;
+  std::map<size_t, DeliveryStats> tag_stats_;
+  Recorder recorder_;
+  uint64_t clock_ = 0;
+  bool tag_mode_ = false;
+  eval::TagMask active_tags_ = eval::kAllTags;
+
+  // PacketOut releases are collected during a controller invocation and
+  // consumed by the inject loop for the buffered packet.
+  struct PendingOut {
+    int64_t sw;
+    int64_t port;
+    eval::TagMask tags;
+  };
+  std::vector<PendingOut> pending_outs_;
+};
+
+}  // namespace mp::sdn

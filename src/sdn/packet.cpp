@@ -1,0 +1,41 @@
+#include "sdn/packet.h"
+
+namespace mp::sdn {
+
+std::string Packet::to_string() const {
+  return "pkt(sip=" + std::to_string(sip) + ", dip=" + std::to_string(dip) +
+         ", dpt=" + std::to_string(dpt) + ", spt=" + std::to_string(spt) +
+         ", proto=" + std::to_string(proto) + ")";
+}
+
+const char* to_string(Field f) {
+  switch (f) {
+    case Field::InPort: return "in_port";
+    case Field::Sip: return "sip";
+    case Field::Dip: return "dip";
+    case Field::Smc: return "smc";
+    case Field::Dmc: return "dmc";
+    case Field::Spt: return "spt";
+    case Field::Dpt: return "dpt";
+    case Field::Proto: return "proto";
+    case Field::Bucket: return "bucket";
+  }
+  return "?";
+}
+
+int64_t field_of(const Packet& p, int64_t in_port, Field f) {
+  switch (f) {
+    case Field::InPort: return in_port;
+    case Field::Sip: return p.sip;
+    case Field::Dip: return p.dip;
+    case Field::Smc: return p.smc;
+    case Field::Dmc: return p.dmc;
+    case Field::Spt: return p.spt;
+    case Field::Dpt: return p.dpt;
+    case Field::Proto: return p.proto;
+    case Field::Bucket: return p.bucket;
+  }
+  return 0;
+}
+
+}  // namespace mp::sdn

@@ -1,0 +1,176 @@
+#include "sdn/topology.h"
+
+#include <map>
+#include <queue>
+
+#include "util/rng.h"
+
+namespace mp::sdn {
+
+namespace {
+
+// Port allocator: gives each new link a fresh port per switch.
+class Ports {
+ public:
+  int64_t next(int64_t sw) { return ++next_[sw]; }
+  void reserve(int64_t sw, int64_t up_to) {
+    next_[sw] = std::max(next_[sw], up_to);
+  }
+
+ private:
+  std::map<int64_t, int64_t> next_;
+};
+
+std::vector<int64_t> all_switch_ids(const Network& net) {
+  std::vector<int64_t> out;
+  // Switch ids are the map keys; walk via hosts+links is not enough, so we
+  // conservatively probe the contiguous id ranges used by the builder.
+  for (int64_t id = 1; id < 4096; ++id) {
+    if (net.find_switch(id) != nullptr) out.push_back(id);
+  }
+  return out;
+}
+
+// next_hop[s] = egress port at s toward `dest_sw`, via BFS.
+std::map<int64_t, int64_t> bfs_ports_toward(const Network& net,
+                                            int64_t dest_sw) {
+  std::map<int64_t, int64_t> next_hop;
+  std::map<int64_t, int64_t> toward;  // sw -> neighbour switch on path
+  std::queue<int64_t> q;
+  std::map<int64_t, bool> seen;
+  q.push(dest_sw);
+  seen[dest_sw] = true;
+  while (!q.empty()) {
+    const int64_t cur = q.front();
+    q.pop();
+    const Switch* s = net.find_switch(cur);
+    if (s == nullptr) continue;
+    for (const auto& [port, peer] : s->ports()) {
+      if (peer.kind != PortPeer::Kind::Switch) continue;
+      if (seen.count(peer.peer)) continue;
+      seen[peer.peer] = true;
+      toward[peer.peer] = cur;
+      q.push(peer.peer);
+    }
+  }
+  for (const auto& [sw, via] : toward) {
+    const Switch* s = net.find_switch(sw);
+    if (s == nullptr) continue;
+    for (const auto& [port, peer] : s->ports()) {
+      if (peer.kind == PortPeer::Kind::Switch && peer.peer == via) {
+        next_hop[sw] = port;
+        break;
+      }
+    }
+  }
+  return next_hop;
+}
+
+}  // namespace
+
+size_t install_host_routes(Network& net, const std::vector<int64_t>& ips,
+                           const std::vector<int64_t>& exclude) {
+  size_t installed = 0;
+  const std::vector<int64_t> switches = all_switch_ids(net);
+  auto excluded = [&](int64_t sw) {
+    for (int64_t e : exclude)
+      if (e == sw) return true;
+    return false;
+  };
+  for (int64_t ip : ips) {
+    const Host* h = net.host_by_ip(ip);
+    if (h == nullptr) continue;
+    const auto next_hop = bfs_ports_toward(net, h->sw);
+    for (int64_t sw : switches) {
+      if (excluded(sw)) continue;
+      FlowEntry e;
+      e.match.push_back({Field::Dip, Value(h->ip)});
+      e.priority = -1;  // static / proactive
+      if (sw == h->sw) {
+        e.action = Action::output(h->port);
+      } else {
+        auto it = next_hop.find(sw);
+        if (it == next_hop.end()) continue;
+        e.action = Action::output(it->second);
+      }
+      Switch* s = net.find_switch(sw);
+      if (s != nullptr) {
+        s->table().add(std::move(e));
+        ++installed;
+      }
+    }
+  }
+  return installed;
+}
+
+Campus build_campus(Network& net, const CampusOptions& opt) {
+  Campus campus;
+  Ports ports;
+  Rng rng(opt.seed);
+
+  const size_t core_count = std::max<size_t>(2, opt.core_count);
+  // App switches 1..4 (S4 is the guest/branch switch used by scenarios).
+  for (int64_t s = 1; s <= 4; ++s) {
+    net.add_switch(s);
+    campus.app_switches.push_back(s);
+    ports.reserve(s, 8);  // low ports are host/app-facing
+  }
+  net.external(1, 1);
+
+  // Core ring with cross-chords (backbone + operational zone routers).
+  const int64_t core_base = 10;
+  for (size_t i = 0; i < core_count; ++i) {
+    campus.core_switches.push_back(core_base + static_cast<int64_t>(i));
+    net.add_switch(campus.core_switches.back());
+  }
+  for (size_t i = 0; i < core_count; ++i) {
+    const int64_t a = campus.core_switches[i];
+    const int64_t b = campus.core_switches[(i + 1) % core_count];
+    net.link(a, ports.next(a), b, ports.next(b));
+  }
+  for (size_t i = 0; i + core_count / 2 < core_count; i += 4) {
+    const int64_t a = campus.core_switches[i];
+    const int64_t b = campus.core_switches[i + core_count / 2];
+    net.link(a, ports.next(a), b, ports.next(b));
+  }
+  // App network attachment points.
+  net.link(1, ports.next(1), campus.core_switches[0],
+           ports.next(campus.core_switches[0]));
+  net.link(4, ports.next(4), campus.core_switches[1 % core_count],
+           ports.next(campus.core_switches[1 % core_count]));
+
+  // Edge switches fill the remaining budget, round-robin on the cores.
+  const size_t used = 4 + core_count;
+  const size_t edge_count =
+      opt.total_switches > used ? opt.total_switches - used : 0;
+  int64_t next_id = core_base + static_cast<int64_t>(core_count);
+  for (size_t e = 0; e < edge_count; ++e) {
+    const int64_t id = next_id++;
+    campus.edge_switches.push_back(id);
+    net.add_switch(id);
+    const int64_t core = campus.core_switches[e % core_count];
+    net.link(id, ports.next(id), core, ports.next(core));
+  }
+
+  // Campus end hosts on the edges (ips >= 100).
+  int64_t next_ip = 100;
+  int64_t next_host_id = 1000;
+  for (int64_t edge : campus.edge_switches) {
+    for (size_t h = 0; h < opt.hosts_per_edge; ++h) {
+      Host host;
+      host.id = next_host_id++;
+      host.ip = next_ip++;
+      host.mac = host.ip + 100000;
+      host.name = "E" + std::to_string(host.ip);
+      host.sw = edge;
+      host.port = ports.next(edge);
+      net.add_host(host);
+      campus.host_ips.push_back(host.ip);
+    }
+  }
+
+  campus.static_entries = install_host_routes(net, campus.host_ips, {});
+  return campus;
+}
+
+}  // namespace mp::sdn

@@ -1,0 +1,49 @@
+#include "solver/constraint.h"
+
+namespace mp::solver {
+
+std::string ConstraintPool::to_string() const {
+  std::string out;
+  for (size_t i = 0; i < constraints_.size(); ++i) {
+    if (i) out += " && ";
+    out += constraints_[i].to_string();
+  }
+  return out;
+}
+
+std::vector<std::string> ConstraintPool::variables() const {
+  std::vector<std::string> out;
+  auto push = [&](const Term& t) {
+    if (!t.is_var) return;
+    for (const auto& v : out)
+      if (v == t.var) return;
+    out.push_back(t.var);
+  };
+  for (const auto& c : constraints_) {
+    push(c.lhs);
+    push(c.rhs);
+  }
+  return out;
+}
+
+bool holds(const Constraint& c,
+           const std::vector<std::pair<std::string, Value>>& assignment) {
+  auto resolve = [&](const Term& t, Value& out) {
+    if (!t.is_var) {
+      out = t.val;
+      return true;
+    }
+    for (const auto& [name, v] : assignment) {
+      if (name == t.var) {
+        out = v;
+        return true;
+      }
+    }
+    return false;
+  };
+  Value a, b;
+  if (!resolve(c.lhs, a) || !resolve(c.rhs, b)) return false;
+  return ndlog::cmp_eval(c.op, a, b);
+}
+
+}  // namespace mp::solver

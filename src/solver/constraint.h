@@ -1,0 +1,79 @@
+// Constraint pools (Section 3.4). While expanding a meta-provenance tree
+// the repair engine collects constraints over tuple attributes and symbolic
+// program constants: predicates must join (B0.x == C0.x), selections must
+// hold ((Swi cmp K) == true), the head must satisfy the operator's query,
+// and primary keys must stay consistent. A pool is a conjunction of binary
+// comparisons over terms (variables or constants).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ndlog/ast.h"
+#include "util/value.h"
+
+namespace mp::solver {
+
+struct Term {
+  bool is_var = false;
+  std::string var;  // e.g. "G0.c2" or "Const:r7/sel0"
+  Value val;
+
+  static Term variable(std::string name) {
+    Term t;
+    t.is_var = true;
+    t.var = std::move(name);
+    return t;
+  }
+  static Term constant(Value v) {
+    Term t;
+    t.val = std::move(v);
+    return t;
+  }
+  std::string to_string() const { return is_var ? var : val.to_string(); }
+  bool operator==(const Term& o) const {
+    if (is_var != o.is_var) return false;
+    return is_var ? var == o.var : val == o.val;
+  }
+};
+
+struct Constraint {
+  Term lhs;
+  ndlog::CmpOp op = ndlog::CmpOp::Eq;
+  Term rhs;
+  std::string to_string() const {
+    return lhs.to_string() + " " + ndlog::to_string(op) + " " + rhs.to_string();
+  }
+};
+
+class ConstraintPool {
+ public:
+  void add(Constraint c) { constraints_.push_back(std::move(c)); }
+  void add(Term lhs, ndlog::CmpOp op, Term rhs) {
+    constraints_.push_back(Constraint{std::move(lhs), op, std::move(rhs)});
+  }
+  void eq(const std::string& var, Value v) {
+    add(Term::variable(var), ndlog::CmpOp::Eq, Term::constant(std::move(v)));
+  }
+  void merge(const ConstraintPool& o) {
+    constraints_.insert(constraints_.end(), o.constraints_.begin(),
+                        o.constraints_.end());
+  }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  size_t size() const { return constraints_.size(); }
+  bool empty() const { return constraints_.empty(); }
+  std::string to_string() const;
+
+  // All variable names mentioned, in first-appearance order.
+  std::vector<std::string> variables() const;
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+// Evaluate a constraint under a (complete) assignment.
+bool holds(const Constraint& c,
+           const std::vector<std::pair<std::string, Value>>& assignment);
+
+}  // namespace mp::solver

@@ -1,0 +1,73 @@
+// Deterministic RNG (xorshift128+). All stochastic behaviour in the
+// simulator and traffic generator flows through this so that every test,
+// example and bench is reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace mp {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to avoid poor low-entropy states.
+    s_[0] = splitmix(seed);
+    s_[1] = splitmix(s_[0]);
+  }
+
+  uint64_t next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t below(uint64_t n) { return next() % n; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  // Zipf-ish skewed pick in [0, n): rank r chosen with weight 1/(r+1).
+  uint64_t zipf(uint64_t n);
+
+ private:
+  static uint64_t splitmix(uint64_t& x) {
+    uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  static uint64_t splitmix(uint64_t&& x) {
+    uint64_t v = x;
+    return splitmix(v);
+  }
+
+  uint64_t s_[2];
+};
+
+inline uint64_t Rng::zipf(uint64_t n) {
+  if (n <= 1) return 0;
+  // Inverse-CDF on the harmonic weights, approximated via exp sampling:
+  // pick u in (0,1], return floor(n^u) - 1 which is ~1/x distributed.
+  double u = uniform();
+  if (u <= 0.0) u = 1e-12;
+  double x = 1.0;
+  double nn = static_cast<double>(n);
+  // n^u computed via exp(u * ln n)
+  x = __builtin_exp(u * __builtin_log(nn));
+  uint64_t r = static_cast<uint64_t>(x) - 1;
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace mp

@@ -1,0 +1,65 @@
+// Wall-clock timing for the benches; phase accounting matches the paper's
+// Figure 9 breakdown (history lookups / constraint solving / patch
+// generation / replay).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mp {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Accumulates named phase durations; used to produce Fig 9a/9c/10 style
+// breakdowns.
+class PhaseClock {
+ public:
+  void add(const std::string& phase, double seconds) { acc_[phase] += seconds; }
+  double get(const std::string& phase) const {
+    auto it = acc_.find(phase);
+    return it == acc_.end() ? 0.0 : it->second;
+  }
+  double total() const {
+    double t = 0;
+    for (const auto& [k, v] : acc_) t += v;
+    return t;
+  }
+  const std::map<std::string, double>& phases() const { return acc_; }
+  void merge(const PhaseClock& o) {
+    for (const auto& [k, v] : o.acc_) acc_[k] += v;
+  }
+
+ private:
+  std::map<std::string, double> acc_;
+};
+
+// RAII phase scope.
+class PhaseScope {
+ public:
+  PhaseScope(PhaseClock& clock, std::string phase)
+      : clock_(clock), phase_(std::move(phase)) {}
+  ~PhaseScope() { clock_.add(phase_, timer_.seconds()); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  PhaseClock& clock_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace mp

@@ -1,0 +1,33 @@
+#include "util/value.h"
+
+namespace mp {
+
+std::string Value::to_string() const {
+  if (kind_ == Kind::Int) return std::to_string(int_);
+  return str_;
+}
+
+size_t Value::hash() const {
+  if (kind_ == Kind::Int) {
+    return std::hash<int64_t>{}(int_) * 0x9e3779b97f4a7c15ULL;
+  }
+  return std::hash<std::string>{}(str_);
+}
+
+std::string row_to_string(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ",";
+    out += row[i].to_string();
+  }
+  out += ")";
+  return out;
+}
+
+size_t hash_row(const Row& row) {
+  size_t seed = row.size();
+  for (const Value& v : row) seed = hash_combine(seed, v.hash());
+  return seed;
+}
+
+}  // namespace mp

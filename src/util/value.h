@@ -1,0 +1,75 @@
+// Dynamically-typed values carried by tuples in the datalog engine, the
+// SDN simulator and the repair engine. Values are either 64-bit integers
+// or interned-ish small strings; the wildcard "*" (used by flow-entry
+// match fields and JID wildcards in the meta model) is an ordinary string
+// value with helper accessors.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mp {
+
+class Value {
+ public:
+  enum class Kind : uint8_t { Int, Str };
+
+  Value() : kind_(Kind::Int), int_(0) {}
+  Value(int64_t v) : kind_(Kind::Int), int_(v) {}  // NOLINT(google-explicit-constructor)
+  Value(int v) : kind_(Kind::Int), int_(v) {}      // NOLINT(google-explicit-constructor)
+  explicit Value(std::string s) : kind_(Kind::Str), str_(std::move(s)) {}
+
+  static Value str(std::string_view s) { return Value(std::string(s)); }
+  static Value wildcard() { return Value(std::string("*")); }
+
+  Kind kind() const { return kind_; }
+  bool is_int() const { return kind_ == Kind::Int; }
+  bool is_str() const { return kind_ == Kind::Str; }
+  bool is_wildcard() const { return kind_ == Kind::Str && str_ == "*"; }
+
+  int64_t as_int() const { return int_; }
+  const std::string& as_str() const { return str_; }
+
+  bool operator==(const Value& o) const {
+    if (kind_ != o.kind_) return false;
+    return kind_ == Kind::Int ? int_ == o.int_ : str_ == o.str_;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+  // Ints order before strings; gives a total order for sorted containers.
+  std::strong_ordering operator<=>(const Value& o) const {
+    if (kind_ != o.kind_) return kind_ <=> o.kind_;
+    if (kind_ == Kind::Int) return int_ <=> o.int_;
+    return str_.compare(o.str_) <=> 0;
+  }
+
+  std::string to_string() const;
+  size_t hash() const;
+
+ private:
+  Kind kind_;
+  int64_t int_ = 0;
+  std::string str_;
+};
+
+using Row = std::vector<Value>;
+
+std::string row_to_string(const Row& row);
+size_t hash_row(const Row& row);
+
+// Combine hashes (boost-style).
+inline size_t hash_combine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.hash(); }
+};
+struct RowHash {
+  size_t operator()(const Row& r) const { return hash_row(r); }
+};
+
+}  // namespace mp

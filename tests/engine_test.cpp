@@ -1,0 +1,249 @@
+// Tests for the evaluation engine and provenance: derivation, joins,
+// event vs. materialized semantics, key replacement, deletion cascade,
+// cross-node messages, tag mode, and provenance graphs.
+#include <gtest/gtest.h>
+
+#include "eval/engine.h"
+#include "ndlog/parser.h"
+#include "provenance/query.h"
+
+namespace mp::eval {
+namespace {
+
+Tuple t(const std::string& table, std::initializer_list<Value> vals) {
+  return Tuple{table, Row(vals)};
+}
+
+TEST(Engine, DerivesThroughSingleRule) {
+  Engine e(ndlog::parse_program(
+      "table A/2.\nevent B/2.\nr1 A(@X,P) :- B(@X,Q), P := Q * 2, Q > 0."));
+  e.insert(t("B", {Value(1), Value(5)}));
+  EXPECT_TRUE(e.exists(Value(1), "A", {Value(1), Value(10)}));
+  e.insert(t("B", {Value(1), Value(-5)}));  // fails the selection
+  EXPECT_EQ(e.rows(Value(1), "A").size(), 1u);
+}
+
+TEST(Engine, EventTuplesAreNotStored) {
+  Engine e(ndlog::parse_program(
+      "table A/2.\nevent B/2.\nr1 A(@X,Q) :- B(@X,Q), Q > 0."));
+  e.insert(t("B", {Value(1), Value(5)}));
+  EXPECT_TRUE(e.exists(Value(1), "A", {Value(1), Value(5)}));
+  EXPECT_FALSE(e.exists(Value(1), "B", {Value(1), Value(5)}));
+}
+
+TEST(Engine, JoinsEventWithMaterializedState) {
+  Engine e(ndlog::parse_program(
+      "table A/3.\ntable Cfg/3.\nevent B/2.\n"
+      "r1 A(@X,Q,P) :- B(@X,Q), Cfg(@X,Q,P), Q >= 0."));
+  e.insert(t("Cfg", {Value(1), Value(7), Value(99)}));
+  e.insert(t("B", {Value(1), Value(7)}));
+  EXPECT_TRUE(e.exists(Value(1), "A", {Value(1), Value(7), Value(99)}));
+  // Join with non-matching key does not fire.
+  e.insert(t("B", {Value(1), Value(8)}));
+  EXPECT_EQ(e.rows(Value(1), "A").size(), 1u);
+}
+
+TEST(Engine, MaterializedJoinTriggersOnEitherSide) {
+  Engine e(ndlog::parse_program(
+      "table A/2.\ntable L/2.\ntable R/2.\n"
+      "r1 A(@X,V) :- L(@X,V), R(@X,V), V > 0."));
+  e.insert(t("L", {Value(1), Value(3)}));
+  EXPECT_FALSE(e.exists(Value(1), "A", {Value(1), Value(3)}));
+  e.insert(t("R", {Value(1), Value(3)}));  // arrives second
+  EXPECT_TRUE(e.exists(Value(1), "A", {Value(1), Value(3)}));
+}
+
+TEST(Engine, RemoteDerivationSendsMessage) {
+  Engine e(ndlog::parse_program(
+      "table A/2.\nevent B/3.\nr1 A(@Y,Q) :- B(@X,Y,Q), Q > 0."));
+  e.insert(t("B", {Value(1), Value(2), Value(9)}));
+  EXPECT_TRUE(e.exists(Value(2), "A", {Value(2), Value(9)}));
+  bool saw_send = false, saw_recv = false;
+  for (const auto& ev : e.log().events()) {
+    if (ev.kind == EventKind::Send) saw_send = true;
+    if (ev.kind == EventKind::Receive) saw_recv = true;
+  }
+  EXPECT_TRUE(saw_send);
+  EXPECT_TRUE(saw_recv);
+}
+
+TEST(Engine, TransitiveDerivation) {
+  Engine e(ndlog::parse_program(
+      "table A/2.\ntable B/2.\ntable C/2.\n"
+      "r1 B(@X,V) :- A(@X,V), V > 0.\nr2 C(@X,V) :- B(@X,V), V > 1."));
+  e.insert(t("A", {Value(1), Value(5)}));
+  EXPECT_TRUE(e.exists(Value(1), "C", {Value(1), Value(5)}));
+}
+
+TEST(Engine, DeletionCascades) {
+  Engine e(ndlog::parse_program(
+      "table A/2.\ntable B/2.\ntable C/2.\n"
+      "r1 B(@X,V) :- A(@X,V), V > 0.\nr2 C(@X,V) :- B(@X,V), V > 1."));
+  Tuple base = t("A", {Value(1), Value(5)});
+  e.insert(base);
+  ASSERT_TRUE(e.exists(Value(1), "C", {Value(1), Value(5)}));
+  e.remove(base);
+  EXPECT_FALSE(e.exists(Value(1), "A", {Value(1), Value(5)}));
+  EXPECT_FALSE(e.exists(Value(1), "B", {Value(1), Value(5)}));
+  EXPECT_FALSE(e.exists(Value(1), "C", {Value(1), Value(5)}));
+}
+
+TEST(Engine, SupportCountsSurviveSingleRetraction) {
+  Engine e(ndlog::parse_program(
+      "table A/2.\ntable L/2.\ntable B/2.\n"
+      "r1 B(@X,V) :- A(@X,V), V > 0.\nr2 B(@X,V) :- L(@X,V), V > 0."));
+  e.insert(t("A", {Value(1), Value(4)}));
+  e.insert(t("L", {Value(1), Value(4)}));  // second independent derivation
+  e.remove(t("A", {Value(1), Value(4)}));
+  EXPECT_TRUE(e.exists(Value(1), "B", {Value(1), Value(4)}))
+      << "one derivation remains";
+  e.remove(t("L", {Value(1), Value(4)}));
+  EXPECT_FALSE(e.exists(Value(1), "B", {Value(1), Value(4)}));
+}
+
+TEST(Engine, KeyReplacementSemantics) {
+  Engine e(ndlog::parse_program("table M/3 keys(0,1)."));
+  e.insert(t("M", {Value(1), Value(7), Value(100)}));
+  e.insert(t("M", {Value(1), Value(7), Value(200)}));  // displaces
+  auto rows = e.rows(Value(1), "M");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][2], Value(200));
+  e.insert(t("M", {Value(1), Value(8), Value(300)}));  // different key
+  EXPECT_EQ(e.rows(Value(1), "M").size(), 2u);
+}
+
+TEST(Engine, CallbacksFireOnAppearance) {
+  Engine e(ndlog::parse_program(
+      "table A/2.\nevent B/2.\nr1 A(@X,Q) :- B(@X,Q), Q > 0."));
+  std::vector<Tuple> seen;
+  e.on_appear("A", [&](const Tuple& tup, TagMask) { seen.push_back(tup); });
+  e.insert(t("B", {Value(1), Value(5)}));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].row[1], Value(5));
+}
+
+TEST(Engine, HistoryRecordsEventTuples) {
+  Engine e(ndlog::parse_program(
+      "table A/2.\nevent B/2.\nr1 A(@X,Q) :- B(@X,Q), Q > 0."));
+  e.insert(t("B", {Value(1), Value(5)}));
+  e.insert(t("B", {Value(1), Value(5)}));  // duplicate: deduped in history
+  e.insert(t("B", {Value(1), Value(6)}));
+  EXPECT_EQ(e.log().history("B").size(), 2u);
+  EXPECT_EQ(e.log().history("A").size(), 2u);
+  EXPECT_TRUE(e.log().history("Zzz").empty());
+}
+
+TEST(Engine, ArithmeticAndDivisionByZero) {
+  Engine e(ndlog::parse_program(
+      "table A/2.\nevent B/3.\nr1 A(@X,P) :- B(@X,Q,R), P := Q / R, Q > 0."));
+  e.insert(t("B", {Value(1), Value(10), Value(2)}));
+  EXPECT_TRUE(e.exists(Value(1), "A", {Value(1), Value(5)}));
+  e.insert(t("B", {Value(1), Value(10), Value(0)}));  // div by zero: no fire
+  EXPECT_EQ(e.rows(Value(1), "A").size(), 1u);
+}
+
+TEST(Engine, TagModeIntersectsBodyMasks) {
+  EngineOptions opt;
+  opt.tag_mode = true;
+  Engine e(ndlog::parse_program(
+               "table A/2.\ntable L/2.\ntable R/2.\n"
+               "r1 A(@X,V) :- L(@X,V), R(@X,V), V > 0."),
+           opt);
+  e.insert(t("L", {Value(1), Value(3)}), 0b011);
+  e.insert(t("R", {Value(1), Value(3)}), 0b110);
+  EXPECT_EQ(e.tags_of(Value(1), "A", {Value(1), Value(3)}), TagMask{0b010});
+}
+
+TEST(Engine, TagModeRuleRestriction) {
+  EngineOptions opt;
+  opt.tag_mode = true;
+  Engine e(ndlog::parse_program(
+               "table A/2.\nevent B/2.\nr1 A(@X,Q) :- B(@X,Q), Q > 0."),
+           opt);
+  e.set_rule_restrict("r1", 0b01);
+  e.insert(t("B", {Value(1), Value(5)}), 0b11);
+  EXPECT_EQ(e.tags_of(Value(1), "A", {Value(1), Value(5)}), TagMask{0b01});
+}
+
+TEST(Engine, DivergenceGuardStopsRunaway) {
+  EngineOptions opt;
+  opt.max_steps = 200;
+  // a counting loop: A(x) derives A(x+1) unboundedly.
+  Engine e(ndlog::parse_program(
+               "table A/2.\nr1 A(@X,Q) :- A(@X,P), Q := P + 1, P < 1000000."),
+           opt);
+  e.insert(t("A", {Value(1), Value(0)}));
+  EXPECT_TRUE(e.diverged());
+}
+
+TEST(Engine, AllTuplesSpansNodes) {
+  Engine e(ndlog::parse_program("table M/2."));
+  e.insert(t("M", {Value(1), Value(10)}));
+  e.insert(t("M", {Value(2), Value(20)}));
+  EXPECT_EQ(e.all_tuples("M").size(), 2u);
+}
+
+TEST(EventLog, ByteEstimateAndDerivationIndex) {
+  Engine e(ndlog::parse_program(
+      "table A/2.\nevent B/2.\nr1 A(@X,Q) :- B(@X,Q), Q > 0."));
+  e.insert(t("B", {Value(1), Value(5)}));
+  EXPECT_GT(e.log().byte_estimate(), 0u);
+  auto derivs = e.log().derivations_of(t("A", {Value(1), Value(5)}));
+  ASSERT_EQ(derivs.size(), 1u);
+  EXPECT_EQ(e.log().derivations()[derivs[0]].rule, "r1");
+  auto using_b = e.log().derivations_using(t("B", {Value(1), Value(5)}));
+  EXPECT_EQ(using_b.size(), 1u);
+}
+
+// --- provenance -------------------------------------------------------
+
+TEST(Provenance, PositiveTreeReachesBaseTuples) {
+  Engine e(ndlog::parse_program(
+      "table A/2.\ntable B/2.\ntable C/2.\n"
+      "r1 B(@X,V) :- A(@X,V), V > 0.\nr2 C(@X,V) :- B(@X,V), V > 1."));
+  e.insert(t("A", {Value(1), Value(5)}));
+  auto g = prov::explain_exists(e, t("C", {Value(1), Value(5)}));
+  ASSERT_GT(g.size(), 1u);
+  bool found_insert = false;
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (g.at(i).kind == prov::VertexKind::Insert &&
+        g.at(i).tuple.table == "A") {
+      found_insert = true;
+    }
+  }
+  EXPECT_TRUE(found_insert);
+  EXPECT_FALSE(g.to_string().empty());
+  EXPECT_FALSE(g.leaves().empty());
+}
+
+TEST(Provenance, NegativeTreeShowsFailedRules) {
+  Engine e(ndlog::parse_program(
+      "table A/2.\nevent B/2.\nr1 A(@X,Q) :- B(@X,Q), Q > 10."));
+  e.insert(t("B", {Value(1), Value(5)}));  // selection fails
+  prov::TuplePattern pat;
+  pat.table = "A";
+  pat.fields = {{1, ndlog::CmpOp::Eq, Value(5)}};
+  auto g = prov::explain_missing(e, pat);
+  ASSERT_GE(g.size(), 2u);
+  EXPECT_EQ(g.root().kind, prov::VertexKind::NExist);
+  bool has_nderive = false;
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (g.at(i).kind == prov::VertexKind::NDerive) has_nderive = true;
+  }
+  EXPECT_TRUE(has_nderive);
+}
+
+TEST(Provenance, PatternMatching) {
+  prov::TuplePattern pat;
+  pat.table = "T";
+  pat.fields = {{0, ndlog::CmpOp::Eq, Value(3)},
+                {1, ndlog::CmpOp::Gt, Value(10)}};
+  EXPECT_TRUE(pat.matches({Value(3), Value(11)}));
+  EXPECT_FALSE(pat.matches({Value(3), Value(10)}));
+  EXPECT_FALSE(pat.matches({Value(4), Value(11)}));
+  EXPECT_FALSE(pat.matches({Value(3)}));  // out of range column
+  EXPECT_FALSE(pat.to_string().empty());
+}
+
+}  // namespace
+}  // namespace mp::eval

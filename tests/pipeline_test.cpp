@@ -1,0 +1,494 @@
+// End-to-end tests: the change algebra, the forest explorer on small
+// programs, the language frontends, and the five paper scenarios run
+// through the full pipeline (generation + multi-query backtesting).
+#include <gtest/gtest.h>
+
+#include "langs/imp/imp.h"
+#include "langs/netcore/netcore.h"
+#include "ndlog/parser.h"
+#include "ndlog/validate.h"
+#include "repair/generator.h"
+#include "scenarios/pipeline.h"
+
+namespace mp {
+namespace {
+
+using repair::Change;
+using repair::ChangeKind;
+using repair::RepairCandidate;
+
+ndlog::Program tiny() {
+  return ndlog::parse_program(
+      "table A/3.\nevent B/3.\n"
+      "r1 A(@X,P,Q) :- B(@X,P,V), P == 2, V != 3, Q := 7.");
+}
+
+TEST(Change, ApplyConstAndOperator) {
+  auto p = tiny();
+  Change c;
+  c.kind = ChangeKind::ChangeSelConst;
+  c.rule = "r1";
+  c.index = 0;
+  c.side = 1;
+  c.new_value = Value(5);
+  ASSERT_TRUE(c.apply(p));
+  EXPECT_NE(p.find_rule("r1")->to_string().find("P == 5"), std::string::npos);
+  Change op;
+  op.kind = ChangeKind::ChangeSelOp;
+  op.rule = "r1";
+  op.index = 1;
+  op.new_op = ndlog::CmpOp::Lt;
+  ASSERT_TRUE(op.apply(p));
+  EXPECT_NE(p.find_rule("r1")->to_string().find("V < 3"), std::string::npos);
+}
+
+TEST(Change, DeleteSelAndGuards) {
+  auto p = tiny();
+  Change del;
+  del.kind = ChangeKind::DeleteSel;
+  del.rule = "r1";
+  del.index = 0;
+  ASSERT_TRUE(del.apply(p));
+  EXPECT_EQ(p.find_rule("r1")->sels.size(), 1u);
+  Change bad;
+  bad.kind = ChangeKind::DeleteSel;
+  bad.rule = "r1";
+  bad.index = 9;
+  EXPECT_FALSE(bad.apply(p));
+  Change atom;
+  atom.kind = ChangeKind::DeleteBodyAtom;
+  atom.rule = "r1";
+  atom.index = 0;
+  EXPECT_FALSE(atom.apply(p)) << "a rule must keep at least one body atom";
+}
+
+TEST(Change, AssignRewrites) {
+  auto p = tiny();
+  Change c;
+  c.kind = ChangeKind::ChangeAssignConst;
+  c.rule = "r1";
+  c.index = 0;
+  c.new_value = Value(9);
+  ASSERT_TRUE(c.apply(p));
+  Change v;
+  v.kind = ChangeKind::ChangeAssignVar;
+  v.rule = "r1";
+  v.index = 0;
+  v.new_value = Value::str("V");
+  ASSERT_TRUE(v.apply(p));
+  EXPECT_NE(p.find_rule("r1")->to_string().find("Q := V"), std::string::npos);
+}
+
+TEST(Change, CopyRetargetValidatesArity) {
+  auto p = ndlog::parse_program(
+      "table A/3.\ntable T/3.\ntable W/2.\nevent B/3.\n"
+      "r1 A(@X,P,V) :- B(@X,P,V), P == 2.");
+  Change good;
+  good.kind = ChangeKind::CopyRuleRetarget;
+  good.rule = "r1";
+  good.new_head_table = "T";
+  ASSERT_TRUE(good.apply(p));
+  EXPECT_EQ(p.rules.size(), 2u);
+  EXPECT_TRUE(ndlog::is_valid(p));
+  Change bad;
+  bad.kind = ChangeKind::CopyRuleRetarget;
+  bad.rule = "r1";
+  bad.new_head_table = "W";  // arity mismatch, no permutation
+  EXPECT_FALSE(bad.apply(p));
+}
+
+TEST(Change, ApplyCandidateRejectsInvalid) {
+  auto p = tiny();
+  RepairCandidate c;
+  Change ch;
+  ch.kind = ChangeKind::ChangeSelConst;
+  ch.rule = "missing-rule";
+  c.changes.push_back(ch);
+  EXPECT_FALSE(repair::apply_candidate(p, c).has_value());
+}
+
+TEST(CostModel, OrdersPlausibility) {
+  const auto& m = repair::default_cost_model();
+  auto p = tiny();
+  Change near;
+  near.kind = ChangeKind::ChangeSelConst;
+  near.rule = "r1";
+  near.index = 0;
+  near.side = 1;
+  near.new_value = Value(3);  // 2 -> 3: off-by-one
+  Change far = near;
+  far.new_value = Value(99);
+  Change del;
+  del.kind = ChangeKind::DeleteSel;
+  Change rule_del;
+  rule_del.kind = ChangeKind::DeleteRule;
+  EXPECT_LT(m.cost(near, p), m.cost(far, p));
+  EXPECT_LT(m.cost(far, p), m.cost(del, p));
+  EXPECT_LT(m.cost(del, p), m.cost(rule_del, p));
+}
+
+// --- forest explorer on a micro program --------------------------------
+
+TEST(Forest, MissingTupleYieldsConstOpDeleteRepairs) {
+  eval::Engine e(ndlog::parse_program(
+      "table A/2.\nevent B/2.\nr1 A(@X,Q) :- B(@X,Q), Q == 2."));
+  e.insert(eval::Tuple{"B", {Value(1), Value(7)}});
+  repair::Symptom sym;
+  sym.pattern.table = "A";
+  sym.pattern.fields = {{1, ndlog::CmpOp::Eq, Value(7)}};
+  repair::RepairSpaceConfig cfg;
+  repair::ForestExplorer explorer(e, cfg);
+  auto cands = explorer.explore(sym);
+  ASSERT_FALSE(cands.empty());
+  bool has_const = false, has_op = false, has_del = false;
+  for (const auto& c : cands) {
+    for (const auto& ch : c.changes) {
+      if (ch.kind == ChangeKind::ChangeSelConst && ch.new_value == Value(7)) {
+        has_const = true;
+      }
+      if (ch.kind == ChangeKind::ChangeSelOp) has_op = true;
+      if (ch.kind == ChangeKind::DeleteSel) has_del = true;
+    }
+  }
+  EXPECT_TRUE(has_const);
+  EXPECT_TRUE(has_op);
+  EXPECT_TRUE(has_del);
+  // Cost order: candidates must be non-decreasing.
+  for (size_t i = 1; i < cands.size(); ++i) {
+    EXPECT_LE(cands[i - 1].cost, cands[i].cost);
+  }
+  // Every candidate must apply cleanly.
+  for (const auto& c : cands) {
+    EXPECT_TRUE(repair::apply_candidate(e.program(), c).has_value())
+        << c.description;
+  }
+}
+
+TEST(Forest, UnwantedTupleYieldsBreakingRepairs) {
+  eval::Engine e(ndlog::parse_program(
+      "table A/2.\ntable B/2.\nr1 A(@X,Q) :- B(@X,Q), Q > 0."));
+  e.insert(eval::Tuple{"B", {Value(1), Value(7)}});
+  ASSERT_TRUE(e.exists(Value(1), "A", {Value(1), Value(7)}));
+  repair::Symptom sym;
+  sym.polarity = repair::Symptom::Polarity::Unwanted;
+  sym.pattern.table = "A";
+  sym.pattern.fields = {{1, ndlog::CmpOp::Eq, Value(7)}};
+  repair::RepairSpaceConfig cfg;
+  repair::ForestExplorer explorer(e, cfg);
+  auto cands = explorer.explore(sym);
+  ASSERT_FALSE(cands.empty());
+  bool kills = false;
+  for (const auto& c : cands) {
+    auto prog = repair::apply_candidate(e.program(), c);
+    if (!prog) continue;
+    eval::Engine e2(*prog);
+    bool deleted_base = false;
+    for (const auto& d : repair::candidate_deletions(c)) {
+      if (d.table == "B") deleted_base = true;
+    }
+    if (!deleted_base) e2.insert(eval::Tuple{"B", {Value(1), Value(7)}});
+    if (!e2.exists(Value(1), "A", {Value(1), Value(7)})) kills = true;
+  }
+  EXPECT_TRUE(kills) << "at least one repair must remove the tuple";
+}
+
+TEST(Forest, RecursesThroughMissingBodyTuples) {
+  eval::Engine e(ndlog::parse_program(
+      "table A/2.\ntable M/2.\nevent B/2.\n"
+      "r1 A(@X,Q) :- M(@X,Q), Q > 0.\n"
+      "r2 M(@X,Q) :- B(@X,Q), Q > 100."));
+  e.insert(eval::Tuple{"B", {Value(1), Value(7)}});  // blocked by Q > 100
+  repair::Symptom sym;
+  sym.pattern.table = "A";
+  sym.pattern.fields = {{1, ndlog::CmpOp::Eq, Value(7)}};
+  repair::RepairSpaceConfig cfg;
+  repair::ForestExplorer explorer(e, cfg);
+  auto cands = explorer.explore(sym);
+  bool touches_r2 = false;
+  for (const auto& c : cands) {
+    for (const auto& ch : c.changes) {
+      if (ch.rule == "r2") touches_r2 = true;
+    }
+  }
+  EXPECT_TRUE(touches_r2) << "the fix lies one derivation deeper (r2)";
+}
+
+TEST(Generator, ReportsPhases) {
+  eval::Engine e(ndlog::parse_program(
+      "table A/2.\nevent B/2.\nr1 A(@X,Q) :- B(@X,Q), Q == 2."));
+  e.insert(eval::Tuple{"B", {Value(1), Value(7)}});
+  repair::Symptom sym;
+  sym.pattern.table = "A";
+  sym.pattern.fields = {{1, ndlog::CmpOp::Eq, Value(7)}};
+  repair::RepairGenerator gen(e, {});
+  auto report = gen.generate(sym);
+  EXPECT_FALSE(report.candidates.empty());
+  EXPECT_GT(report.phases.total(), 0.0);
+  EXPECT_GT(report.stats.solver.calls, 0u);
+}
+
+// --- language frontends -------------------------------------------------
+
+TEST(Imp, CondAndInstallSemantics) {
+  using namespace imp;
+  Cond c{Operand::pkt(sdn::Field::Dpt), ndlog::CmpOp::Eq, Operand::literal(80)};
+  sdn::Packet p;
+  p.dpt = 80;
+  EXPECT_TRUE(c.eval(1, 0, p));
+  p.dpt = 53;
+  EXPECT_FALSE(c.eval(1, 0, p));
+  EXPECT_FALSE(Program{}.to_string().empty());
+}
+
+TEST(Imp, RepairsFixSingleFailingGuard) {
+  using namespace imp;
+  Program prog;
+  prog.blocks = {{{Cond{Operand::switch_id(), ndlog::CmpOp::Eq,
+                        Operand::literal(2)}},
+                  {Install{{sdn::Field::Dpt}, Operand::literal(2), true}}}};
+  ImpSymptom sym;
+  sym.sw = 3;
+  sym.want_port = 2;
+  auto cands = generate_repairs(prog, sym);
+  ASSERT_GT(cands.size(), 2u);
+  bool lit_fix = false;
+  for (const auto& c : cands) {
+    if (c.kind == ImpChangeKind::ChangeLit && c.new_lit == 3) {
+      lit_fix = true;
+      Program fixed = c.apply(prog);
+      EXPECT_TRUE(fixed.blocks[0].guard[0].eval(3, 0, sym.packet));
+    }
+  }
+  EXPECT_TRUE(lit_fix);
+}
+
+TEST(Netcore, PolicyEvaluation) {
+  using netcore::Policy;
+  auto pol = Policy::par(
+      Policy::match_sw(1, Policy::match(sdn::Field::Dpt, 80, Policy::fwd(2))),
+      Policy::match_sw(2, Policy::drop()));
+  sdn::Packet p;
+  p.dpt = 80;
+  EXPECT_EQ(eval_policy(pol, 1, 0, p), std::vector<int64_t>{2});
+  EXPECT_TRUE(eval_policy(pol, 2, 0, p).empty());
+  p.dpt = 53;
+  EXPECT_TRUE(eval_policy(pol, 1, 0, p).empty());
+  EXPECT_GT(pol->size(), 4u);
+  EXPECT_FALSE(pol->to_string().empty());
+}
+
+TEST(Netcore, MatchValueRepairRebuildsTree) {
+  using netcore::Policy;
+  auto pol = Policy::match_sw(2, Policy::match(sdn::Field::Dpt, 80,
+                                               Policy::fwd(2)));
+  netcore::NetcoreSymptom sym;
+  sym.sw = 3;
+  sym.packet.dpt = 80;
+  sym.want_port = 2;
+  auto cands = netcore::generate_repairs(pol, sym);
+  bool fixed_any = false;
+  for (const auto& c : cands) {
+    if (c.kind != netcore::NetcoreChange::Kind::ChangeMatchValue) continue;
+    auto repaired = c.apply(pol);
+    if (!eval_policy(repaired, 3, 0, sym.packet).empty()) fixed_any = true;
+  }
+  EXPECT_TRUE(fixed_any);
+  // Equality-only: no operator mutations may exist in the netcore space
+  // (the paper: operator repairs are "disallowed because of the syntax of
+  // match").
+  for (const auto& c : cands) {
+    const std::string d = c.describe(pol);
+    EXPECT_EQ(d.find("!="), std::string::npos) << d;
+    EXPECT_EQ(d.find(" > "), std::string::npos) << d;
+  }
+}
+
+// --- full scenarios -------------------------------------------------------
+
+class ScenarioPipeline : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScenarioPipeline, GeneratesAndAcceptsPaperLikeRepairs) {
+  for (auto& s : scenario::all_scenarios()) {
+    if (s.id != GetParam()) continue;
+    scenario::PipelineOptions opt;
+    opt.multiquery = true;
+    auto r = scenario::run_pipeline(s, opt);
+    EXPECT_GE(r.candidates, 5u) << s.id;
+    EXPECT_GE(r.effective, 1u) << s.id;
+    EXPECT_GE(r.accepted, 1u) << s.id;
+    EXPECT_LT(r.accepted, r.candidates) << s.id << ": gate must reject some";
+    // The ground-truth fix (or its equivalent) must be accepted.
+    bool truth_accepted = false;
+    for (const auto& e : r.backtest.entries) {
+      if (e.accepted) truth_accepted = true;
+    }
+    EXPECT_TRUE(truth_accepted);
+    return;
+  }
+  FAIL() << "scenario not found";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioPipeline,
+                         ::testing::Values("Q1", "Q2", "Q3", "Q4", "Q5"));
+
+TEST(Scenario, GroundTruthProgramsFixSymptoms) {
+  for (auto& s : scenario::all_scenarios()) {
+    // Replaying the *fixed* program must satisfy the symptom predicate.
+    scenario::ScenarioHarness harness(s);
+    auto base = harness.replay_baseline();
+    EXPECT_FALSE(base.symptom_fixed);
+    // Wrap the fixed program as a "candidate" via rule-by-rule diffs is
+    // complex; instead run it directly.
+    eval::EngineOptions eopts;
+    scenario::ScenarioRun run(s, s.fixed, eopts);
+    run.insert_config();
+    run.replay(harness.workload());
+    auto out = backtest::outcome_from_stats(run.net().stats());
+    EXPECT_TRUE(s.symptom_fixed(out, base, run.engine(), eval::kAllTags))
+        << s.id << ": the ground-truth fix must cure the symptom";
+  }
+}
+
+TEST(Scenario, SequentialAndJointBacktestsAgree) {
+  auto s = scenario::q1_copy_paste({});
+  scenario::ScenarioHarness h(s);
+  repair::RepairCandidate fix;
+  Change c;
+  c.kind = ChangeKind::ChangeSelConst;
+  c.rule = "r7";
+  c.index = 0;
+  c.side = 1;
+  c.new_value = Value(3);
+  fix.changes.push_back(c);
+  auto seq = h.replay(fix);
+  auto joint = h.replay_joint({fix});
+  ASSERT_EQ(joint.size(), 1u);
+  EXPECT_EQ(seq.delivered, joint[0].delivered);
+  EXPECT_EQ(seq.dropped, joint[0].dropped);
+  EXPECT_EQ(seq.symptom_fixed, joint[0].symptom_fixed);
+  EXPECT_EQ(seq.per_host.counts(), joint[0].per_host.counts());
+}
+
+}  // namespace
+}  // namespace mp
+
+// --- imp text frontend ----------------------------------------------------
+
+#include "langs/imp/parser.h"
+
+namespace mp {
+namespace {
+
+TEST(ImpParser, ParsesHandler) {
+  auto prog = imp::parse_program(R"(
+    # load balancer, buggy copy of the S2 block
+    def packet_in(sw, pkt) {
+      if (sw == 1 && pkt.dpt == 80 && pkt.bucket == 1) {
+        install(match(dpt, bucket), out(2));
+      }
+      if (sw == 2 && pkt.dpt == 80) { install(match(dpt), out(1), no_packet_out); }
+    }
+  )");
+  ASSERT_EQ(prog.blocks.size(), 2u);
+  EXPECT_EQ(prog.blocks[0].guard.size(), 3u);
+  EXPECT_EQ(prog.blocks[0].body[0].match_fields.size(), 2u);
+  EXPECT_TRUE(prog.blocks[0].body[0].send_packet_out);
+  EXPECT_FALSE(prog.blocks[1].body[0].send_packet_out);
+  EXPECT_EQ(prog.name, "packet_in");
+}
+
+TEST(ImpParser, ParsedProgramExecutes) {
+  auto prog = imp::parse_program(
+      "def packet_in(sw, pkt) {"
+      "  if (sw == 1 && pkt.dpt == 80) { install(match(dpt), out(3)); }"
+      "}");
+  sdn::Network net;
+  net.add_switch(1);
+  net.add_host({1, "H", 9, 0, 1, 3});
+  imp::ImpController ctrl(net, prog);
+  net.set_controller(&ctrl);
+  sdn::Packet p;
+  p.dpt = 80;
+  net.inject(1, 1, p);
+  EXPECT_EQ(net.stats().per_host.get("H"), 1.0);
+}
+
+TEST(ImpParser, RejectsBadSyntax) {
+  EXPECT_THROW(imp::parse_program("def x { }"), imp::ImpParseError);
+  EXPECT_THROW(imp::parse_program(
+                   "def packet_in(sw, pkt) { if (pkt.zzz == 1) { } }"),
+               imp::ImpParseError);
+  EXPECT_THROW(imp::parse_program(
+                   "def packet_in(sw, pkt) { if (sw ~ 1) { } }"),
+               imp::ImpParseError);
+}
+
+TEST(ImpParser, RoundTripsWithRepairSpace) {
+  auto prog = imp::parse_program(
+      "def packet_in(sw, pkt) {"
+      "  if (sw == 2 && pkt.dpt == 80) { install(match(dpt), out(2)); }"
+      "}");
+  imp::ImpSymptom sym;
+  sym.sw = 3;
+  sym.packet.dpt = 80;
+  sym.want_port = 2;
+  auto cands = imp::generate_repairs(prog, sym);
+  EXPECT_GE(cands.size(), 4u);
+}
+
+}  // namespace
+}  // namespace mp
+
+// --- netcore text frontend ------------------------------------------------
+
+#include "langs/netcore/parser.h"
+
+namespace mp {
+namespace {
+
+TEST(NetcoreParser, ParsesCompositePolicy) {
+  auto pol = netcore::parse_policy(R"(
+    # Q1-style policy
+    match(switch=1)[ match(dpt=80)[ match(bucket=1)[fwd(2)]
+                                  | match(bucket=2)[fwd(3)] ]
+                   | match(dpt=53)[fwd(3)] ]
+    | match(switch=2)[ match(dpt=80)[fwd(1)] ]
+  )");
+  sdn::Packet p;
+  p.dpt = 80;
+  p.bucket = 2;
+  EXPECT_EQ(eval_policy(pol, 1, 0, p), std::vector<int64_t>{3});
+  EXPECT_EQ(eval_policy(pol, 2, 0, p), std::vector<int64_t>{1});
+  p.dpt = 22;
+  EXPECT_TRUE(eval_policy(pol, 1, 0, p).empty());
+}
+
+TEST(NetcoreParser, SequentialAndModify) {
+  auto pol = netcore::parse_policy(
+      "match(dpt=80)[fwd(1)] >> modify(dip=9)[fwd(2)]");
+  sdn::Packet p;
+  p.dpt = 80;
+  EXPECT_EQ(eval_policy(pol, 1, 0, p), std::vector<int64_t>{2});
+  p.dpt = 53;
+  EXPECT_TRUE(eval_policy(pol, 1, 0, p).empty());
+}
+
+TEST(NetcoreParser, RejectsBadSyntax) {
+  EXPECT_THROW(netcore::parse_policy("fwd()"), netcore::NetcoreParseError);
+  EXPECT_THROW(netcore::parse_policy("match(zzz=1)[drop]"),
+               netcore::NetcoreParseError);
+  EXPECT_THROW(netcore::parse_policy("modify(switch=3)[drop]"),
+               netcore::NetcoreParseError);
+  EXPECT_THROW(netcore::parse_policy("fwd(1) fwd(2)"),
+               netcore::NetcoreParseError);
+}
+
+TEST(NetcoreParser, RoundTripThroughPrinter) {
+  auto pol = netcore::parse_policy(
+      "match(switch=2)[match(dpt=80)[fwd(2)]] | drop");
+  EXPECT_FALSE(pol->to_string().empty());
+  EXPECT_EQ(pol->size(), 5u);
+}
+
+}  // namespace
+}  // namespace mp

@@ -1,0 +1,22 @@
+#include <cstdio>
+#include "scenarios/pipeline.h"
+using namespace mp;
+int main(int argc, char** argv) {
+  const char* which = argc > 1 ? argv[1] : "Q1";
+  for (auto& s : scenario::all_scenarios()) {
+    if (s.id != which && std::string(which) != "ALL") continue;
+    scenario::PipelineOptions opt;
+    opt.multiquery = true;
+    auto r = scenario::run_pipeline(s, opt);
+    std::printf("%s: candidates=%zu effective=%zu accepted=%zu (%.2fs)\n",
+                s.id.c_str(), r.candidates, r.effective, r.accepted,
+                r.total_seconds);
+    for (auto& e : r.backtest.entries) {
+      std::printf("  [%c%c] cost=%.2f ks=%.5f  %s\n",
+                  e.effective ? 'E' : '-', e.accepted ? 'A' : '-',
+                  e.candidate.cost, e.ks.statistic,
+                  e.candidate.description.c_str());
+    }
+  }
+  return 0;
+}
