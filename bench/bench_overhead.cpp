@@ -35,6 +35,43 @@ void BM_PacketInProcessing(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketInProcessing)->Arg(0)->Arg(1);
 
+// Join-heavy rule firing: a trigger event joined against two materialized
+// tables of `range(0)` rows each, with the join columns bound by the
+// trigger. With secondary indexes (range(1)=1) each atom is a hash-probe
+// hitting one row; with indexes disabled every atom re-scans its whole
+// TableStore, so per-insert cost degrades from O(matches) to O(rows).
+// tools/run_bench.sh records both throughputs in BENCH_engine.json.
+void BM_JoinHeavyRuleFiring(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  eval::EngineOptions opt;
+  opt.record_provenance = false;
+  opt.use_indexes = state.range(1) != 0;
+  opt.max_steps = ~size_t{0} >> 1;  // steps accumulate across iterations
+  eval::Engine engine(
+      ndlog::parse_program(
+          "table Neighbor/3.\ntable Cost/3.\ntable Out/4.\nevent Query/2.\n"
+          "r1 Out(@S,N,W,C) :- Query(@S,N), Neighbor(@S,N,W), Cost(@S,N,C)."),
+      opt);
+  for (int64_t i = 0; i < n; ++i) {
+    engine.insert(eval::Tuple{"Neighbor", {Value(1), Value(i), Value(i * 3)}});
+    engine.insert(eval::Tuple{"Cost", {Value(1), Value(i), Value(i * 7)}});
+  }
+  int64_t k = 0;
+  for (auto _ : state) {
+    engine.insert(eval::Tuple{"Query", {Value(1), Value(k++ % n)}});
+    benchmark::DoNotOptimize(engine.rule_firings());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["firings_per_sec"] = benchmark::Counter(
+      static_cast<double>(engine.rule_firings()), benchmark::Counter::kIsRate);
+  state.SetLabel(opt.use_indexes ? "indexes ON" : "forced full scans");
+}
+BENCHMARK(BM_JoinHeavyRuleFiring)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({8192, 0})
+    ->Args({8192, 1});
+
 // Flow-table lookup cost (switch fast path).
 void BM_FlowTableLookup(benchmark::State& state) {
   sdn::FlowTable ft;

@@ -1,5 +1,7 @@
 #include "eval/database.h"
 
+#include <algorithm>
+
 namespace mp::eval {
 
 Entry* TableStore::find(const Row& row) {
@@ -12,9 +14,60 @@ const Entry* TableStore::find(const Row& row) const {
   return it == rows_.end() ? nullptr : &it->second;
 }
 
-Entry& TableStore::insert(const Row& row) { return rows_[row]; }
+Entry& TableStore::insert(const Row& row) {
+  auto [it, inserted] = rows_.try_emplace(row);
+  if (inserted && index_specs_ != nullptr) add_to_indexes(*it);
+  return it->second;
+}
 
-void TableStore::erase(const Row& row) { rows_.erase(row); }
+void TableStore::erase(const Row& row) {
+  auto it = rows_.find(row);
+  if (it == rows_.end()) return;
+  if (index_specs_ != nullptr) remove_from_indexes(*it);
+  rows_.erase(it);
+}
+
+namespace {
+
+// Projection of `row` onto an index's column set; false when the row is
+// too short to project (such a row can never match the index's atoms and
+// is kept out of its buckets entirely).
+bool project_key(const Row& row, const std::vector<uint32_t>& cols, Row& key) {
+  key.clear();
+  key.reserve(cols.size());
+  for (uint32_t c : cols) {
+    if (c >= row.size()) return false;
+    key.push_back(row[c]);
+  }
+  return true;
+}
+
+}  // namespace
+
+void TableStore::add_to_indexes(const Item& item) {
+  Row key;
+  for (size_t i = 0; i < index_specs_->size(); ++i) {
+    if (!project_key(item.first, (*index_specs_)[i], key)) continue;
+    indexes_[i][std::move(key)].push_back(&item);
+    key = Row();  // moved-from: make reuse explicit
+  }
+}
+
+void TableStore::remove_from_indexes(const Item& item) {
+  Row key;
+  for (size_t i = 0; i < index_specs_->size(); ++i) {
+    if (!project_key(item.first, (*index_specs_)[i], key)) continue;
+    auto bit = indexes_[i].find(key);
+    if (bit == indexes_[i].end()) continue;
+    Bucket& bucket = bit->second;
+    auto pos = std::find(bucket.begin(), bucket.end(), &item);
+    if (pos != bucket.end()) {
+      *pos = bucket.back();
+      bucket.pop_back();
+    }
+    if (bucket.empty()) indexes_[i].erase(bit);
+  }
+}
 
 std::optional<Row> TableStore::row_with_key(const Row& key) const {
   auto it = key_index_.find(key);
@@ -28,9 +81,26 @@ void TableStore::index_key(const Row& key, const Row& row) {
 
 void TableStore::unindex_key(const Row& key) { key_index_.erase(key); }
 
+TableStore& Database::store(TableId id) {
+  if (id >= stores_.size()) stores_.resize(id + 1);
+  auto& slot = stores_[id];
+  if (slot == nullptr) {
+    slot = std::make_unique<TableStore>();
+    if (specs_ != nullptr) slot->configure_indexes(specs_->for_table(id));
+  }
+  return *slot;
+}
+
 std::vector<Row> Database::rows(const std::string& table) const {
+  if (catalog_ == nullptr) return {};
+  const TableId id = catalog_->id_of(table);
+  if (id == ndlog::Catalog::kNoTable) return {};
+  return rows(id);
+}
+
+std::vector<Row> Database::rows(TableId id) const {
   std::vector<Row> out;
-  const TableStore* t = this->table(table);
+  const TableStore* t = store_if(id);
   if (t == nullptr) return out;
   for (const auto& [row, entry] : t->rows()) {
     if (entry.support > 0) out.push_back(row);
@@ -40,8 +110,9 @@ std::vector<Row> Database::rows(const std::string& table) const {
 
 size_t Database::tuple_count() const {
   size_t n = 0;
-  for (const auto& [name, t] : tables_) {
-    for (const auto& [row, entry] : t.rows()) {
+  for (const auto& t : stores_) {
+    if (t == nullptr) continue;
+    for (const auto& [row, entry] : t->rows()) {
       if (entry.support > 0) ++n;
     }
   }

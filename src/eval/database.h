@@ -1,12 +1,16 @@
 // Per-node storage for materialized tables: rows with derivation-support
-// counts, candidate-tag masks and primary-key replacement semantics.
+// counts, candidate-tag masks, primary-key replacement semantics, and
+// secondary hash indexes on the column sets that compiled rule plans
+// probe at join time.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "eval/plan.h"
 #include "eval/tuple.h"
 #include "ndlog/schema.h"
 
@@ -21,6 +25,16 @@ struct Entry {
 class TableStore {
  public:
   using RowMap = std::unordered_map<Row, Entry, RowHash>;
+  using Item = RowMap::value_type;  // pair<const Row, Entry>: node-stable
+  using Bucket = std::vector<const Item*>;
+
+  // Wires up the secondary indexes this table maintains; `specs` (owned by
+  // the engine, same lifetime) lists one sorted column set per index. Must
+  // be called before rows are inserted (stores are created empty).
+  void configure_indexes(const std::vector<std::vector<uint32_t>>* specs) {
+    index_specs_ = specs;
+    if (specs != nullptr) indexes_.resize(specs->size());
+  }
 
   Entry* find(const Row& row);
   const Entry* find(const Row& row) const;
@@ -29,6 +43,14 @@ class TableStore {
   const RowMap& rows() const { return rows_; }
   size_t size() const { return rows_.size(); }
 
+  // Rows whose projection onto index `index_id`'s columns equals `key`;
+  // nullptr when the bucket is empty.
+  const Bucket* probe(size_t index_id, const Row& key) const {
+    const auto& ix = indexes_[index_id];
+    auto it = ix.find(key);
+    return it == ix.end() ? nullptr : &it->second;
+  }
+
   // Key index support: returns the currently stored row with the given
   // primary key, if any (used for key-replacement updates).
   std::optional<Row> row_with_key(const Row& key) const;
@@ -36,17 +58,43 @@ class TableStore {
   void unindex_key(const Row& key);
 
  private:
+  void add_to_indexes(const Item& item);
+  void remove_from_indexes(const Item& item);
+
   RowMap rows_;
+  const std::vector<std::vector<uint32_t>>* index_specs_ = nullptr;
+  std::vector<std::unordered_map<Row, Bucket, RowHash>> indexes_;
   std::unordered_map<Row, Row, RowHash> key_index_;
 };
 
-// All materialized state of one simulated node.
+// All materialized state of one simulated node. Stores are keyed by the
+// catalog's dense TableId on the hot path; the string-keyed API remains
+// for external consumers (scenarios, provenance, tests) and is const-only
+// so a lookup can never create an empty store as a side effect.
 class Database {
  public:
-  TableStore& table(const std::string& name) { return tables_[name]; }
+  // Called by the engine when the node first appears. The catalog maps
+  // names to ids; the specs say which secondary indexes each new store
+  // must maintain. Both outlive the database.
+  void init(const ndlog::Catalog* catalog, const IndexSpecs* specs) {
+    catalog_ = catalog;
+    specs_ = specs;
+  }
+
+  // Store for `id`, created (and its indexes configured) on first use.
+  TableStore& store(TableId id);
+  // Existing store or nullptr; never creates.
+  TableStore* store_if(TableId id) {
+    return id < stores_.size() ? stores_[id].get() : nullptr;
+  }
+  const TableStore* store_if(TableId id) const {
+    return id < stores_.size() ? stores_[id].get() : nullptr;
+  }
+
   const TableStore* table(const std::string& name) const {
-    auto it = tables_.find(name);
-    return it == tables_.end() ? nullptr : &it->second;
+    if (catalog_ == nullptr) return nullptr;
+    const TableId id = catalog_->id_of(name);
+    return id == ndlog::Catalog::kNoTable ? nullptr : store_if(id);
   }
   bool exists(const std::string& table, const Row& row) const {
     const TableStore* t = this->table(table);
@@ -55,13 +103,13 @@ class Database {
     return e != nullptr && e->support > 0;
   }
   std::vector<Row> rows(const std::string& table) const;
+  std::vector<Row> rows(TableId id) const;
   size_t tuple_count() const;
-  const std::unordered_map<std::string, TableStore>& tables() const {
-    return tables_;
-  }
 
  private:
-  std::unordered_map<std::string, TableStore> tables_;
+  const ndlog::Catalog* catalog_ = nullptr;
+  const IndexSpecs* specs_ = nullptr;
+  std::vector<std::unique_ptr<TableStore>> stores_;
 };
 
 }  // namespace mp::eval

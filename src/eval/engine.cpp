@@ -35,11 +35,25 @@ bool eval_expr(const ndlog::Expr& e, const Env& env, Value& out) {
 
 Engine::Engine(ndlog::Program program, EngineOptions opt)
     : program_(std::move(program)), catalog_(program_), opt_(opt) {
+  compiled_.reserve(program_.rules.size());
+  for (const auto& rule : program_.rules) {
+    compiled_.push_back(compile_rule(rule, catalog_, index_specs_));
+  }
+  triggers_by_table_.resize(catalog_.size());
+  rule_restrict_.assign(program_.rules.size(), kAllTags);
   for (size_t r = 0; r < program_.rules.size(); ++r) {
     for (size_t b = 0; b < program_.rules[r].body.size(); ++b) {
-      trigger_index_[program_.rules[r].body[b].table].emplace_back(r, b);
+      const TableId tid = catalog_.id_of(program_.rules[r].body[b].table);
+      triggers_by_table_[tid].emplace_back(static_cast<uint32_t>(r),
+                                           static_cast<uint32_t>(b));
     }
   }
+}
+
+Database& Engine::node_db(const Value& node) {
+  auto [it, inserted] = nodes_.try_emplace(node);
+  if (inserted) it->second.init(&catalog_, &index_specs_);
+  return it->second;
 }
 
 void Engine::insert(const Tuple& t, TagMask tags) {
@@ -48,15 +62,18 @@ void Engine::insert(const Tuple& t, TagMask tags) {
   if (opt_.record_provenance) {
     cause = log_.append(EventKind::Insert, t.location(), t, tags);
   }
-  enqueue_appear(t, tags, cause);
+  enqueue_appear(t, catalog_.intern(t.table), tags, cause);
   run_queue();
 }
 
 void Engine::remove(const Tuple& t) {
+  const TableId tid = catalog_.id_of(t.table);
+  if (tid == ndlog::Catalog::kNoTable) return;
   auto node_it = nodes_.find(t.location());
   if (node_it == nodes_.end()) return;
-  TableStore& store = node_it->second.table(t.table);
-  Entry* e = store.find(t.row);
+  TableStore* store = node_it->second.store_if(tid);
+  if (store == nullptr) return;
+  Entry* e = store->find(t.row);
   if (e == nullptr || e->support <= 0) return;
   if (opt_.record_provenance) {
     log_.append(EventKind::Delete, t.location(), t, e->tags);
@@ -80,8 +97,10 @@ std::vector<Row> Engine::rows(const Value& node, const std::string& table) const
 
 std::vector<Tuple> Engine::all_tuples(const std::string& table) const {
   std::vector<Tuple> out;
+  const TableId tid = catalog_.id_of(table);
+  if (tid == ndlog::Catalog::kNoTable) return out;
   for (const auto& [node, db] : nodes_) {
-    for (Row& row : db.rows(table)) {
+    for (Row& row : db.rows(tid)) {
       out.push_back(Tuple{table, std::move(row)});
     }
   }
@@ -109,11 +128,15 @@ void Engine::on_appear(const std::string& table,
 }
 
 void Engine::set_rule_restrict(const std::string& rule, TagMask mask) {
-  rule_restrict_[rule] = mask;
+  // By name, not by index: duplicate rule names (invalid but possible in
+  // candidate programs) must all be restricted.
+  for (size_t r = 0; r < program_.rules.size(); ++r) {
+    if (program_.rules[r].name == rule) rule_restrict_[r] = mask;
+  }
 }
 
-void Engine::enqueue_appear(Tuple t, TagMask tags, EventId cause) {
-  queue_.push_back(PendingAppear{std::move(t), tags, cause});
+void Engine::enqueue_appear(Tuple t, TableId tid, TagMask tags, EventId cause) {
+  queue_.push_back(PendingAppear{std::move(t), tid, tags, cause});
 }
 
 void Engine::run_queue() {
@@ -126,7 +149,7 @@ void Engine::run_queue() {
       break;
     }
     PendingAppear p = std::move(queue_.front());
-    queue_.erase(queue_.begin());
+    queue_.pop_front();
     handle_appear(p);
   }
   running_ = false;
@@ -134,18 +157,16 @@ void Engine::run_queue() {
 
 void Engine::handle_appear(const PendingAppear& p) {
   const Value& node = p.tuple.location();
-  const bool is_event = catalog_.is_event(p.tuple.table);
+  const bool is_event = catalog_.is_event(p.table_id);
   EventId appear_ev = p.cause;
 
   if (!is_event) {
-    Database& db = nodes_[node];
-    TableStore& store = db.table(p.tuple.table);
+    TableStore& store = node_db(node).store(p.table_id);
 
     // Primary-key replacement: displace an existing row with the same key.
-    const ndlog::TableDecl* decl = catalog_.find(p.tuple.table);
-    if (decl != nullptr && !decl->keys.empty() &&
-        decl->keys.size() < decl->arity) {
-      const Row key = catalog_.key_of(p.tuple.table, p.tuple.row);
+    const ndlog::TableDecl& decl = catalog_.decl(p.table_id);
+    if (!decl.keys.empty() && decl.keys.size() < decl.arity) {
+      const Row key = catalog_.key_of(p.table_id, p.tuple.row);
       if (auto old = store.row_with_key(key); old && *old != p.tuple.row) {
         const Entry* oe = store.find(*old);
         if (oe != nullptr && oe->support > 0) {
@@ -184,117 +205,168 @@ void Engine::handle_appear(const PendingAppear& p) {
     for (const auto& cb : cb_it->second) cb(p.tuple, p.tags);
   }
 
-  fire_rules(node, p.tuple, p.tags, appear_ev);
+  fire_rules(node, p.tuple, p.table_id, p.tags, appear_ev);
 }
 
-void Engine::fire_rules(const Value& node, const Tuple& trigger, TagMask mask,
-                        EventId trigger_event) {
-  auto it = trigger_index_.find(trigger.table);
-  if (it == trigger_index_.end()) return;
-  for (const auto& [rule_idx, body_idx] : it->second) {
-    const ndlog::Rule& rule = program_.rules[rule_idx];
+void Engine::fire_rules(const Value& node, const Tuple& trigger, TableId tid,
+                        TagMask mask, EventId trigger_event) {
+  if (tid >= triggers_by_table_.size()) return;  // interned after construction
+  auto node_it = nodes_.find(node);
+  const Database* db = node_it == nodes_.end() ? nullptr : &node_it->second;
+  for (const auto& [rule_idx, body_idx] : triggers_by_table_[tid]) {
+    const CompiledRule& cr = compiled_[rule_idx];
+    const TriggerPlan& tp = cr.triggers[body_idx];
+    if (tp.dead) continue;
     TagMask rule_mask = mask;
     if (opt_.tag_mode) {
-      auto rit = rule_restrict_.find(rule.name);
-      if (rit != rule_restrict_.end()) rule_mask &= rit->second;
+      rule_mask &= rule_restrict_[rule_idx];
       if (rule_mask == 0) continue;
     }
-    Env env;
-    if (!unify(rule.body[body_idx], trigger.row, env)) continue;
-    std::vector<size_t> remaining;
-    for (size_t b = 0; b < rule.body.size(); ++b) {
-      if (b != body_idx) remaining.push_back(b);
+    if (trigger.row.size() != tp.arity) continue;
+    frame_.reset(cr.nslots);
+    if (!unify_ops(tp.trigger_ops, trigger.row, frame_)) continue;
+    const ndlog::Rule& rule = program_.rules[rule_idx];
+    if (opt_.record_provenance) {
+      cause_scratch_.assign(rule.body.size(), kNoEvent);
+      body_scratch_.assign(rule.body.size(), Tuple{});
+      cause_scratch_[body_idx] = trigger_event;
+      body_scratch_[body_idx] = trigger;
     }
-    std::vector<EventId> causes{trigger_event};
-    std::vector<Tuple> body_tuples{trigger};
-    join_rest(rule, node, remaining, env, rule_mask, causes, body_tuples,
-              trigger_event, trigger);
+    exec_step(cr, rule, tp, 0, db, node, rule_mask, trigger, trigger_event);
+    if (diverged_) return;
   }
 }
 
-void Engine::join_rest(const ndlog::Rule& rule, const Value& node,
-                       std::vector<size_t>& remaining, Env& env, TagMask mask,
-                       std::vector<EventId>& cause_events,
-                       std::vector<Tuple>& body_tuples, EventId trigger_event,
-                       const Tuple& trigger) {
+void Engine::exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
+                       const TriggerPlan& tp, size_t step_idx,
+                       const Database* db, const Value& node, TagMask mask,
+                       const Tuple& trigger, EventId trigger_event) {
   if (++steps_ > opt_.max_steps) {
     diverged_ = true;
     return;
   }
-  if (remaining.empty()) {
-    finish_rule(rule, node, env, mask, cause_events, body_tuples);
+  if (step_idx == tp.steps.size()) {
+    finish_rule(cr, rule, node, mask);
     return;
   }
-  const size_t atom_idx = remaining.back();
-  remaining.pop_back();
-  const ndlog::Atom& atom = rule.body[atom_idx];
+  const AtomStep& st = tp.steps[step_idx];
 
-  // Event tables cannot be joined from storage (they are transient); the
-  // only way an event atom is satisfied is as the trigger itself.
-  if (!catalog_.is_event(atom.table)) {
-    auto node_it = nodes_.find(node);
-    if (node_it != nodes_.end()) {
-      const Database& node_db = node_it->second;
-      const TableStore* store = node_db.table(atom.table);
-      if (store != nullptr) {
-        for (const auto& [row, entry] : store->rows()) {
-          if (entry.support <= 0) continue;
-          TagMask m = opt_.tag_mode ? (mask & entry.tags) : mask;
-          if (opt_.tag_mode && m == 0) continue;
-          Env saved = env;
-          if (unify(atom, row, env)) {
-            cause_events.push_back(entry.appear_event);
-            body_tuples.push_back(Tuple{atom.table, row});
-            join_rest(rule, node, remaining, env, m, cause_events, body_tuples,
-                      trigger_event, trigger);
-            cause_events.pop_back();
-            body_tuples.pop_back();
-          }
-          env = std::move(saved);
-        }
+  if (st.access == AtomStep::Access::TriggerSelf) {
+    // Event tables cannot be joined from storage (they are transient); the
+    // only way an event atom is satisfied is as the trigger itself.
+    if (trigger.row.size() != st.arity) return;
+    const size_t m = frame_.mark();
+    if (unify_ops(st.full_ops, trigger.row, frame_)) {
+      if (opt_.record_provenance) {
+        cause_scratch_[st.body_pos] = trigger_event;
+        body_scratch_[st.body_pos] = trigger;
       }
+      exec_step(cr, rule, tp, step_idx + 1, db, node, mask, trigger,
+                trigger_event);
     }
-  } else if (atom.table == trigger.table) {
-    // Self-join with the triggering event tuple (rare but legal).
-    Env saved = env;
-    if (unify(atom, trigger.row, env)) {
-      cause_events.push_back(trigger_event);
-      body_tuples.push_back(trigger);
-      join_rest(rule, node, remaining, env, mask, cause_events, body_tuples,
-                trigger_event, trigger);
-      cause_events.pop_back();
-      body_tuples.pop_back();
-    }
-    env = std::move(saved);
+    frame_.undo_to(m);
+    return;
   }
-  remaining.push_back(atom_idx);
+
+  if (db == nullptr) return;
+  const TableStore* store = db->store_if(st.table);
+  if (store == nullptr) return;
+
+  if (st.access == AtomStep::Access::Probe && opt_.use_indexes) {
+    ++index_probes_;
+    // probe_key_ is scratch: dead once probe() returns, so reuse across
+    // recursion levels is safe.
+    probe_key_.clear();
+    probe_key_.reserve(st.key.size());
+    for (const KeyPart& kp : st.key) {
+      probe_key_.push_back(kp.is_const ? kp.cval : frame_.slots[kp.slot]);
+    }
+    const TableStore::Bucket* bucket =
+        store->probe(static_cast<size_t>(st.index_id), probe_key_);
+    if (bucket == nullptr) return;
+    for (const TableStore::Item* item : *bucket) {
+      const Entry& entry = item->second;
+      if (entry.support <= 0) continue;
+      const TagMask m2 = opt_.tag_mode ? (mask & entry.tags) : mask;
+      if (opt_.tag_mode && m2 == 0) continue;
+      if (item->first.size() != st.arity) continue;
+      const size_t m = frame_.mark();
+      if (unify_ops(st.residual_ops, item->first, frame_)) {
+        if (opt_.record_provenance) {
+          cause_scratch_[st.body_pos] = entry.appear_event;
+          body_scratch_[st.body_pos] =
+              Tuple{catalog_.name_of(st.table), item->first};
+        }
+        exec_step(cr, rule, tp, step_idx + 1, db, node, m2, trigger,
+                  trigger_event);
+      }
+      frame_.undo_to(m);
+      if (diverged_) return;
+    }
+    return;
+  }
+
+  // Full scan: atoms with zero bound columns, or use_indexes disabled.
+  ++full_scans_;
+  for (const auto& item : store->rows()) {
+    const Entry& entry = item.second;
+    if (entry.support <= 0) continue;
+    const TagMask m2 = opt_.tag_mode ? (mask & entry.tags) : mask;
+    if (opt_.tag_mode && m2 == 0) continue;
+    if (item.first.size() != st.arity) continue;
+    const size_t m = frame_.mark();
+    if (unify_ops(st.full_ops, item.first, frame_)) {
+      if (opt_.record_provenance) {
+        cause_scratch_[st.body_pos] = entry.appear_event;
+        body_scratch_[st.body_pos] =
+            Tuple{catalog_.name_of(st.table), item.first};
+      }
+      exec_step(cr, rule, tp, step_idx + 1, db, node, m2, trigger,
+                trigger_event);
+    }
+    frame_.undo_to(m);
+    if (diverged_) return;
+  }
 }
 
-void Engine::finish_rule(const ndlog::Rule& rule, const Value& node, Env env,
-                         TagMask mask, std::vector<EventId> cause_events,
-                         std::vector<Tuple> body_tuples) {
-  // Assignments bind new variables in order, then selections filter.
-  for (const auto& asg : rule.assigns) {
+void Engine::finish_rule(const CompiledRule& cr, const ndlog::Rule& rule,
+                         const Value& node, TagMask mask) {
+  const size_t m = frame_.mark();
+  // Assignments bind new slots in order, then selections filter.
+  for (const CompiledAssign& asg : cr.assigns) {
     Value v;
-    if (!eval_expr(*asg.expr, env, v)) return;
-    env[asg.var] = std::move(v);
+    if (!asg.expr.eval(frame_, v)) {
+      frame_.undo_to(m);
+      return;
+    }
+    frame_.rebind(asg.slot, std::move(v));
   }
-  for (const auto& sel : rule.sels) {
+  for (const CompiledSelection& sel : cr.sels) {
     Value a, b;
-    if (!eval_expr(*sel.lhs, env, a) || !eval_expr(*sel.rhs, env, b)) return;
-    if (!ndlog::cmp_eval(sel.op, a, b)) return;
+    if (!sel.lhs.eval(frame_, a) || !sel.rhs.eval(frame_, b) ||
+        !ndlog::cmp_eval(sel.op, a, b)) {
+      frame_.undo_to(m);
+      return;
+    }
   }
   Tuple head;
   head.table = rule.head.table;
-  head.row.reserve(rule.head.args.size());
-  for (const auto& arg : rule.head.args) {
+  head.row.reserve(cr.head_args.size());
+  for (const SlotExpr& arg : cr.head_args) {
     Value v;
-    if (!eval_expr(*arg, env, v)) return;
+    if (!arg.eval(frame_, v)) {
+      frame_.undo_to(m);
+      return;
+    }
     head.row.push_back(std::move(v));
   }
   ++firings_;
-  derive(rule, node, std::move(head), mask, std::move(cause_events),
-         std::move(body_tuples));
+  if (opt_.record_provenance) {
+    derive(rule, node, std::move(head), mask, cause_scratch_, body_scratch_);
+  } else {
+    derive(rule, node, std::move(head), mask, {}, {});
+  }
+  frame_.undo_to(m);
 }
 
 void Engine::derive(const ndlog::Rule& rule, const Value& src_node, Tuple head,
@@ -308,7 +380,9 @@ void Engine::derive(const ndlog::Rule& rule, const Value& src_node, Tuple head,
     rec.derive_event = derive_ev;
     rec.rule = rule.name;
     rec.head = head;
-    rec.body = body_tuples;
+    // body_tuples[i] corresponds to rule.body[i] (the repair engine's
+    // symbolic re-execution relies on this alignment).
+    rec.body = std::move(body_tuples);
     log_.add_derivation(std::move(rec));
   }
   EventId cause = derive_ev;
@@ -320,14 +394,18 @@ void Engine::derive(const ndlog::Rule& rule, const Value& src_node, Tuple head,
                                           : std::vector<EventId>{derive_ev});
     cause = log_.append(EventKind::Receive, dst, head, mask, {send_ev});
   }
-  enqueue_appear(std::move(head), mask, cause);
+  const TableId tid = catalog_.intern(head.table);
+  enqueue_appear(std::move(head), tid, mask, cause);
 }
 
 void Engine::retract(const Value& node, const Tuple& t) {
+  const TableId tid = catalog_.id_of(t.table);
+  if (tid == ndlog::Catalog::kNoTable) return;
   auto node_it = nodes_.find(node);
   if (node_it == nodes_.end()) return;
-  TableStore& store = node_it->second.table(t.table);
-  Entry* e = store.find(t.row);
+  TableStore* store = node_it->second.store_if(tid);
+  if (store == nullptr) return;
+  Entry* e = store->find(t.row);
   if (e == nullptr) return;
   e->support = 0;
   const TagMask tags = e->tags;
@@ -335,14 +413,14 @@ void Engine::retract(const Value& node, const Tuple& t) {
   if (opt_.record_provenance) {
     log_.append(EventKind::Disappear, node, t, tags);
   }
-  const ndlog::TableDecl* decl = catalog_.find(t.table);
-  if (decl != nullptr && !decl->keys.empty() && decl->keys.size() < decl->arity) {
-    const Row key = catalog_.key_of(t.table, t.row);
-    if (auto cur = store.row_with_key(key); cur && *cur == t.row) {
-      store.unindex_key(key);
+  const ndlog::TableDecl& decl = catalog_.decl(tid);
+  if (!decl.keys.empty() && decl.keys.size() < decl.arity) {
+    const Row key = catalog_.key_of(tid, t.row);
+    if (auto cur = store->row_with_key(key); cur && *cur == t.row) {
+      store->unindex_key(key);
     }
   }
-  store.erase(t.row);
+  store->erase(t.row);
 
   // Cascade: every live derivation that consumed t loses support.
   if (!opt_.record_provenance) return;
@@ -353,27 +431,33 @@ void Engine::retract(const Value& node, const Tuple& t) {
     log_.append(EventKind::Underive, rec.head.location(), rec.head, kAllTags,
                 {}, rec.rule);
     if (catalog_.is_event(rec.head.table)) continue;  // nothing stored
+    const TableId htid = catalog_.id_of(rec.head.table);
+    if (htid == ndlog::Catalog::kNoTable) continue;
     auto dst_it = nodes_.find(rec.head.location());
     if (dst_it == nodes_.end()) continue;
-    TableStore& hstore = dst_it->second.table(rec.head.table);
-    Entry* he = hstore.find(rec.head.row);
+    TableStore* hstore = dst_it->second.store_if(htid);
+    if (hstore == nullptr) continue;
+    Entry* he = hstore->find(rec.head.row);
     if (he == nullptr || he->support <= 0) continue;
     he->support -= 1;
     if (he->support <= 0) retract(rec.head.location(), rec.head);
   }
 }
 
-bool Engine::unify(const ndlog::Atom& atom, const Row& row, Env& env) {
-  if (atom.args.size() != row.size()) return false;
-  for (size_t i = 0; i < atom.args.size(); ++i) {
-    const ndlog::Expr& arg = *atom.args[i];
-    if (arg.is_const()) {
-      if (!(arg.cval() == row[i])) return false;
-    } else if (arg.is_var()) {
-      auto [it, inserted] = env.try_emplace(arg.var_name(), row[i]);
-      if (!inserted && !(it->second == row[i])) return false;
-    } else {
-      return false;  // binary exprs are not legal atom args
+bool Engine::unify_ops(const std::vector<ArgOp>& ops, const Row& row,
+                       Frame& f) {
+  for (const ArgOp& op : ops) {
+    const Value& v = row[op.col];
+    switch (op.kind) {
+      case ArgOp::Kind::Const:
+        if (!(op.cval == v)) return false;
+        break;
+      case ArgOp::Kind::Bind:
+        f.bind(op.slot, v);
+        break;
+      case ArgOp::Kind::Check:
+        if (!(f.slots[op.slot] == v)) return false;
+        break;
     }
   }
   return true;

@@ -6,6 +6,13 @@
 // node's materialized state, evaluates assignments then selections, and
 // derives the head at the head's location (shipping a message if remote).
 //
+// - Rules are compiled once at construction (see eval/plan.h): table and
+//   variable names are interned to dense ids, the join environment is a
+//   flat slot frame with an undo trail, and every body atom with at least
+//   one join-time-bound column is executed as a hash-index probe against
+//   the TableStore's secondary indexes. Full scans remain only for atoms
+//   with zero bound columns (or when EngineOptions::use_indexes is off,
+//   which exists to cross-check the two paths in tests).
 // - Event tables (declared `event`) are transient: they trigger rules and
 //   callbacks but are not stored (NDlog message semantics).
 // - Materialized tables use derivation-support counting; deleting a base
@@ -19,6 +26,7 @@
 // - All activity is recorded in the EventLog for provenance and replay.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -28,12 +36,15 @@
 
 #include "eval/database.h"
 #include "eval/event_log.h"
+#include "eval/plan.h"
 #include "ndlog/ast.h"
 #include "ndlog/schema.h"
 
 namespace mp::eval {
 
-// Variable bindings during a join.
+// String-keyed variable bindings. The engine's own join path runs on the
+// slot Frame from eval/plan.h; this map remains the interchange format for
+// the repair engine's symbolic re-execution (src/repair/forest.cpp).
 using Env = std::unordered_map<std::string, Value>;
 
 // Evaluates an expression under bindings; returns false if a variable is
@@ -43,12 +54,16 @@ bool eval_expr(const ndlog::Expr& e, const Env& env, Value& out);
 struct EngineOptions {
   bool record_provenance = true;  // turn off to measure overhead (S5.4)
   bool tag_mode = false;
+  bool use_indexes = true;        // off: force full scans (testing only)
   size_t max_steps = 1'000'000;   // guard against runaway candidate programs
 };
 
 class Engine {
  public:
   explicit Engine(ndlog::Program program, EngineOptions opt = {});
+  // Compiled plans and per-node stores point into catalog_/index_specs_.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   // External base-tuple insertion at tuple.location(). Runs the rule queue
   // to fixpoint before returning.
@@ -79,48 +94,63 @@ class Engine {
   bool diverged() const { return diverged_; }
   size_t steps() const { return steps_; }
   size_t rule_firings() const { return firings_; }
+  // Join-path access statistics: secondary-index probes vs. full table
+  // scans executed by atom steps (the trigger atom itself is neither).
+  size_t index_probes() const { return index_probes_; }
+  size_t full_scans() const { return full_scans_; }
 
  private:
   struct PendingAppear {
     Tuple tuple;
-    TagMask tags;
-    EventId cause;  // event that produced it (Insert/Receive/Derive)
+    TableId table_id = 0;
+    TagMask tags = 0;
+    EventId cause = kNoEvent;  // event that produced it (Insert/Receive/Derive)
   };
 
-  void enqueue_appear(Tuple t, TagMask tags, EventId cause);
+  Database& node_db(const Value& node);
+  void enqueue_appear(Tuple t, TableId tid, TagMask tags, EventId cause);
   void run_queue();
   void handle_appear(const PendingAppear& p);
-  void fire_rules(const Value& node, const Tuple& trigger, TagMask mask,
-                  EventId trigger_event);
-  void join_rest(const ndlog::Rule& rule, const Value& node,
-                 std::vector<size_t>& remaining, Env& env, TagMask mask,
-                 std::vector<EventId>& cause_events,
-                 std::vector<Tuple>& body_tuples, EventId trigger_event,
-                 const Tuple& trigger);
-  void finish_rule(const ndlog::Rule& rule, const Value& node, Env env,
-                   TagMask mask, std::vector<EventId> cause_events,
-                   std::vector<Tuple> body_tuples);
+  void fire_rules(const Value& node, const Tuple& trigger, TableId tid,
+                  TagMask mask, EventId trigger_event);
+  void exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
+                 const TriggerPlan& tp, size_t step_idx, const Database* db,
+                 const Value& node, TagMask mask, const Tuple& trigger,
+                 EventId trigger_event);
+  void finish_rule(const CompiledRule& cr, const ndlog::Rule& rule,
+                   const Value& node, TagMask mask);
   void derive(const ndlog::Rule& rule, const Value& src_node, Tuple head,
               TagMask mask, std::vector<EventId> cause_events,
               std::vector<Tuple> body_tuples);
   void retract(const Value& node, const Tuple& t);
 
-  static bool unify(const ndlog::Atom& atom, const Row& row, Env& env);
+  static bool unify_ops(const std::vector<ArgOp>& ops, const Row& row,
+                        Frame& f);
 
   ndlog::Program program_;
   ndlog::Catalog catalog_;
   EngineOptions opt_;
+  IndexSpecs index_specs_;
+  std::vector<CompiledRule> compiled_;  // one per program rule
+  // body-atom trigger index: TableId -> (rule idx, body atom idx)
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> triggers_by_table_;
+  std::vector<TagMask> rule_restrict_;  // per rule idx, default kAllTags
   std::map<Value, Database> nodes_;
   EventLog log_;
-  std::vector<PendingAppear> queue_;
+  std::deque<PendingAppear> queue_;
   std::unordered_map<std::string, std::vector<std::function<void(const Tuple&, TagMask)>>>
       callbacks_;
-  std::unordered_map<std::string, TagMask> rule_restrict_;
-  // body-atom trigger index: table name -> (rule idx, body atom idx)
-  std::unordered_map<std::string, std::vector<std::pair<size_t, size_t>>> trigger_index_;
+  // Join scratch, reused across firings (the join path is not re-entrant:
+  // callbacks and derivations only enqueue work).
+  Frame frame_;
+  Row probe_key_;
+  std::vector<EventId> cause_scratch_;
+  std::vector<Tuple> body_scratch_;
   bool diverged_ = false;
   size_t steps_ = 0;
   size_t firings_ = 0;
+  size_t index_probes_ = 0;
+  size_t full_scans_ = 0;
   bool running_ = false;
 };
 

@@ -3,11 +3,17 @@
 namespace mp::ndlog {
 
 Row Catalog::key_of(const std::string& table, const Row& row) const {
-  const TableDecl* d = find(table);
-  if (d == nullptr || d->keys.empty()) return row;
+  const TableId id = id_of(table);
+  if (id == kNoTable) return row;
+  return key_of(id, row);
+}
+
+Row Catalog::key_of(TableId id, const Row& row) const {
+  const TableDecl& d = decls_[id];
+  if (d.keys.empty()) return row;
   Row key;
-  key.reserve(d->keys.size());
-  for (size_t col : d->keys) {
+  key.reserve(d.keys.size());
+  for (size_t col : d.keys) {
     if (col < row.size()) key.push_back(row[col]);
   }
   return key;

@@ -1,6 +1,14 @@
 // Catalog: fast access to table declarations plus primary-key helpers.
+//
+// Beyond the original name-keyed lookups, the catalog now acts as the
+// interner for the evaluation engine: every table referenced by a program
+// (declared or not) gets a dense TableId assigned in a deterministic order
+// (declarations first, then rule heads/bodies in program order). The
+// engine's compiled rule plans, per-node stores and secondary indexes are
+// all keyed by TableId so the hot path never hashes a table name.
 #pragma once
 
+#include <deque>
 #include <unordered_map>
 
 #include "ndlog/ast.h"
@@ -10,28 +18,71 @@ namespace mp::ndlog {
 
 class Catalog {
  public:
+  using TableId = uint32_t;
+  static constexpr TableId kNoTable = ~TableId{0};
+
   Catalog() = default;
   explicit Catalog(const Program& p) {
     for (const auto& t : p.tables) add(t);
+    for (const auto& r : p.rules) {
+      intern(r.head.table);
+      for (const auto& a : r.body) intern(a.table);
+    }
   }
 
-  void add(const TableDecl& decl) { tables_[decl.name] = decl; }
+  // Registers (or overwrites) a declaration, keeping its TableId stable.
+  void add(const TableDecl& decl) {
+    const TableId id = intern(decl.name);
+    decls_[id] = decl;
+    declared_[id] = 1;
+  }
+
+  // Dense id for `name`, creating an undeclared stub (materialized, no
+  // keys) on first sight. Stable across calls.
+  TableId intern(const std::string& name) {
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    const TableId id = static_cast<TableId>(decls_.size());
+    TableDecl stub;
+    stub.name = name;
+    decls_.push_back(std::move(stub));
+    declared_.push_back(0);
+    ids_.emplace(name, id);
+    return id;
+  }
+
+  TableId id_of(const std::string& name) const {
+    auto it = ids_.find(name);
+    return it == ids_.end() ? kNoTable : it->second;
+  }
+  const TableDecl& decl(TableId id) const { return decls_[id]; }
+  const std::string& name_of(TableId id) const { return decls_[id].name; }
+
+  // Name lookup over *declared* tables only: rule-referenced but
+  // undeclared stubs stay invisible, as before interning existed.
   const TableDecl* find(const std::string& name) const {
-    auto it = tables_.find(name);
-    return it == tables_.end() ? nullptr : &it->second;
+    const TableId id = id_of(name);
+    return id == kNoTable || !declared_[id] ? nullptr : &decls_[id];
+  }
+  bool is_event(TableId id) const {
+    return decls_[id].kind == TableKind::Event;
   }
   bool is_event(const std::string& name) const {
     const TableDecl* d = find(name);
     return d != nullptr && d->kind == TableKind::Event;
   }
-  size_t size() const { return tables_.size(); }
+  // Number of interned tables (declared + stubs).
+  size_t size() const { return decls_.size(); }
 
   // Primary-key projection of a row. If no keys are declared the whole row
   // is the key (set semantics).
   Row key_of(const std::string& table, const Row& row) const;
+  Row key_of(TableId id, const Row& row) const;
 
  private:
-  std::unordered_map<std::string, TableDecl> tables_;
+  std::deque<TableDecl> decls_;  // deque: pointers from find() stay stable
+  std::deque<uint8_t> declared_;
+  std::unordered_map<std::string, TableId> ids_;
 };
 
 }  // namespace mp::ndlog

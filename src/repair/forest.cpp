@@ -396,7 +396,9 @@ void ForestExplorer::expand_disappear(const TreeState& st, const Goal& goal,
       std::vector<Change> opts;
 
       // Reconstruct the variable environment from the recorded body tuples
-      // (symbolic re-execution of the derivation, Section 4.2).
+      // (symbolic re-execution of the derivation, Section 4.2). The engine
+      // guarantees rec.body[i] matches rule->body[i] regardless of which
+      // atom triggered the firing.
       Env env;
       bool env_ok = rec.body.size() == rule->body.size();
       if (env_ok) {

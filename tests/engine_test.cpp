@@ -3,6 +3,8 @@
 // cross-node messages, tag mode, and provenance graphs.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "eval/engine.h"
 #include "ndlog/parser.h"
 #include "provenance/query.h"
@@ -193,6 +195,146 @@ TEST(EventLog, ByteEstimateAndDerivationIndex) {
   EXPECT_EQ(e.log().derivations()[derivs[0]].rule, "r1");
   auto using_b = e.log().derivations_using(t("B", {Value(1), Value(5)}));
   EXPECT_EQ(using_b.size(), 1u);
+}
+
+// --- compiled plans & column indexes ----------------------------------
+
+// Shared join-heavy program: multi-atom joins, a keyed table (replacement
+// semantics) and enough rule depth for retraction cascades.
+const char* kJoinProgram =
+    "table A/2.\ntable L/3 keys(0,1).\ntable R/3.\ntable Out/4.\n"
+    "r1 Out(@X,V,W,U) :- A(@X,V), L(@X,V,W), R(@X,W,U).\n"
+    "r2 Out(@X,V,V,V) :- A(@X,V), L(@X,V,V).\n";
+
+void drive_join_workload(Engine& e) {
+  for (int i = 0; i < 8; ++i) {
+    e.insert(t("L", {Value(1), Value(i), Value(i + 100)}));
+    e.insert(t("R", {Value(1), Value(i + 100), Value(i * 2)}));
+  }
+  for (int i = 0; i < 8; ++i) {
+    e.insert(t("A", {Value(1), Value(i)}));
+  }
+  // Key replacement: displace half the L rows (cascades through r1).
+  for (int i = 0; i < 4; ++i) {
+    e.insert(t("L", {Value(1), Value(i), Value(i + 200)}));
+  }
+  // Within-atom duplicate variable for r2.
+  e.insert(t("L", {Value(1), Value(7), Value(7)}));
+  // Retraction cascade.
+  for (int i = 0; i < 3; ++i) {
+    e.remove(t("A", {Value(1), Value(i)}));
+  }
+}
+
+// Canonical snapshot of everything observable: per-table live tuples,
+// derivation records, and the (kind, tuple) event sequence.
+std::multiset<std::string> table_snapshot(const Engine& e) {
+  std::multiset<std::string> out;
+  for (const char* table : {"A", "L", "R", "Out"}) {
+    for (const Tuple& tup : e.all_tuples(table)) out.insert(tup.to_string());
+  }
+  return out;
+}
+
+std::multiset<std::string> derivation_snapshot(const Engine& e) {
+  std::multiset<std::string> out;
+  for (const DerivRecord& rec : e.log().derivations()) {
+    std::string s = rec.rule + " " + rec.head.to_string() + " :-";
+    for (const Tuple& b : rec.body) s += " " + b.to_string();
+    out.insert((rec.live ? "live " : "dead ") + s);
+  }
+  return out;
+}
+
+std::vector<std::string> event_sequence(const Engine& e) {
+  std::vector<std::string> out;
+  for (const Event& ev : e.log().events()) {
+    out.push_back(std::string(to_string(ev.kind)) + " " + ev.tuple.to_string());
+  }
+  return out;
+}
+
+TEST(EnginePlan, IndexedJoinsAvoidFullScans) {
+  Engine e(ndlog::parse_program(kJoinProgram));
+  drive_join_workload(e);
+  // Every non-trigger atom in kJoinProgram has >=1 column bound at join
+  // time, so the compiled plans must never fall back to a store scan.
+  EXPECT_EQ(e.full_scans(), 0u);
+  EXPECT_GT(e.index_probes(), 0u);
+  EXPECT_GT(e.rule_firings(), 0u);
+  // Spot-check a join result: A(1,5) ⋈ L(1,5,105) ⋈ R(1,105,10).
+  EXPECT_TRUE(e.exists(Value(1), "Out",
+                       {Value(1), Value(5), Value(105), Value(10)}));
+}
+
+TEST(EnginePlan, IndexedAndScanPathsProduceIdenticalDerivations) {
+  EngineOptions scan_opt;
+  scan_opt.use_indexes = false;
+  Engine indexed(ndlog::parse_program(kJoinProgram));
+  Engine scanned(ndlog::parse_program(kJoinProgram), scan_opt);
+  drive_join_workload(indexed);
+  drive_join_workload(scanned);
+
+  EXPECT_GT(indexed.index_probes(), 0u);
+  EXPECT_EQ(scanned.index_probes(), 0u);
+  EXPECT_GT(scanned.full_scans(), 0u);
+
+  EXPECT_EQ(indexed.rule_firings(), scanned.rule_firings());
+  EXPECT_EQ(table_snapshot(indexed), table_snapshot(scanned));
+  EXPECT_EQ(derivation_snapshot(indexed), derivation_snapshot(scanned));
+  // The workload has at most one match per join step, so even the exact
+  // provenance event sequence must agree between the two access paths.
+  EXPECT_EQ(event_sequence(indexed), event_sequence(scanned));
+}
+
+TEST(EnginePlan, MultiMatchJoinsAgreeAsMultisets) {
+  const char* prog =
+      "table L/2.\ntable R/2.\ntable Out/3.\n"
+      "r1 Out(@X,V,W) :- L(@X,V), R(@X,W).\n";  // cross product per node
+  EngineOptions scan_opt;
+  scan_opt.use_indexes = false;
+  Engine indexed(ndlog::parse_program(prog));
+  Engine scanned(ndlog::parse_program(prog), scan_opt);
+  for (Engine* e : {&indexed, &scanned}) {
+    for (int i = 0; i < 5; ++i) e->insert(t("L", {Value(1), Value(i)}));
+    for (int i = 0; i < 5; ++i) e->insert(t("R", {Value(1), Value(10 + i)}));
+  }
+  EXPECT_EQ(indexed.rule_firings(), scanned.rule_firings());
+  EXPECT_EQ(indexed.all_tuples("Out").size(), 25u);
+  EXPECT_EQ(derivation_snapshot(indexed), derivation_snapshot(scanned));
+  // Match enumeration order may differ (bucket vs. map iteration), so the
+  // event streams are compared as multisets here.
+  auto iseq = event_sequence(indexed);
+  auto sseq = event_sequence(scanned);
+  EXPECT_EQ(std::multiset<std::string>(iseq.begin(), iseq.end()),
+            std::multiset<std::string>(sseq.begin(), sseq.end()));
+}
+
+TEST(EnginePlan, RuleRestrictAppliesToAllRulesSharingAName) {
+  EngineOptions opt;
+  opt.tag_mode = true;
+  // Duplicate rule names are invalid programs but candidate generation can
+  // produce them; the restriction must mask every rule with the name.
+  Engine e(ndlog::parse_program(
+               "table A/2.\ntable B/2.\nevent T/2.\n"
+               "r1 A(@X,Q) :- T(@X,Q).\nr1 B(@X,Q) :- T(@X,Q).\n"),
+           opt);
+  e.set_rule_restrict("r1", 0);
+  e.insert(t("T", {Value(1), Value(5)}), 0b1);
+  EXPECT_TRUE(e.rows(Value(1), "A").empty());
+  EXPECT_TRUE(e.rows(Value(1), "B").empty());
+}
+
+TEST(EnginePlan, RemoveOfAbsentTableDoesNotCreateStore) {
+  Engine e(ndlog::parse_program("table A/2.\ntable B/2."));
+  e.insert(t("A", {Value(1), Value(5)}));
+  e.remove(t("B", {Value(1), Value(5)}));     // no B store at node 1
+  e.remove(t("Zzz", {Value(1), Value(5)}));   // unknown table entirely
+  const Database* db = e.db(Value(1));
+  ASSERT_NE(db, nullptr);
+  EXPECT_NE(db->table("A"), nullptr);
+  EXPECT_EQ(db->table("B"), nullptr) << "remove() must not materialize stores";
+  EXPECT_TRUE(e.exists(Value(1), "A", {Value(1), Value(5)}));
 }
 
 // --- provenance -------------------------------------------------------

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Tracks the evaluation-engine perf trajectory: runs the join-heavy and
+# PacketIn benchmarks from bench_overhead and writes BENCH_engine.json
+# (tuples/sec + rule firings/sec, index path vs. forced full scans, and
+# the resulting speedup) at the repo root. Usage:
+#   tools/run_bench.sh [build-dir] [output-json]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT="${2:-$REPO_ROOT/BENCH_engine.json}"
+BENCH="$BUILD_DIR/bench_overhead"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "building bench_overhead in $BUILD_DIR ..." >&2
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" >/dev/null
+  cmake --build "$BUILD_DIR" --target bench_overhead -j >/dev/null
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+# --benchmark_out: bench_overhead prints a storage-accounting preamble to
+# stdout, so the JSON must go to a file.
+"$BENCH" \
+  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_PacketInProcessing' \
+  --benchmark_out_format=json --benchmark_out="$RAW" >/dev/null
+
+REPO_ROOT="$REPO_ROOT" python3 - "$RAW" "$OUT" <<'EOF'
+import json, os, subprocess, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+def rate(bench):
+    return bench.get("items_per_second")
+
+results = {}
+for b in raw["benchmarks"]:
+    results[b["name"]] = b
+
+join = {}
+for size in (1024, 8192):
+    scan = results.get(f"BM_JoinHeavyRuleFiring/{size}/0")
+    idx = results.get(f"BM_JoinHeavyRuleFiring/{size}/1")
+    if not scan or not idx:
+        continue
+    join[str(size)] = {
+        "full_scan_tuples_per_sec": rate(scan),
+        "indexed_tuples_per_sec": rate(idx),
+        "full_scan_firings_per_sec": scan.get("firings_per_sec"),
+        "indexed_firings_per_sec": idx.get("firings_per_sec"),
+        "speedup": rate(idx) / rate(scan) if rate(scan) else None,
+    }
+
+packetin = {}
+for arg, key in ((0, "provenance_off"), (1, "provenance_on")):
+    b = results.get(f"BM_PacketInProcessing/{arg}")
+    if b:
+        packetin[key] = {"tuples_per_sec": rate(b)}
+
+try:
+    commit = subprocess.check_output(
+        ["git", "-C", os.environ.get("REPO_ROOT", "."), "rev-parse",
+         "--short", "HEAD"], text=True).strip()
+except Exception:
+    commit = None
+
+out = {
+    "benchmark": "bench_overhead",
+    "commit": commit,
+    "context": {k: raw["context"].get(k)
+                for k in ("host_name", "num_cpus", "mhz_per_cpu", "date")},
+    "join_heavy": join,
+    "packet_in": packetin,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+for size, j in join.items():
+    print(f"  join({size} rows): {j['indexed_tuples_per_sec']:,.0f} tuples/s indexed "
+          f"vs {j['full_scan_tuples_per_sec']:,.0f} scanned "
+          f"({j['speedup']:.1f}x)")
+EOF
