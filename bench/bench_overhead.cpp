@@ -4,6 +4,8 @@
 // -9.8% throughput, ~120-byte log entries at 11-20 MB/s per switch).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "ndlog/parser.h"
 #include "scenarios/pipeline.h"
 
@@ -71,6 +73,53 @@ BENCHMARK(BM_JoinHeavyRuleFiring)
     ->Args({1024, 1})
     ->Args({8192, 0})
     ->Args({8192, 1});
+
+// Bulk-loading the join-heavy base tables into a fresh engine (the config
+// load / backtest-replay pattern): one insert_batch vs. the equivalent
+// single-insert loop over the same tuples. The batch path dispatches each
+// staged tuple directly (no work-queue round trip or Tuple copy), caches
+// table interning across the staging loop, and defers secondary-index
+// maintenance to one bulk pass per table; both paths reach the identical
+// fixpoint (see tests/batch_test.cpp). Engine construction is excluded via
+// manual timing so iterations stay stationary. range(0) = rows per table,
+// range(1) selects the path. tools/run_bench.sh records both throughputs
+// in BENCH_engine.json.
+void BM_JoinHeavyBatchInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const bool batched = state.range(1) != 0;
+  eval::EngineOptions opt;
+  opt.record_provenance = false;
+  opt.max_steps = ~size_t{0} >> 1;
+  const ndlog::Program program = ndlog::parse_program(
+      "table Neighbor/3.\ntable Cost/3.\ntable Out/4.\nevent Query/2.\n"
+      "r1 Out(@S,N,W,C) :- Query(@S,N), Neighbor(@S,N,W), Cost(@S,N,C).");
+  std::vector<eval::Tuple> batch;
+  batch.reserve(static_cast<size_t>(2 * n));
+  for (int64_t i = 0; i < n; ++i) {
+    batch.push_back(eval::Tuple{"Neighbor", {Value(1), Value(i), Value(i * 3)}});
+    batch.push_back(eval::Tuple{"Cost", {Value(1), Value(i), Value(i * 7)}});
+  }
+  for (auto _ : state) {
+    eval::Engine engine(program, opt);
+    const auto start = std::chrono::steady_clock::now();
+    if (batched) {
+      engine.insert_batch(batch);
+    } else {
+      for (const eval::Tuple& t : batch) engine.insert(t);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(engine.steps());
+    state.SetIterationTime(std::chrono::duration<double>(end - start).count());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+  state.SetLabel(batched ? "insert_batch" : "single-insert loop");
+}
+BENCHMARK(BM_JoinHeavyBatchInsert)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({8192, 0})
+    ->Args({8192, 1})
+    ->UseManualTime();
 
 // Flow-table lookup cost (switch fast path).
 void BM_FlowTableLookup(benchmark::State& state) {

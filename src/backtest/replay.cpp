@@ -2,6 +2,36 @@
 
 namespace mp::backtest {
 
+size_t replay_base_stream(const eval::EventLog& log, eval::Engine& into) {
+  size_t applied = 0;
+  std::vector<std::pair<eval::Tuple, eval::TagMask>> inserts;
+  std::vector<eval::Tuple> removes;
+  auto flush_inserts = [&] {
+    if (inserts.empty()) return;
+    into.insert_batch(inserts);
+    inserts.clear();
+  };
+  auto flush_removes = [&] {
+    if (removes.empty()) return;
+    into.remove_batch(removes);
+    removes.clear();
+  };
+  for (const eval::Event& ev : log.events()) {
+    if (ev.kind == eval::EventKind::Insert) {
+      flush_removes();
+      inserts.emplace_back(ev.tuple, ev.tags);
+      ++applied;
+    } else if (ev.kind == eval::EventKind::Delete) {
+      flush_inserts();
+      removes.push_back(ev.tuple);
+      ++applied;
+    }
+  }
+  flush_inserts();
+  flush_removes();
+  return applied;
+}
+
 std::vector<ReplayOutcome> ReplayHarness::replay_joint(
     const std::vector<repair::RepairCandidate>& cands) {
   std::vector<ReplayOutcome> out;

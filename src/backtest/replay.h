@@ -6,9 +6,18 @@
 #include <vector>
 
 #include "backtest/metrics.h"
+#include "eval/engine.h"
 #include "repair/change.h"
 
 namespace mp::backtest {
+
+// Re-applies the external base stream of a recorded event log into a fresh
+// engine: runs of consecutive Insert events become one insert_batch and
+// runs of Delete events one remove_batch, preserving the stream's relative
+// order (the recorded tag masks ride along for tag-mode engines). This is
+// how backtests rebuild base state from a recorded run without re-running
+// the simulation. Returns the number of log events applied.
+size_t replay_base_stream(const eval::EventLog& log, eval::Engine& into);
 
 class ReplayHarness {
  public:

@@ -16,15 +16,39 @@ const Entry* TableStore::find(const Row& row) const {
 
 Entry& TableStore::insert(const Row& row) {
   auto [it, inserted] = rows_.try_emplace(row);
-  if (inserted && index_specs_ != nullptr) add_to_indexes(*it);
+  if (inserted && index_specs_ != nullptr) {
+    if (deferred_) {
+      index_backlog_.push_back(&*it);  // Items are node-stable
+    } else {
+      add_to_indexes(*it);
+    }
+  }
   return it->second;
 }
 
 void TableStore::erase(const Row& row) {
   auto it = rows_.find(row);
   if (it == rows_.end()) return;
-  if (index_specs_ != nullptr) remove_from_indexes(*it);
+  if (index_specs_ != nullptr) {
+    // Flush before unindexing: the victim may still sit in the backlog,
+    // and a backlog entry must never dangle past the row's lifetime.
+    if (!index_backlog_.empty()) flush_index_backlog();
+    remove_from_indexes(*it);
+  }
   rows_.erase(it);
+}
+
+void TableStore::set_deferred_indexing(bool on) {
+  deferred_ = on;
+  if (!on && !index_backlog_.empty()) flush_index_backlog();
+}
+
+void TableStore::flush_index_backlog() const {
+  // No pre-reserve: repeated flushes on a growing index would force a
+  // full rehash per flush (the bucket count is already grown geometrically
+  // by the inserts themselves).
+  for (const Item* item : index_backlog_) add_to_indexes(*item);
+  index_backlog_.clear();
 }
 
 namespace {
@@ -44,7 +68,7 @@ bool project_key(const Row& row, const std::vector<uint32_t>& cols, Row& key) {
 
 }  // namespace
 
-void TableStore::add_to_indexes(const Item& item) {
+void TableStore::add_to_indexes(const Item& item) const {
   Row key;
   for (size_t i = 0; i < index_specs_->size(); ++i) {
     if (!project_key(item.first, (*index_specs_)[i], key)) continue;

@@ -43,9 +43,21 @@ class TableStore {
   const RowMap& rows() const { return rows_; }
   size_t size() const { return rows_.size(); }
 
+  // Deferred index maintenance (Engine::insert_batch): while on, insert()
+  // queues newly created rows in a backlog instead of updating every
+  // secondary index per row; the backlog is applied in one bulk pass by
+  // flush_index_backlog(), which runs automatically on the first
+  // probe/erase (so index consumers can never observe a stale index) and
+  // when deferral is switched off.
+  void set_deferred_indexing(bool on);
+  bool deferred_indexing() const { return deferred_; }
+  bool has_index_backlog() const { return !index_backlog_.empty(); }
+  void flush_index_backlog() const;
+
   // Rows whose projection onto index `index_id`'s columns equals `key`;
   // nullptr when the bucket is empty.
   const Bucket* probe(size_t index_id, const Row& key) const {
+    if (!index_backlog_.empty()) flush_index_backlog();
     const auto& ix = indexes_[index_id];
     auto it = ix.find(key);
     return it == ix.end() ? nullptr : &it->second;
@@ -58,12 +70,16 @@ class TableStore {
   void unindex_key(const Row& key);
 
  private:
-  void add_to_indexes(const Item& item);
+  void add_to_indexes(const Item& item) const;
   void remove_from_indexes(const Item& item);
 
   RowMap rows_;
   const std::vector<std::vector<uint32_t>>* index_specs_ = nullptr;
-  std::vector<std::unordered_map<Row, Bucket, RowHash>> indexes_;
+  // The secondary indexes are a cache over rows_: mutable so the lazy
+  // backlog flush can run from const probes.
+  mutable std::vector<std::unordered_map<Row, Bucket, RowHash>> indexes_;
+  mutable std::vector<const Item*> index_backlog_;
+  bool deferred_ = false;
   std::unordered_map<Row, Row, RowHash> key_index_;
 };
 

@@ -66,7 +66,66 @@ void Engine::insert(const Tuple& t, TagMask tags) {
   run_queue();
 }
 
+void Engine::stage_insert(const Tuple& t, TagMask tags,
+                          const std::string*& last_name, TableId& last_id) {
+  EventId cause = kNoEvent;
+  if (opt_.record_provenance) {
+    cause = log_.append(EventKind::Insert, t.location(), t, tags);
+  }
+  if (last_name == nullptr || t.table != *last_name) {
+    last_id = catalog_.intern(t.table);
+    last_name = &t.table;
+  }
+  if (running_ || !queue_.empty()) {
+    // Re-entrant batch (insert_batch from an on_appear callback): fall
+    // back to the queue path so the outer drain keeps sequential order.
+    enqueue_appear(t, last_id, tags, cause);
+    run_queue();
+    return;
+  }
+  // Direct dispatch: handle the external appearance in place — no queue
+  // round trip, no Tuple copy — then drain the derived work it enqueued.
+  // The step accounting mirrors what the queue pop would have charged.
+  if (++steps_ > opt_.max_steps) {
+    diverged_ = true;
+    return;
+  }
+  running_ = true;  // callbacks that insert() must enqueue, as they would
+  handle_appear(t, last_id, tags, cause);  // inside a queue drain
+  running_ = false;
+  run_queue();
+}
+
+void Engine::insert_batch(std::span<const Tuple> batch, TagMask tags) {
+  if (!opt_.tag_mode) tags = kAllTags;
+  begin_bulk();
+  const std::string* last_name = nullptr;
+  TableId last_id = 0;
+  for (const Tuple& t : batch) stage_insert(t, tags, last_name, last_id);
+  end_bulk();
+}
+
+void Engine::insert_batch(std::span<const std::pair<Tuple, TagMask>> batch) {
+  begin_bulk();
+  const std::string* last_name = nullptr;
+  TableId last_id = 0;
+  for (const auto& [t, tags] : batch) {
+    stage_insert(t, opt_.tag_mode ? tags : kAllTags, last_name, last_id);
+  }
+  end_bulk();
+}
+
 void Engine::remove(const Tuple& t) {
+  remove_one(t);
+  run_queue();
+}
+
+void Engine::remove_batch(std::span<const Tuple> batch) {
+  for (const Tuple& t : batch) remove_one(t);
+  run_queue();
+}
+
+void Engine::remove_one(const Tuple& t) {
   const TableId tid = catalog_.id_of(t.table);
   if (tid == ndlog::Catalog::kNoTable) return;
   auto node_it = nodes_.find(t.location());
@@ -80,7 +139,15 @@ void Engine::remove(const Tuple& t) {
   }
   e->support -= 1;
   if (e->support <= 0) retract(t.location(), t);
-  run_queue();
+}
+
+void Engine::begin_bulk() { ++bulk_depth_; }
+
+void Engine::end_bulk() {
+  if (--bulk_depth_ > 0) return;
+  // One bulk index pass per store touched while the batch was staged.
+  for (TableStore* store : bulk_stores_) store->set_deferred_indexing(false);
+  bulk_stores_.clear();
 }
 
 bool Engine::exists(const Value& node, const std::string& table,
@@ -124,7 +191,14 @@ const Database* Engine::db(const Value& node) const {
 
 void Engine::on_appear(const std::string& table,
                        std::function<void(const Tuple&, TagMask)> cb) {
-  callbacks_[table].push_back(std::move(cb));
+  const TableId tid = catalog_.intern(table);
+  if (tid >= callbacks_.size()) callbacks_.resize(tid + 1);
+  callbacks_[tid].push_back(std::move(cb));
+}
+
+void Engine::run_callbacks(TableId tid, const Tuple& t, TagMask tags) {
+  if (tid >= callbacks_.size()) return;
+  for (const auto& cb : callbacks_[tid]) cb(t, tags);
 }
 
 void Engine::set_rule_restrict(const std::string& rule, TagMask mask) {
@@ -150,35 +224,40 @@ void Engine::run_queue() {
     }
     PendingAppear p = std::move(queue_.front());
     queue_.pop_front();
-    handle_appear(p);
+    handle_appear(p.tuple, p.table_id, p.tags, p.cause);
   }
   running_ = false;
 }
 
-void Engine::handle_appear(const PendingAppear& p) {
-  const Value& node = p.tuple.location();
-  const bool is_event = catalog_.is_event(p.table_id);
-  EventId appear_ev = p.cause;
+void Engine::handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
+                           EventId cause) {
+  const Value& node = tuple.location();
+  const bool is_event = catalog_.is_event(table_id);
+  EventId appear_ev = cause;
 
   if (!is_event) {
-    TableStore& store = node_db(node).store(p.table_id);
-
-    // Primary-key replacement: displace an existing row with the same key.
-    const ndlog::TableDecl& decl = catalog_.decl(p.table_id);
-    if (!decl.keys.empty() && decl.keys.size() < decl.arity) {
-      const Row key = catalog_.key_of(p.table_id, p.tuple.row);
-      if (auto old = store.row_with_key(key); old && *old != p.tuple.row) {
-        const Entry* oe = store.find(*old);
-        if (oe != nullptr && oe->support > 0) {
-          retract(node, Tuple{p.tuple.table, *old});
-        }
-      }
-      store.index_key(key, p.tuple.row);
+    TableStore& store = node_db(node).store(table_id);
+    if (bulk_depth_ > 0 && !store.deferred_indexing()) {
+      store.set_deferred_indexing(true);
+      bulk_stores_.push_back(&store);
     }
 
-    Entry& e = store.insert(p.tuple.row);
+    // Primary-key replacement: displace an existing row with the same key.
+    const ndlog::TableDecl& decl = catalog_.decl(table_id);
+    if (!decl.keys.empty() && decl.keys.size() < decl.arity) {
+      const Row key = catalog_.key_of(table_id, tuple.row);
+      if (auto old = store.row_with_key(key); old && *old != tuple.row) {
+        const Entry* oe = store.find(*old);
+        if (oe != nullptr && oe->support > 0) {
+          retract(node, Tuple{tuple.table, *old});
+        }
+      }
+      store.index_key(key, tuple.row);
+    }
+
+    Entry& e = store.insert(tuple.row);
     const bool was_present = e.support > 0;
-    const TagMask new_tags = opt_.tag_mode ? (e.tags | p.tags) : kAllTags;
+    const TagMask new_tags = opt_.tag_mode ? (e.tags | tags) : kAllTags;
     e.support += 1;
     const TagMask added_tags = opt_.tag_mode ? (new_tags & ~e.tags) : kAllTags;
     e.tags = new_tags;
@@ -187,25 +266,22 @@ void Engine::handle_appear(const PendingAppear& p) {
       return;
     }
     if (opt_.record_provenance) {
-      appear_ev = log_.append(EventKind::Appear, node, p.tuple, e.tags,
-                              p.cause == kNoEvent ? std::vector<EventId>{}
-                                                  : std::vector<EventId>{p.cause});
+      appear_ev = log_.append(EventKind::Appear, node, tuple, e.tags,
+                              cause == kNoEvent ? std::vector<EventId>{}
+                                                : std::vector<EventId>{cause});
     }
     e.appear_event = appear_ev;
   } else {
     if (opt_.record_provenance) {
-      appear_ev = log_.append(EventKind::Appear, node, p.tuple, p.tags,
-                              p.cause == kNoEvent ? std::vector<EventId>{}
-                                                  : std::vector<EventId>{p.cause});
+      appear_ev = log_.append(EventKind::Appear, node, tuple, tags,
+                              cause == kNoEvent ? std::vector<EventId>{}
+                                                : std::vector<EventId>{cause});
     }
   }
 
-  auto cb_it = callbacks_.find(p.tuple.table);
-  if (cb_it != callbacks_.end()) {
-    for (const auto& cb : cb_it->second) cb(p.tuple, p.tags);
-  }
+  run_callbacks(table_id, tuple, tags);
 
-  fire_rules(node, p.tuple, p.table_id, p.tags, appear_ev);
+  fire_rules(node, tuple, table_id, tags, appear_ev);
 }
 
 void Engine::fire_rules(const Value& node, const Tuple& trigger, TableId tid,

@@ -30,8 +30,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "eval/database.h"
@@ -71,6 +73,27 @@ class Engine {
   // External deletion of a base tuple; cascades through derivations.
   void remove(const Tuple& t);
 
+  // Batched insertion. Exactly equivalent to inserting each tuple in order
+  // with insert() — identical final table states, EventLog contents (and
+  // order), derivation records and firing counts — which the differential
+  // harness (tests/batch_test.cpp, tests/differential_test.cpp) enforces.
+  // The batch win is amortization, not a different evaluation order: every
+  // store touched by the batch switches to deferred secondary-index
+  // maintenance (one bulk pass per store, flushed lazily on probe and at
+  // batch end; see TableStore::set_deferred_indexing), and table interning
+  // is cached across the staging loop. Each staged tuple's derived closure
+  // still runs to fixpoint before the next tuple is staged: letting queued
+  // derived appearances race later batch tuples would change key-
+  // replacement winners (last-appearance-wins is order-dependent) and
+  // orphan tuples whose producing derivation was cascaded away while they
+  // were still queued.
+  void insert_batch(std::span<const Tuple> batch, TagMask tags = kAllTags);
+  // Same, with a per-tuple tag mask (multi-query candidate insertion).
+  void insert_batch(std::span<const std::pair<Tuple, TagMask>> batch);
+  // Batched deletion: applies every removal (and its cascade) in order,
+  // draining the work queue once at the end.
+  void remove_batch(std::span<const Tuple> batch);
+
   bool exists(const Value& node, const std::string& table, const Row& row) const;
   std::vector<Row> rows(const Value& node, const std::string& table) const;
   // All currently-live tuples of `table` across every node.
@@ -109,14 +132,28 @@ class Engine {
 
   Database& node_db(const Value& node);
   void enqueue_appear(Tuple t, TableId tid, TagMask tags, EventId cause);
+  // One insert_batch element: logs the Insert event, then dispatches the
+  // appearance directly into handle_appear (no queue round trip) and runs
+  // its derived closure to fixpoint; falls back to the queue when called
+  // re-entrantly. `last_name`/`last_id` cache the previous table interning
+  // so homogeneous batches hash each table name once.
+  void stage_insert(const Tuple& t, TagMask tags, const std::string*& last_name,
+                    TableId& last_id);
+  void remove_one(const Tuple& t);
+  // Bulk (deferred-index) mode brackets for insert_batch; nestable so
+  // re-entrant batches from callbacks flush once, at the outermost end.
+  void begin_bulk();
+  void end_bulk();
   void run_queue();
-  void handle_appear(const PendingAppear& p);
+  void handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
+                     EventId cause);
   void fire_rules(const Value& node, const Tuple& trigger, TableId tid,
                   TagMask mask, EventId trigger_event);
   void exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
                  const TriggerPlan& tp, size_t step_idx, const Database* db,
                  const Value& node, TagMask mask, const Tuple& trigger,
                  EventId trigger_event);
+  void run_callbacks(TableId tid, const Tuple& t, TagMask tags);
   void finish_rule(const CompiledRule& cr, const ndlog::Rule& rule,
                    const Value& node, TagMask mask);
   void derive(const ndlog::Rule& rule, const Value& src_node, Tuple head,
@@ -138,7 +175,9 @@ class Engine {
   std::map<Value, Database> nodes_;
   EventLog log_;
   std::deque<PendingAppear> queue_;
-  std::unordered_map<std::string, std::vector<std::function<void(const Tuple&, TagMask)>>>
+  // Appearance callbacks keyed by interned TableId (no string hash on the
+  // appear path); slot resized on demand by on_appear().
+  std::vector<std::vector<std::function<void(const Tuple&, TagMask)>>>
       callbacks_;
   // Join scratch, reused across firings (the join path is not re-entrant:
   // callbacks and derivations only enqueue work).
@@ -146,6 +185,10 @@ class Engine {
   Row probe_key_;
   std::vector<EventId> cause_scratch_;
   std::vector<Tuple> body_scratch_;
+  // Bulk-mode state: stores switched to deferred indexing by the current
+  // insert_batch (flushed when the outermost batch finishes).
+  int bulk_depth_ = 0;
+  std::vector<TableStore*> bulk_stores_;
   bool diverged_ = false;
   size_t steps_ = 0;
   size_t firings_ = 0;

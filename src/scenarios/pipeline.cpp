@@ -21,11 +21,9 @@ void ScenarioRun::insert_config(
     const std::vector<std::pair<eval::Tuple, eval::TagMask>>& extra) {
   if (!config_inserted_) {
     config_inserted_ = true;
-    for (const eval::Tuple& t : scenario_.config_tuples) {
-      engine_->insert(t);
-    }
+    engine_->insert_batch(scenario_.config_tuples);
   }
-  for (const auto& [t, mask] : extra) engine_->insert(t, mask);
+  engine_->insert_batch(extra);
 }
 
 void ScenarioRun::set_rule_restrictions(
@@ -104,7 +102,7 @@ backtest::ReplayOutcome ScenarioHarness::replay(
   }
   if (skip_config) {
     // insert only `inserts` (config already folded in).
-    for (const auto& [t, mask] : inserts) run.engine().insert(t, mask);
+    run.engine().insert_batch(inserts);
   } else {
     run.insert_config(inserts);
   }
@@ -149,7 +147,7 @@ std::vector<backtest::ReplayOutcome> ScenarioHarness::replay_joint(
     inserts.emplace_back(t, mask);
   }
   // Bypass the untagged config path: insert everything explicitly.
-  for (const auto& [t, mask] : inserts) run.engine().insert(t, mask);
+  run.engine().insert_batch(inserts);
   run.replay(workload_);
 
   const backtest::ReplayOutcome base = replay_baseline();

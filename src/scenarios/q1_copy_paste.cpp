@@ -109,8 +109,7 @@ Scenario q1_copy_paste(const sdn::CampusOptions& campus) {
     http.dpt = 80;
     http.dst_ip = 4;
     http.seed = 11;
-    auto v = sdn::ingress_traffic(http);
-    work.insert(work.end(), v.begin(), v.end());
+    sdn::ingress_traffic(http, work);
     // External DNS.
     sdn::IngressOptions dns;
     dns.flows = 100;
@@ -118,8 +117,7 @@ Scenario q1_copy_paste(const sdn::CampusOptions& campus) {
     dns.dpt = 53;
     dns.dst_ip = 6;
     dns.seed = 12;
-    v = sdn::ingress_traffic(dns);
-    work.insert(work.end(), v.begin(), v.end());
+    sdn::ingress_traffic(dns, work);
     // Other ingress traffic (dropped by r3).
     sdn::IngressOptions other;
     other.flows = 12;
@@ -127,8 +125,7 @@ Scenario q1_copy_paste(const sdn::CampusOptions& campus) {
     other.dpt = 22;
     other.dst_ip = 4;
     other.seed = 13;
-    v = sdn::ingress_traffic(other);
-    work.insert(work.end(), v.begin(), v.end());
+    sdn::ingress_traffic(other, work);
     // Internal HTTP toward the guest-blocked server H3 (via S4).
     Rng rng(21);
     const auto& hosts = net.hosts();
@@ -147,8 +144,7 @@ Scenario q1_copy_paste(const sdn::CampusOptions& campus) {
       if (++guests >= 112) break;
     }
     // Background campus load.
-    auto bg = sdn::background_traffic(net, 12000, 31);
-    work.insert(work.end(), bg.begin(), bg.end());
+    sdn::background_traffic(net, 12000, 31, work);
     return work;
   };
 

@@ -99,8 +99,7 @@ Scenario q2_forwarding(const sdn::CampusOptions& campus) {
     dns_from(98, 80);
     dns_from(2008, 80);
     // Background campus load.
-    auto bg = sdn::background_traffic(net, 10000, 32);
-    work.insert(work.end(), bg.begin(), bg.end());
+    sdn::background_traffic(net, 10000, 32, work);
     return work;
   };
 

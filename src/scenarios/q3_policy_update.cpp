@@ -97,8 +97,7 @@ Scenario q3_policy_update(const sdn::CampusOptions& campus) {
     http_from(2, 25);   // offloaded legit client
     http_from(3, 30);   // H1: the reported victim
     for (int64_t sip = 4; sip <= 12; ++sip) http_from(sip, 60);  // primary
-    auto bg = sdn::background_traffic(net, 10000, 33);
-    work.insert(work.end(), bg.begin(), bg.end());
+    sdn::background_traffic(net, 10000, 33, work);
     return work;
   };
 

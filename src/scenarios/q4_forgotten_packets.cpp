@@ -101,10 +101,8 @@ Scenario q4_forgotten_packets(const sdn::CampusOptions& campus) {
     http.dst_ip = 20;
     http.src_ip_count = 150;
     http.seed = 14;
-    auto v = sdn::ingress_traffic(http);
-    work.insert(work.end(), v.begin(), v.end());
-    auto bg = sdn::background_traffic(net, 8000, 34);
-    work.insert(work.end(), bg.begin(), bg.end());
+    sdn::ingress_traffic(http, work);
+    sdn::background_traffic(net, 8000, 34, work);
     return work;
   };
 

@@ -130,8 +130,7 @@ Scenario q5_mac_learning(const sdn::CampusOptions& campus) {
     flow(6, 1, kIpA, 32, 40);  // A -> B: learned, installs the coarse entry
     flow(6, 2, kIpD, 32, 40);  // D -> B: swallowed by A's wildcard entry
     flow(5, 3, 33, 32, 40);    // C -> B (different in-port)
-    auto bg = sdn::background_traffic(net, 8000, 35);
-    work.insert(work.end(), bg.begin(), bg.end());
+    sdn::background_traffic(net, 8000, 35, work);
     return work;
   };
 

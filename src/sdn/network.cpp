@@ -95,6 +95,13 @@ struct WalkOutcome {
 
 }  // namespace
 
+void Network::inject_batch(const std::vector<Injection>& work, bool record) {
+  if (record) recorder_.reserve_ingress(work.size());
+  for (const Injection& inj : work) {
+    inject(inj.sw, inj.port, inj.packet, record);
+  }
+}
+
 void Network::inject(int64_t sw, int64_t in_port, const Packet& p, bool record) {
   ++clock_;
   if (record) recorder_.record_ingress(Injection{sw, in_port, p, clock_});

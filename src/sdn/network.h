@@ -82,6 +82,11 @@ class Network {
   // the controller on misses. Records ingress in the recorder when
   // `record` is true.
   void inject(int64_t sw, int64_t in_port, const Packet& p, bool record = true);
+  // Batched workload injection: reserves the ingress log once, then runs
+  // each packet to completion in order. Packets stay serialized — a miss
+  // may install flow state the next packet's forwarding depends on — so
+  // batching here amortizes recording, not control-loop round trips.
+  void inject_batch(const std::vector<Injection>& work, bool record = true);
 
   DeliveryStats& stats() { return stats_; }
   const DeliveryStats& stats() const { return stats_; }

@@ -32,6 +32,8 @@ struct CtrlMsg {
 class Recorder {
  public:
   void record_ingress(const Injection& inj) { ingress_.push_back(inj); }
+  // Pre-size the ingress log for a batched replay of `n` more packets.
+  void reserve_ingress(size_t n) { ingress_.reserve(ingress_.size() + n); }
   void record_ctrl(CtrlMsgKind kind, int64_t sw, uint64_t time) {
     ctrl_.push_back(CtrlMsg{kind, sw, time});
   }

@@ -4,14 +4,12 @@
 
 namespace mp::sdn {
 
-std::vector<Injection> background_traffic(const Network& net, size_t packets,
-                                          uint64_t seed,
-                                          const TrafficMix& mix) {
-  std::vector<Injection> out;
+void background_traffic(const Network& net, size_t packets, uint64_t seed,
+                        std::vector<Injection>& out, const TrafficMix& mix) {
   const auto& hosts = net.hosts();
-  if (hosts.size() < 2) return out;
+  if (hosts.size() < 2) return;
   Rng rng(seed);
-  out.reserve(packets);
+  out.reserve(out.size() + packets);
   for (size_t i = 0; i < packets; ++i) {
     const Host& src = hosts[rng.zipf(hosts.size())];
     const Host* dst = &hosts[rng.zipf(hosts.size())];
@@ -38,13 +36,19 @@ std::vector<Injection> background_traffic(const Network& net, size_t packets,
     p.bucket = p.sip % 2 + 1;
     out.push_back(Injection{src.sw, src.port, p, 0});
   }
+}
+
+std::vector<Injection> background_traffic(const Network& net, size_t packets,
+                                          uint64_t seed,
+                                          const TrafficMix& mix) {
+  std::vector<Injection> out;
+  background_traffic(net, packets, seed, out, mix);
   return out;
 }
 
-std::vector<Injection> ingress_traffic(const IngressOptions& opt) {
-  std::vector<Injection> out;
+void ingress_traffic(const IngressOptions& opt, std::vector<Injection>& out) {
   Rng rng(opt.seed);
-  out.reserve(opt.flows * opt.packets_per_flow);
+  out.reserve(out.size() + opt.flows * opt.packets_per_flow);
   for (size_t f = 0; f < opt.flows; ++f) {
     Packet p;
     p.sip = opt.src_ip_base + static_cast<int64_t>(rng.below(opt.src_ip_count));
@@ -60,13 +64,16 @@ std::vector<Injection> ingress_traffic(const IngressOptions& opt) {
       out.push_back(Injection{opt.ingress_switch, opt.ingress_port, p, 0});
     }
   }
+}
+
+std::vector<Injection> ingress_traffic(const IngressOptions& opt) {
+  std::vector<Injection> out;
+  ingress_traffic(opt, out);
   return out;
 }
 
 void replay(Network& net, const std::vector<Injection>& work, bool record) {
-  for (const Injection& inj : work) {
-    net.inject(inj.sw, inj.port, inj.packet, record);
-  }
+  net.inject_batch(work, record);
 }
 
 }  // namespace mp::sdn

@@ -23,6 +23,10 @@ struct TrafficMix {
 std::vector<Injection> background_traffic(const Network& net, size_t packets,
                                           uint64_t seed,
                                           const TrafficMix& mix = {});
+// Appending form: extends `out` in place (reserved once), so scenario
+// workload assembly builds one batch without intermediate copies.
+void background_traffic(const Network& net, size_t packets, uint64_t seed,
+                        std::vector<Injection>& out, const TrafficMix& mix = {});
 
 struct IngressOptions {
   size_t flows = 40;
@@ -39,8 +43,11 @@ struct IngressOptions {
 
 // External (Internet-side) request traffic entering at the ingress switch.
 std::vector<Injection> ingress_traffic(const IngressOptions& opt);
+// Appending form (see background_traffic above).
+void ingress_traffic(const IngressOptions& opt, std::vector<Injection>& out);
 
-// Replays a recorded/synthesized workload into the network.
+// Replays a recorded/synthesized workload into the network as one batch
+// (Network::inject_batch).
 void replay(Network& net, const std::vector<Injection>& work,
             bool record = true);
 

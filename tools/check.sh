@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The tier-1 gate in one command: configure, build, run the labelled ctest
+# suites and the smoke tool (ROADMAP "Tier-1 verify"). Usage:
+#   tools/check.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+cmake --build "$BUILD_DIR" -j
+
+(cd "$BUILD_DIR" && ctest -L tier1 --output-on-failure -j)
+
+echo "--- smoke (Q1 pipeline) ---"
+"$BUILD_DIR/smoke" Q1
+
+echo "check.sh: OK"

@@ -22,7 +22,7 @@ trap 'rm -f "$RAW"' EXIT
 # --benchmark_out: bench_overhead prints a storage-accounting preamble to
 # stdout, so the JSON must go to a file.
 "$BENCH" \
-  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_PacketInProcessing' \
+  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_JoinHeavyBatchInsert|BM_PacketInProcessing' \
   --benchmark_out_format=json --benchmark_out="$RAW" >/dev/null
 
 REPO_ROOT="$REPO_ROOT" python3 - "$RAW" "$OUT" <<'EOF'
@@ -53,6 +53,18 @@ for size in (1024, 8192):
         "speedup": rate(idx) / rate(scan) if rate(scan) else None,
     }
 
+batch = {}
+for size in (1024, 8192):
+    loop = results.get(f"BM_JoinHeavyBatchInsert/{size}/0/manual_time")
+    bat = results.get(f"BM_JoinHeavyBatchInsert/{size}/1/manual_time")
+    if not loop or not bat:
+        continue
+    batch[str(size)] = {
+        "single_insert_tuples_per_sec": rate(loop),
+        "batched_tuples_per_sec": rate(bat),
+        "speedup": rate(bat) / rate(loop) if rate(loop) else None,
+    }
+
 packetin = {}
 for arg, key in ((0, "provenance_off"), (1, "provenance_on")):
     b = results.get(f"BM_PacketInProcessing/{arg}")
@@ -72,6 +84,7 @@ out = {
     "context": {k: raw["context"].get(k)
                 for k in ("host_name", "num_cpus", "mhz_per_cpu", "date")},
     "join_heavy": join,
+    "batch_insert": batch,
     "packet_in": packetin,
 }
 with open(out_path, "w") as f:
@@ -82,4 +95,8 @@ for size, j in join.items():
     print(f"  join({size} rows): {j['indexed_tuples_per_sec']:,.0f} tuples/s indexed "
           f"vs {j['full_scan_tuples_per_sec']:,.0f} scanned "
           f"({j['speedup']:.1f}x)")
+for size, b in batch.items():
+    print(f"  bulk load({size} rows): {b['batched_tuples_per_sec']:,.0f} tuples/s batched "
+          f"vs {b['single_insert_tuples_per_sec']:,.0f} looped "
+          f"({b['speedup']:.2f}x)")
 EOF
