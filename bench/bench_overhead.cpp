@@ -121,6 +121,48 @@ BENCHMARK(BM_JoinHeavyBatchInsert)
     ->Args({8192, 1})
     ->UseManualTime();
 
+// Repair-exploration history lookup: the HistoryStore probe the forest
+// explorer issues for every bound-column pattern (eval/history.h), over a
+// table with range(0) recorded tuples. With indexes (range(1)=1) a lookup
+// visits one bucket; in forced-scan mode it walks the entire recorded
+// history per lookup — the pre-HistoryStore behaviour of
+// repair/forest.cpp's linear filters. tools/run_bench.sh records both
+// throughputs in BENCH_engine.json (history_probe).
+void BM_RepairHistoryProbe(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  eval::EngineOptions opt;
+  opt.use_indexes = state.range(1) != 0;
+  opt.max_steps = ~size_t{0} >> 1;
+  eval::Engine engine(ndlog::parse_program("table Hist/4.\n"), opt);
+  std::vector<eval::Tuple> batch;
+  batch.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    batch.push_back(eval::Tuple{
+        "Hist", {Value(1), Value(i), Value(i % 97), Value(i * 3)}});
+  }
+  engine.insert_batch(batch);
+  int64_t k = 0;
+  size_t matches = 0;
+  for (auto _ : state) {
+    eval::TuplePattern pat;
+    pat.table = "Hist";
+    pat.fields = {{1, ndlog::CmpOp::Eq, Value(k++ % n)},
+                  {2, ndlog::CmpOp::Ge, Value(0)}};
+    engine.history().probe(pat, [&](const eval::Tuple&) {
+      ++matches;
+      return true;
+    });
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(opt.use_indexes ? "indexed probe" : "forced history scan");
+}
+BENCHMARK(BM_RepairHistoryProbe)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({8192, 0})
+    ->Args({8192, 1});
+
 // Flow-table lookup cost (switch fast path).
 void BM_FlowTableLookup(benchmark::State& state) {
   sdn::FlowTable ft;

@@ -16,7 +16,9 @@ size_t replay_base_stream(const eval::EventLog& log, eval::Engine& into) {
     into.remove_batch(removes);
     removes.clear();
   };
-  for (const eval::Event& ev : log.events()) {
+  // for_each_event walks checkpoint + live suffix in id order, so a
+  // compacted log replays exactly like an uncompacted one.
+  log.for_each_event([&](const eval::Event& ev) {
     if (ev.kind == eval::EventKind::Insert) {
       flush_removes();
       inserts.emplace_back(ev.tuple, ev.tags);
@@ -26,7 +28,7 @@ size_t replay_base_stream(const eval::EventLog& log, eval::Engine& into) {
       removes.push_back(ev.tuple);
       ++applied;
     }
-  }
+  });
   flush_inserts();
   flush_removes();
   return applied;

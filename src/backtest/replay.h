@@ -14,9 +14,12 @@ namespace mp::backtest {
 // Re-applies the external base stream of a recorded event log into a fresh
 // engine: runs of consecutive Insert events become one insert_batch and
 // runs of Delete events one remove_batch, preserving the stream's relative
-// order (the recorded tag masks ride along for tag-mode engines). This is
-// how backtests rebuild base state from a recorded run without re-running
-// the simulation. Returns the number of log events applied.
+// order (the recorded tag masks ride along for tag-mode engines). Reads
+// the log through EventLog::for_each_event, so a compacted log replays
+// its serialized checkpoint prefix and live suffix identically to an
+// uncompacted one. This is how backtests rebuild base state from a
+// recorded run without re-running the simulation. Returns the number of
+// log events applied.
 size_t replay_base_stream(const eval::EventLog& log, eval::Engine& into);
 
 class ReplayHarness {

@@ -51,23 +51,6 @@ void TableStore::flush_index_backlog() const {
   index_backlog_.clear();
 }
 
-namespace {
-
-// Projection of `row` onto an index's column set; false when the row is
-// too short to project (such a row can never match the index's atoms and
-// is kept out of its buckets entirely).
-bool project_key(const Row& row, const std::vector<uint32_t>& cols, Row& key) {
-  key.clear();
-  key.reserve(cols.size());
-  for (uint32_t c : cols) {
-    if (c >= row.size()) return false;
-    key.push_back(row[c]);
-  }
-  return true;
-}
-
-}  // namespace
-
 void TableStore::add_to_indexes(const Item& item) const {
   Row key;
   for (size_t i = 0; i < index_specs_->size(); ++i) {

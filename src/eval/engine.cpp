@@ -39,6 +39,7 @@ Engine::Engine(ndlog::Program program, EngineOptions opt)
   for (const auto& rule : program_.rules) {
     compiled_.push_back(compile_rule(rule, catalog_, index_specs_));
   }
+  history_.attach(&catalog_, opt_.use_indexes);
   triggers_by_table_.resize(catalog_.size());
   rule_restrict_.assign(program_.rules.size(), kAllTags);
   for (size_t r = 0; r < program_.rules.size(); ++r) {
@@ -174,6 +175,24 @@ std::vector<Tuple> Engine::all_tuples(const std::string& table) const {
   return out;
 }
 
+size_t Engine::match_tuples(
+    const std::string& table, const TuplePattern& pattern,
+    const std::function<bool(const Value& node, const Row& row)>& fn) const {
+  size_t matched = 0;
+  const TableId tid = catalog_.id_of(table);
+  if (tid == ndlog::Catalog::kNoTable) return matched;
+  for (const auto& [node, db] : nodes_) {
+    const TableStore* store = db.store_if(tid);
+    if (store == nullptr) continue;
+    for (const auto& [row, entry] : store->rows()) {
+      if (entry.support <= 0 || !pattern.matches(row)) continue;
+      ++matched;
+      if (!fn(node, row)) return matched;
+    }
+  }
+  return matched;
+}
+
 TagMask Engine::tags_of(const Value& node, const std::string& table,
                         const Row& row) const {
   auto it = nodes_.find(node);
@@ -269,6 +288,7 @@ void Engine::handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
       appear_ev = log_.append(EventKind::Appear, node, tuple, e.tags,
                               cause == kNoEvent ? std::vector<EventId>{}
                                                 : std::vector<EventId>{cause});
+      history_.record(table_id, tuple);
     }
     e.appear_event = appear_ev;
   } else {
@@ -276,6 +296,7 @@ void Engine::handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
       appear_ev = log_.append(EventKind::Appear, node, tuple, tags,
                               cause == kNoEvent ? std::vector<EventId>{}
                                                 : std::vector<EventId>{cause});
+      history_.record(table_id, tuple);
     }
   }
 
@@ -498,26 +519,29 @@ void Engine::retract(const Value& node, const Tuple& t) {
   }
   store->erase(t.row);
 
-  // Cascade: every live derivation that consumed t loses support.
+  // Cascade: every live derivation that consumed t loses support. The
+  // callback walk visits the index bucket directly (no snapshot vector);
+  // liveness is checked at visit time, so records cascaded away by the
+  // recursion below are skipped exactly as the old re-check did.
   if (!opt_.record_provenance) return;
-  for (size_t idx : log_.derivations_using(t)) {
+  log_.for_each_derivation_using(t, [&](size_t idx) {
     DerivRecord& rec = log_.derivation(idx);
-    if (!rec.live) continue;
     rec.live = false;
     log_.append(EventKind::Underive, rec.head.location(), rec.head, kAllTags,
                 {}, rec.rule);
-    if (catalog_.is_event(rec.head.table)) continue;  // nothing stored
+    if (catalog_.is_event(rec.head.table)) return true;  // nothing stored
     const TableId htid = catalog_.id_of(rec.head.table);
-    if (htid == ndlog::Catalog::kNoTable) continue;
+    if (htid == ndlog::Catalog::kNoTable) return true;
     auto dst_it = nodes_.find(rec.head.location());
-    if (dst_it == nodes_.end()) continue;
+    if (dst_it == nodes_.end()) return true;
     TableStore* hstore = dst_it->second.store_if(htid);
-    if (hstore == nullptr) continue;
+    if (hstore == nullptr) return true;
     Entry* he = hstore->find(rec.head.row);
-    if (he == nullptr || he->support <= 0) continue;
+    if (he == nullptr || he->support <= 0) return true;
     he->support -= 1;
     if (he->support <= 0) retract(rec.head.location(), rec.head);
-  }
+    return true;
+  });
 }
 
 bool Engine::unify_ops(const std::vector<ArgOp>& ops, const Row& row,

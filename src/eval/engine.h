@@ -38,6 +38,7 @@
 
 #include "eval/database.h"
 #include "eval/event_log.h"
+#include "eval/history.h"
 #include "eval/plan.h"
 #include "ndlog/ast.h"
 #include "ndlog/schema.h"
@@ -98,6 +99,13 @@ class Engine {
   std::vector<Row> rows(const Value& node, const std::string& table) const;
   // All currently-live tuples of `table` across every node.
   std::vector<Tuple> all_tuples(const std::string& table) const;
+  // Pattern-filtered, allocation-light variant: visits every currently-live
+  // tuple of `table` matching `pattern` with its owning node — no Tuple is
+  // materialized and no vector built. `fn` returns false to stop early.
+  // Returns the number of matches visited.
+  size_t match_tuples(const std::string& table, const TuplePattern& pattern,
+                      const std::function<bool(const Value& node,
+                                               const Row& row)>& fn) const;
   TagMask tags_of(const Value& node, const std::string& table, const Row& row) const;
   const Database* db(const Value& node) const;
 
@@ -111,6 +119,13 @@ class Engine {
 
   EventLog& log() { return log_; }
   const EventLog& log() const { return log_; }
+  // Indexed historical-tuple store (every Appear is recorded here when
+  // provenance recording is on); the repair and provenance layers' history
+  // lookups probe it instead of scanning the log. The non-const accessor
+  // exists so tests can re-attach the store in forced-scan mode and
+  // cross-check the two probe paths.
+  HistoryStore& history() { return history_; }
+  const HistoryStore& history() const { return history_; }
   const ndlog::Program& program() const { return program_; }
   const ndlog::Catalog& catalog() const { return catalog_; }
 
@@ -174,6 +189,7 @@ class Engine {
   std::vector<TagMask> rule_restrict_;  // per rule idx, default kAllTags
   std::map<Value, Database> nodes_;
   EventLog log_;
+  HistoryStore history_;
   std::deque<PendingAppear> queue_;
   // Appearance callbacks keyed by interned TableId (no string hash on the
   // appear path); slot resized on demand by on_appear().

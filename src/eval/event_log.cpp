@@ -1,5 +1,8 @@
 #include "eval/event_log.h"
 
+#include <cstddef>
+#include <string_view>
+
 namespace mp::eval {
 
 const char* to_string(EventKind k) {
@@ -28,7 +31,7 @@ std::string Event::to_string() const {
 EventId EventLog::append(EventKind kind, Value node, Tuple tuple, TagMask tags,
                          std::vector<EventId> causes, std::string rule) {
   Event e;
-  e.id = events_.size();
+  e.id = size();
   e.kind = kind;
   e.time = tick();
   e.node = std::move(node);
@@ -36,14 +39,6 @@ EventId EventLog::append(EventKind kind, Value node, Tuple tuple, TagMask tags,
   e.rule = std::move(rule);
   e.causes = std::move(causes);
   e.tags = tags;
-
-  if (kind == EventKind::Appear) {
-    if (!history_seen_.count(e.tuple)) {
-      history_seen_.emplace(e.tuple, 1);
-      history_[e.tuple.table].push_back(e.tuple);
-      ++history_total_;
-    }
-  }
   events_.push_back(std::move(e));
   return events_.back().id;
 }
@@ -58,42 +53,216 @@ size_t EventLog::add_derivation(DerivRecord rec) {
 
 std::vector<size_t> EventLog::derivations_of(const Tuple& t) const {
   std::vector<size_t> out;
-  auto it = head_index_.find(t);
-  if (it == head_index_.end()) return out;
-  for (size_t idx : it->second) {
-    if (derivations_[idx].live) out.push_back(idx);
-  }
+  for_each_derivation_of(t, [&](size_t idx) {
+    out.push_back(idx);
+    return true;
+  });
   return out;
 }
 
 std::vector<size_t> EventLog::derivations_using(const Tuple& t) const {
   std::vector<size_t> out;
-  auto it = body_index_.find(t);
-  if (it == body_index_.end()) return out;
-  for (size_t idx : it->second) {
-    if (derivations_[idx].live) out.push_back(idx);
-  }
+  for_each_derivation_using(t, [&](size_t idx) {
+    out.push_back(idx);
+    return true;
+  });
   return out;
 }
 
-const std::vector<Tuple>& EventLog::history(const std::string& table) const {
-  static const std::vector<Tuple> kEmpty;
-  auto it = history_.find(table);
-  return it == history_.end() ? kEmpty : it->second;
+void EventLog::for_each_derivation_of(
+    const Tuple& t, const std::function<bool(size_t)>& fn) const {
+  auto it = head_index_.find(t);
+  if (it == head_index_.end()) return;
+  for (size_t idx : it->second) {
+    if (derivations_[idx].live && !fn(idx)) return;
+  }
+}
+
+void EventLog::for_each_derivation_using(
+    const Tuple& t, const std::function<bool(size_t)>& fn) const {
+  auto it = body_index_.find(t);
+  if (it == body_index_.end()) return;
+  for (size_t idx : it->second) {
+    if (derivations_[idx].live && !fn(idx)) return;
+  }
+}
+
+bool EventLog::has_derivation_of(const Tuple& t) const {
+  bool any = false;
+  for_each_derivation_of(t, [&](size_t) {
+    any = true;
+    return false;
+  });
+  return any;
+}
+
+// --- serialization ------------------------------------------------------
+
+namespace {
+
+constexpr size_t kHeaderBytes = 32;
+
+void put_u16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void put_bytes(std::vector<uint8_t>& out, const std::string& s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+void put_value(std::vector<uint8_t>& out, const Value& v) {
+  out.push_back(v.is_int() ? 0 : 1);
+  if (v.is_int()) {
+    put_u64(out, static_cast<uint64_t>(v.as_int()));
+  } else {
+    put_u16(out, static_cast<uint16_t>(v.as_str().size()));
+    put_bytes(out, v.as_str());
+  }
+}
+size_t value_bytes(const Value& v) {
+  return v.is_int() ? 1 + 8 : 1 + 2 + v.as_str().size();
+}
+
+uint16_t get_u16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+uint32_t get_u32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+uint64_t get_u64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+Value get_value(const uint8_t*& p) {
+  const uint8_t tag = *p++;
+  if (tag == 0) {
+    const uint64_t v = get_u64(p);
+    p += 8;
+    return Value(static_cast<int64_t>(v));
+  }
+  const uint16_t len = get_u16(p);
+  p += 2;
+  Value v = Value::str(std::string_view(reinterpret_cast<const char*>(p), len));
+  p += len;
+  return v;
+}
+
+}  // namespace
+
+size_t EventLog::serialized_bytes(const Event& e) {
+  size_t sz = kHeaderBytes + value_bytes(e.node) + e.tuple.table.size() +
+              e.rule.size() + 8 * e.causes.size();
+  for (const Value& v : e.tuple.row) sz += value_bytes(v);
+  return sz;
+}
+
+void EventLog::serialize(const Event& e, std::vector<uint8_t>& out) const {
+  put_u64(out, e.time);
+  put_u64(out, e.tags);
+  out.push_back(static_cast<uint8_t>(e.kind));
+  out.push_back(0);
+  put_u16(out, static_cast<uint16_t>(e.tuple.table.size()));
+  put_u16(out, static_cast<uint16_t>(e.rule.size()));
+  put_u16(out, static_cast<uint16_t>(e.tuple.row.size()));
+  put_u16(out, static_cast<uint16_t>(e.causes.size()));
+  put_u16(out, 0);
+  put_u32(out, static_cast<uint32_t>(serialized_bytes(e) - kHeaderBytes));
+  put_value(out, e.node);
+  for (const Value& v : e.tuple.row) put_value(out, v);
+  put_bytes(out, e.tuple.table);
+  put_bytes(out, e.rule);
+  for (EventId c : e.causes) put_u64(out, c);
+}
+
+Event EventLog::decode(size_t entry) const {
+  const uint8_t* p = ckpt_.data() + ckpt_offsets_[entry];
+  Event e;
+  e.id = entry;
+  e.time = get_u64(p);
+  e.tags = get_u64(p + 8);
+  e.kind = static_cast<EventKind>(p[16]);
+  const uint16_t table_len = get_u16(p + 18);
+  const uint16_t rule_len = get_u16(p + 20);
+  const uint16_t nvals = get_u16(p + 22);
+  const uint16_t ncauses = get_u16(p + 24);
+  p += kHeaderBytes;
+  e.node = get_value(p);
+  e.tuple.row.reserve(nvals);
+  for (uint16_t i = 0; i < nvals; ++i) e.tuple.row.push_back(get_value(p));
+  e.tuple.table.assign(reinterpret_cast<const char*>(p), table_len);
+  p += table_len;
+  e.rule.assign(reinterpret_cast<const char*>(p), rule_len);
+  p += rule_len;
+  e.causes.reserve(ncauses);
+  for (uint16_t i = 0; i < ncauses; ++i) {
+    e.causes.push_back(get_u64(p));
+    p += 8;
+  }
+  return e;
+}
+
+namespace {
+
+// Every length the 32-byte header stores is a u16; an event exceeding one
+// (nothing the runtime produces) must stay live, not decode garbled.
+bool fits_checkpoint_format(const Event& e) {
+  constexpr size_t kMax = 0xffff;
+  if (e.tuple.table.size() > kMax || e.rule.size() > kMax ||
+      e.tuple.row.size() > kMax || e.causes.size() > kMax) {
+    return false;
+  }
+  if (e.node.is_str() && e.node.as_str().size() > kMax) return false;
+  for (const Value& v : e.tuple.row) {
+    if (v.is_str() && v.as_str().size() > kMax) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t EventLog::compact(size_t keep_live) {
+  if (events_.size() <= keep_live) return 0;
+  size_t n = events_.size() - keep_live;
+  for (size_t i = 0; i < n; ++i) {
+    if (!fits_checkpoint_format(events_[i])) {
+      n = i;  // stop at the first non-conforming event
+      break;
+    }
+  }
+  if (n == 0) return 0;
+  ckpt_offsets_.reserve(ckpt_offsets_.size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    ckpt_offsets_.push_back(ckpt_.size());
+    serialize(events_[i], ckpt_);
+  }
+  events_.erase(events_.begin(), events_.begin() + static_cast<ptrdiff_t>(n));
+  base_id_ += n;
+  return n;
 }
 
 size_t EventLog::byte_estimate() const {
-  // Fixed 32-byte header (id, kind, time, tag mask) + values. Strings count
-  // their length; ints count 8 bytes. The paper logs ~120 B per packet.
-  size_t total = 0;
-  for (const Event& e : events_) {
-    size_t sz = 32 + e.tuple.table.size() + e.rule.size();
-    for (const Value& v : e.tuple.row) {
-      sz += v.is_int() ? 8 : v.as_str().size() + 8;
-    }
-    total += sz;
-  }
+  size_t total = ckpt_.size();
+  for (const Event& e : events_) total += serialized_bytes(e);
   return total;
+}
+
+Time EventLog::event_time(EventId id) const {
+  if (id >= base_id_) return events_[id - base_id_].time;
+  // `time` is the first header field of the serialized entry.
+  return get_u64(ckpt_.data() + ckpt_offsets_[id]);
+}
+
+void EventLog::for_each_event(const std::function<void(const Event&)>& fn) const {
+  for (size_t i = 0; i < ckpt_offsets_.size(); ++i) fn(decode(i));
+  for (const Event& e : events_) fn(e);
 }
 
 void EventLog::clear() {
@@ -101,9 +270,9 @@ void EventLog::clear() {
   derivations_.clear();
   head_index_.clear();
   body_index_.clear();
-  history_.clear();
-  history_seen_.clear();
-  history_total_ = 0;
+  ckpt_.clear();
+  ckpt_offsets_.clear();
+  base_id_ = 0;
   time_ = 0;
 }
 

@@ -2,13 +2,31 @@
 // Every insert / derive / appear / send / receive / delete is logged with a
 // logical timestamp and causal links. Three consumers read it:
 //   - provenance graph construction (src/provenance),
-//   - meta-provenance "history lookups" (src/repair),
+//   - derivation-record lookups for meta-provenance (src/repair) — the
+//     historical-tuple side of those lookups lives in the HistoryStore
+//     (eval/history.h), carved out of this class so it can be indexed and
+//     rebuilt independently of the immutable record,
 //   - backtest replay and storage accounting (src/backtest, Section 5.4).
+//
+// The log is checkpointable: compact() serializes the oldest events into
+// the paper's ~120 B/entry fixed-header format (Section 5.4) and drops
+// their in-memory Event (and Tuple) copies, so the record no longer grows
+// without bound. Ids stay stable across compaction — the id space is
+// [0, size()), of which [base_id(), size()) is held live — and replay
+// (backtest::replay_base_stream) walks checkpoint + live suffix through
+// for_each_event().
+//
+// Serialized entry layout (little-endian, 32-byte fixed header):
+//   u64 time | u64 tags | u8 kind | u8 reserved | u16 table_len |
+//   u16 rule_len | u16 nvals | u16 ncauses | u16 reserved | u32 payload_len
+// followed by payload: node value, nvals row values (u8 tag, then i64 or
+// u16 len + bytes), table bytes, rule bytes, ncauses x u64 cause ids.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "eval/tuple.h"
@@ -62,8 +80,14 @@ class EventLog {
 
   size_t add_derivation(DerivRecord rec);  // returns record index
 
+  // Live (un-compacted) suffix of the log; events()[i] has id base_id()+i.
   const std::vector<Event>& events() const { return events_; }
-  const Event& event(EventId id) const { return events_[id]; }
+  // Valid only for live ids (id >= base_id()); compacted events are
+  // reachable through for_each_event() / event_time().
+  const Event& event(EventId id) const {
+    assert(id >= base_id_ && id - base_id_ < events_.size());
+    return events_[id - base_id_];
+  }
   const std::vector<DerivRecord>& derivations() const { return derivations_; }
   DerivRecord& derivation(size_t idx) { return derivations_[idx]; }
 
@@ -71,30 +95,62 @@ class EventLog {
   std::vector<size_t> derivations_of(const Tuple& t) const;
   // Indices of live derivation records with `t` among their body tuples.
   std::vector<size_t> derivations_using(const Tuple& t) const;
-
-  // Historical relation contents: every row ever observed in `table`,
-  // across all nodes (includes transient event tuples). This is the data
-  // the paper's "history lookups" walk when expanding meta provenance.
-  const std::vector<Tuple>& history(const std::string& table) const;
-  size_t history_size() const { return history_total_; }
+  // Allocation-light variants: visit indices of live records in insertion
+  // order; `fn` returns false to stop.
+  void for_each_derivation_of(const Tuple& t,
+                              const std::function<bool(size_t)>& fn) const;
+  void for_each_derivation_using(const Tuple& t,
+                                 const std::function<bool(size_t)>& fn) const;
+  bool has_derivation_of(const Tuple& t) const;
 
   Time now() const { return time_; }
   Time tick() { return ++time_; }
 
-  // Rough on-disk footprint of the log if each event were serialized as a
-  // fixed header plus its values; the paper reports ~120-byte entries.
+  // --- checkpoint + truncate (event-log compaction, Section 5.4) -------
+  // Serializes all but the newest `keep_live` live events into the
+  // checkpoint buffer and erases their Event structs. Returns the number
+  // of events compacted. Compaction stops early at the first event that
+  // exceeds the format's u16 length fields (a >64 KiB string or >65535
+  // row values / causes — nothing the runtime produces): such an event
+  // and everything after it stay live rather than corrupting the decode.
+  // Derivation records are unaffected; their derive_event ids remain
+  // resolvable via event_time().
+  size_t compact(size_t keep_live = 0);
+  EventId base_id() const { return base_id_; }
+  size_t live_size() const { return events_.size(); }
+  size_t checkpoint_bytes() const { return ckpt_.size(); }
+  // Timestamp of any event, live or checkpointed.
+  Time event_time(EventId id) const;
+  // Walks the full event sequence in id order: each checkpointed entry is
+  // decoded into a scratch Event (valid only for the duration of the
+  // call), then the live suffix is visited in place.
+  void for_each_event(const std::function<void(const Event&)>& fn) const;
+  // Exact size of `e` in the serialized checkpoint format; byte_estimate()
+  // is the sum of this over all events, compacted or live.
+  static size_t serialized_bytes(const Event& e);
+
+  // On-disk footprint of the log in the serialized format above: bytes
+  // already written to the checkpoint plus what compacting the live
+  // suffix would write (computed on demand — it's a cold accessor, and
+  // append stays free of accounting work). The paper reports ~120-byte
+  // entries.
   size_t byte_estimate() const;
-  size_t size() const { return events_.size(); }
+  // Total events ever appended (compacted + live); ids are dense in
+  // [0, size()).
+  size_t size() const { return base_id_ + events_.size(); }
   void clear();
 
  private:
-  std::vector<Event> events_;
+  void serialize(const Event& e, std::vector<uint8_t>& out) const;
+  Event decode(size_t entry) const;  // entry index into ckpt_offsets_
+
+  std::vector<Event> events_;  // live suffix; events_[i].id == base_id_ + i
   std::vector<DerivRecord> derivations_;
   std::unordered_map<Tuple, std::vector<size_t>, TupleHash> head_index_;
   std::unordered_map<Tuple, std::vector<size_t>, TupleHash> body_index_;
-  std::unordered_map<std::string, std::vector<Tuple>> history_;
-  std::unordered_map<Tuple, char, TupleHash> history_seen_;
-  size_t history_total_ = 0;
+  std::vector<uint8_t> ckpt_;          // serialized compacted prefix
+  std::vector<size_t> ckpt_offsets_;   // entry i starts at ckpt_[offsets[i]]
+  EventId base_id_ = 0;
   Time time_ = 0;
 };
 

@@ -1,0 +1,151 @@
+#include "eval/history.h"
+
+#include <algorithm>
+
+namespace mp::eval {
+
+std::string FieldConstraint::to_string() const {
+  return "col" + std::to_string(col) + " " + ndlog::to_string(op) + " " +
+         value.to_string();
+}
+
+bool TuplePattern::matches(const Row& row) const {
+  for (const auto& f : fields) {
+    if (f.col >= row.size()) return false;
+    if (!ndlog::cmp_eval(f.op, row[f.col], f.value)) return false;
+  }
+  return true;
+}
+
+std::string TuplePattern::to_string() const {
+  std::string out = table + "[";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ", ";
+    out += fields[i].to_string();
+  }
+  out += "]";
+  return out;
+}
+
+HistoryStore::PerTable& HistoryStore::table_slot(TableId table) {
+  if (table >= tables_.size()) tables_.resize(table + 1);
+  return tables_[table];
+}
+
+bool HistoryStore::record(TableId table, const Tuple& t) {
+  PerTable& pt = table_slot(table);
+  if (!pt.seen.insert(t.row).second) return false;
+  const auto pos = static_cast<uint32_t>(pt.rows.size());
+  pt.rows.push_back(t);
+  ++total_;
+  if (const auto* sets = specs_.for_table(table)) {
+    // Indexes are registered (and back-filled) by probe; here we only
+    // append the new position to each existing one.
+    Row key;
+    for (size_t i = 0; i < pt.indexes.size(); ++i) {
+      if (!project_key(t.row, (*sets)[i], key)) continue;
+      pt.indexes[i][std::move(key)].push_back(pos);
+      key = Row();  // moved-from: make reuse explicit
+    }
+  }
+  return true;
+}
+
+const std::vector<Tuple>& HistoryStore::rows(TableId table) const {
+  static const std::vector<Tuple> kEmpty;
+  const PerTable* pt = table_if(table);
+  return pt == nullptr ? kEmpty : pt->rows;
+}
+
+const std::vector<Tuple>& HistoryStore::rows(const std::string& table) const {
+  static const std::vector<Tuple> kEmpty;
+  if (catalog_ == nullptr) return kEmpty;
+  const TableId id = catalog_->id_of(table);
+  return id == ndlog::Catalog::kNoTable ? kEmpty : rows(id);
+}
+
+size_t HistoryStore::ensure_index(TableId table, const PerTable& pt,
+                                  std::vector<uint32_t> cols) const {
+  const auto id =
+      static_cast<size_t>(specs_.ensure(table, std::move(cols)));
+  if (id < pt.indexes.size()) return id;  // already built
+  const auto& sets = *specs_.for_table(table);
+  Row key;
+  while (pt.indexes.size() <= id) {
+    const std::vector<uint32_t>& set = sets[pt.indexes.size()];
+    auto& buckets = pt.indexes.emplace_back();
+    // Retroactive build: positions appended ascending keeps every bucket
+    // in first-appearance order, matching the scan the index replaces.
+    for (uint32_t pos = 0; pos < pt.rows.size(); ++pos) {
+      if (!project_key(pt.rows[pos].row, set, key)) continue;
+      buckets[std::move(key)].push_back(pos);
+      key = Row();
+    }
+  }
+  return id;
+}
+
+size_t HistoryStore::probe(TableId table, const TuplePattern& pattern,
+                           const std::function<bool(const Tuple&)>& fn) const {
+  const PerTable* pt = table_if(table);
+  if (pt == nullptr || pt->rows.empty()) return 0;
+
+  // The Eq-constrained column set is the probe key; everything else (and
+  // contradictory duplicate Eq constraints) filters via matches().
+  std::vector<uint32_t> cols;
+  if (use_indexes_) {
+    for (const FieldConstraint& f : pattern.fields) {
+      if (f.op != ndlog::CmpOp::Eq) continue;
+      cols.push_back(static_cast<uint32_t>(f.col));
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  }
+
+  if (cols.empty()) {
+    ++full_scans_;
+    for (const Tuple& t : pt->rows) {
+      if (pattern.matches(t.row) && !fn(t)) break;
+    }
+    return pt->rows.size();
+  }
+
+  ++index_probes_;
+  const size_t id = ensure_index(table, *pt, cols);
+  Row key;
+  key.reserve(cols.size());
+  for (uint32_t c : cols) {
+    for (const FieldConstraint& f : pattern.fields) {
+      if (f.op == ndlog::CmpOp::Eq && f.col == c) {
+        key.push_back(f.value);  // first Eq per column builds the key
+        break;
+      }
+    }
+  }
+  const auto& buckets = pt->indexes[id];
+  auto it = buckets.find(key);
+  if (it == buckets.end()) return 0;
+  for (uint32_t pos : it->second) {
+    const Tuple& t = pt->rows[pos];
+    if (pattern.matches(t.row) && !fn(t)) break;
+  }
+  return it->second.size();
+}
+
+size_t HistoryStore::probe(const TuplePattern& pattern,
+                           const std::function<bool(const Tuple&)>& fn) const {
+  if (catalog_ == nullptr) return 0;
+  const TableId id = catalog_->id_of(pattern.table);
+  if (id == ndlog::Catalog::kNoTable) return 0;
+  return probe(id, pattern, fn);
+}
+
+void HistoryStore::clear() {
+  tables_.clear();
+  specs_ = IndexSpecs();
+  total_ = 0;
+  index_probes_ = 0;
+  full_scans_ = 0;
+}
+
+}  // namespace mp::eval

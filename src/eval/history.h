@@ -1,0 +1,132 @@
+// HistoryStore: the indexed historical-tuple layer carved out of EventLog.
+//
+// The paper's meta-provenance "history lookups" (Sections 3.1/4.2) ask one
+// question over and over: which tuples of table T were *ever* observed
+// matching a partially-bound pattern? The event log answers what happened
+// and in what order; this store answers the lookup question without a
+// linear walk. The split mirrors append-only log systems: an immutable
+// compact record (EventLog, checkpointable) plus rebuildable secondary
+// indexes (this store).
+//
+// - Tuples are keyed by the catalog's interned TableId and kept in
+//   first-appearance order (deduplicated), so consumers that relied on
+//   EventLog::history()'s deterministic order see the same sequence.
+// - Secondary hash indexes reuse the engine's IndexSpecs registry and the
+//   TableStore key-projection scheme: each distinct set of Eq-bound
+//   columns a probe uses is registered on demand, built retroactively
+//   over the recorded tuples once, and maintained incrementally on every
+//   record() after that. Buckets hold positions in first-appearance
+//   order, so an index hit enumerates exactly the same matches, in the
+//   same order, as the linear scan it replaces.
+// - probe() falls back to the ordered scan only for patterns with zero
+//   Eq-bound columns (or when the owning engine runs with
+//   EngineOptions::use_indexes off, the cross-checking test mode).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "eval/plan.h"
+#include "eval/tuple.h"
+#include "ndlog/ast.h"
+#include "ndlog/schema.h"
+
+namespace mp::eval {
+
+// A pattern constrains some columns of a table's rows. These types used to
+// live in provenance/query.h; they moved into the evaluation layer so
+// HistoryStore::probe and Engine::match_tuples can accept them without a
+// dependency cycle (mp::prov keeps aliases for the old names).
+struct FieldConstraint {
+  size_t col = 0;
+  ndlog::CmpOp op = ndlog::CmpOp::Eq;
+  Value value;
+  std::string to_string() const;
+};
+
+struct TuplePattern {
+  std::string table;
+  std::vector<FieldConstraint> fields;
+  bool matches(const Row& row) const;
+  std::string to_string() const;
+};
+
+class HistoryStore {
+ public:
+  // Wires the catalog used to resolve string-keyed lookups and the index
+  // mode (false = every probe is an ordered scan; used to cross-check the
+  // two paths in tests). Called once by the owning engine.
+  void attach(const ndlog::Catalog* catalog, bool use_indexes = true) {
+    catalog_ = catalog;
+    use_indexes_ = use_indexes;
+  }
+
+  // Records an observed tuple (first appearance wins; duplicates are
+  // ignored). Returns true if the tuple was new. Maintains every secondary
+  // index already registered for the table.
+  bool record(TableId table, const Tuple& t);
+
+  // All recorded tuples of a table, in first-appearance order.
+  const std::vector<Tuple>& rows(TableId table) const;
+  const std::vector<Tuple>& rows(const std::string& table) const;
+
+  // Visits every recorded tuple of `table` matching `pattern`, in
+  // first-appearance order; `fn` returns false to stop early. Patterns
+  // with at least one Eq-constrained column hit a secondary hash index
+  // (registered and built on first use); the rest of the pattern filters
+  // the bucket. Returns the number of candidate tuples examined (bucket
+  // size on an index hit, full table history on the fallback scan) — the
+  // quantity ExploreStats::history_tuples_scanned accumulates.
+  size_t probe(TableId table, const TuplePattern& pattern,
+               const std::function<bool(const Tuple&)>& fn) const;
+  // Same, resolving `pattern.table` through the catalog (unknown table:
+  // zero matches).
+  size_t probe(const TuplePattern& pattern,
+               const std::function<bool(const Tuple&)>& fn) const;
+
+  size_t total() const { return total_; }
+  // Access-path counters (mirrors Engine::index_probes/full_scans).
+  size_t index_probes() const { return index_probes_; }
+  size_t full_scans() const { return full_scans_; }
+
+  void clear();
+
+ private:
+  struct PerTable {
+    std::vector<Tuple> rows;                   // first-appearance order
+    std::unordered_set<Row, RowHash> seen;     // dedup within the table
+    // One bucket map per registered column set (parallel to the specs_
+    // entry for this table); buckets hold positions into `rows`. Mutable
+    // members: indexes are a rebuildable cache registered/built lazily by
+    // const probes, exactly like TableStore's. A deque, not a vector: a
+    // probe callback may itself probe the same table with a fresh column
+    // set, and the resulting emplace_back must not invalidate the outer
+    // probe's reference to its bucket map.
+    mutable std::deque<std::unordered_map<Row, std::vector<uint32_t>, RowHash>>
+        indexes;
+  };
+
+  PerTable& table_slot(TableId table);
+  const PerTable* table_if(TableId table) const {
+    return table < tables_.size() ? &tables_[table] : nullptr;
+  }
+  // Registers `cols` for `table` if needed and builds the new index
+  // retroactively; returns the dense index id.
+  size_t ensure_index(TableId table, const PerTable& pt,
+                      std::vector<uint32_t> cols) const;
+
+  const ndlog::Catalog* catalog_ = nullptr;
+  bool use_indexes_ = true;
+  mutable IndexSpecs specs_;       // Eq-column sets registered by probes
+  std::deque<PerTable> tables_;    // by TableId; deque: rows() refs stay valid
+  size_t total_ = 0;
+  mutable size_t index_probes_ = 0;
+  mutable size_t full_scans_ = 0;
+};
+
+}  // namespace mp::eval

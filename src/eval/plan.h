@@ -159,6 +159,21 @@ struct CompiledRule {
   std::vector<TriggerPlan> triggers;  // one per body atom
 };
 
+// Projection of `row` onto an index's column set; false when the row is
+// too short to project. Shared by TableStore and HistoryStore so their
+// buckets follow one contract: a row that cannot project can never match
+// the index's atoms/patterns and is kept out of the buckets entirely.
+inline bool project_key(const Row& row, const std::vector<uint32_t>& cols,
+                        Row& key) {
+  key.clear();
+  key.reserve(cols.size());
+  for (uint32_t c : cols) {
+    if (c >= row.size()) return false;
+    key.push_back(row[c]);
+  }
+  return true;
+}
+
 // Per-table registry of secondary-index column sets, fixed at engine
 // construction (all plans are compiled before any TableStore exists).
 class IndexSpecs {

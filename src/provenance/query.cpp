@@ -4,29 +4,6 @@
 
 namespace mp::prov {
 
-std::string FieldConstraint::to_string() const {
-  return "col" + std::to_string(col) + " " + ndlog::to_string(op) + " " +
-         value.to_string();
-}
-
-bool TuplePattern::matches(const Row& row) const {
-  for (const auto& f : fields) {
-    if (f.col >= row.size()) return false;
-    if (!ndlog::cmp_eval(f.op, row[f.col], f.value)) return false;
-  }
-  return true;
-}
-
-std::string TuplePattern::to_string() const {
-  std::string out = table + "[";
-  for (size_t i = 0; i < fields.size(); ++i) {
-    if (i) out += ", ";
-    out += fields[i].to_string();
-  }
-  out += "]";
-  return out;
-}
-
 namespace {
 
 void explain_tuple(const eval::Engine& engine, ProvenanceGraph& g,
@@ -37,8 +14,7 @@ void explain_tuple(const eval::Engine& engine, ProvenanceGraph& g,
   if (depth == 0 || on_path.count(key)) return;
   on_path.insert(key);
 
-  auto derivs = log.derivations_of(tuple);
-  if (derivs.empty()) {
+  if (!log.has_derivation_of(tuple)) {
     // Base tuple: leaf INSERT vertex.
     Vertex v;
     v.kind = VertexKind::Insert;
@@ -47,14 +23,16 @@ void explain_tuple(const eval::Engine& engine, ProvenanceGraph& g,
     const size_t idx = g.add(std::move(v));
     g.link(parent, idx);
   } else {
-    for (size_t d : derivs) {
+    log.for_each_derivation_of(tuple, [&](size_t d) {
       const eval::DerivRecord& rec = log.derivations()[d];
       Vertex v;
       v.kind = VertexKind::Derive;
       v.node = rec.head.location();
       v.tuple = rec.head;
       v.rule = rec.rule;
-      v.time = log.event(rec.derive_event).time;
+      // event_time (not event()): the derive event may already have been
+      // compacted into the log's checkpoint.
+      v.time = log.event_time(rec.derive_event);
       const size_t idx = g.add(std::move(v));
       g.link(parent, idx);
       for (const eval::Tuple& b : rec.body) {
@@ -66,7 +44,8 @@ void explain_tuple(const eval::Engine& engine, ProvenanceGraph& g,
         g.link(idx, bidx);
         explain_tuple(engine, g, bidx, b, depth - 1, on_path);
       }
-    }
+      return true;
+    });
   }
   on_path.erase(key);
 }
@@ -112,12 +91,13 @@ ProvenanceGraph explain_missing(const eval::Engine& engine,
     // For each body atom, record whether any historical tuple could have
     // matched it (EXIST child) or none did (NAPPEAR child).
     for (const auto& atom : rule.body) {
-      const auto& hist = engine.log().history(atom.table);
+      TuplePattern any_of;  // unconstrained: representative lookup
+      any_of.table = atom.table;
       bool any = false;
-      for (const auto& t : hist) {
+      engine.history().probe(any_of, [&](const eval::Tuple& t) {
         // Cheap arity screen: full unification is done by the repair
         // engine; here we only build the explanatory tree.
-        if (t.row.size() != atom.args.size()) continue;
+        if (t.row.size() != atom.args.size()) return true;
         any = true;
         Vertex ev;
         ev.kind = VertexKind::Exist;
@@ -125,8 +105,8 @@ ProvenanceGraph explain_missing(const eval::Engine& engine,
         ev.tuple = t;
         const size_t eidx = g.add(std::move(ev));
         g.link(nd_idx, eidx);
-        break;  // one representative per atom keeps the tree readable
-      }
+        return false;  // one representative per atom keeps the tree readable
+      });
       if (!any) {
         Vertex nv;
         nv.kind = VertexKind::NAppear;

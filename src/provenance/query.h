@@ -13,24 +13,17 @@
 #include <optional>
 
 #include "eval/engine.h"
+#include "eval/history.h"
 #include "provenance/graph.h"
 
 namespace mp::prov {
 
-// A pattern constrains some columns of a table's rows.
-struct FieldConstraint {
-  size_t col = 0;
-  ndlog::CmpOp op = ndlog::CmpOp::Eq;
-  Value value;
-  std::string to_string() const;
-};
-
-struct TuplePattern {
-  std::string table;
-  std::vector<FieldConstraint> fields;
-  bool matches(const Row& row) const;
-  std::string to_string() const;
-};
+// The pattern types moved into the evaluation layer (eval/history.h) so
+// HistoryStore::probe and Engine::match_tuples can accept them without a
+// dependency cycle; these aliases keep the provenance-facing names every
+// consumer (repair symptoms, scenarios, tests) already uses.
+using FieldConstraint = eval::FieldConstraint;
+using TuplePattern = eval::TuplePattern;
 
 // Positive provenance of an existing tuple; returns an empty graph if the
 // tuple never appeared. max_depth bounds recursion through derivations.

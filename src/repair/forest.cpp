@@ -365,11 +365,20 @@ void ForestExplorer::expand_appear(const TreeState& st, const Goal& goal,
 void ForestExplorer::expand_disappear(const TreeState& st, const Goal& goal,
                                       std::vector<TreeState>& out) {
   Timer history_timer;
+  // Indexed history probe filtered to tuples still live somewhere. Live
+  // tuples are a subset of recorded history (every live tuple had an
+  // Appear event), so this enumerates the same matches as the old
+  // all_tuples scan — but in deterministic first-appearance order, and as
+  // an index hit on the pattern's bound columns.
   std::vector<Tuple> matching;
-  for (Tuple& t : engine_.all_tuples(goal.pattern.table)) {
-    if (goal.pattern.matches(t.row)) matching.push_back(std::move(t));
-    if (matching.size() >= 4) break;  // each match forks its own subtree
-  }
+  const size_t scanned =
+      engine_.history().probe(goal.pattern, [&](const Tuple& t) {
+        if (!t.row.empty() && engine_.exists(t.location(), t.table, t.row)) {
+          matching.push_back(t);
+        }
+        return matching.size() < 4;  // each match forks its own subtree
+      });
+  if (stats_ != nullptr) stats_->history_tuples_scanned += scanned;
   if (phases_ != nullptr) phases_->add("history lookups", history_timer.seconds());
 
   for (const Tuple& target : matching) {
@@ -429,7 +438,7 @@ void ForestExplorer::expand_disappear(const TreeState& st, const Goal& goal,
       }
       // Deleting a base body tuple starves the derivation.
       for (const Tuple& b : rec.body) {
-        if (engine_.log().derivations_of(b).empty() &&
+        if (!engine_.log().has_derivation_of(b) &&
             !engine_.catalog().is_event(b.table)) {
           Change c;
           c.kind = ChangeKind::DeleteBaseTuple;
@@ -503,23 +512,43 @@ std::vector<ForestExplorer::JoinResult> ForestExplorer::enumerate_joins(
 
   for (size_t atom_idx = 0; atom_idx < rule.body.size(); ++atom_idx) {
     const ndlog::Atom& atom = rule.body[atom_idx];
-    const auto& hist = engine_.log().history(atom.table);
-    if (stats_ != nullptr) stats_->history_tuples_scanned += hist.size();
     std::vector<Frame> next;
     for (Frame& f : frontier) {
       bool bound_any = false;
-      for (const Tuple& t : hist) {
-        Env env = f.env;
-        if (!unify_atom(atom, t.row, env)) continue;
-        bound_any = true;
-        Frame nf;
-        nf.env = std::move(env);
-        nf.bound = f.bound;
-        nf.bound.push_back(t);
-        nf.unbound = f.unbound;
-        next.push_back(std::move(nf));
-        if (next.size() >= cfg_.max_join_combos * 4) break;
+      // Pattern from the atom's constants plus variables already bound by
+      // sibling atoms: every bound column becomes an Eq constraint, so the
+      // probe is a history-index hit whenever anything is bound; only the
+      // leading fully-unbound atom still walks its table's history. The
+      // candidates a probe skips are exactly those unify_atom would
+      // reject, and buckets keep first-appearance order, so the frontier
+      // evolves identically to the old linear scan.
+      prov::TuplePattern pat;
+      pat.table = atom.table;
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        const Expr& arg = *atom.args[i];
+        if (arg.is_const()) {
+          pat.fields.push_back({i, CmpOp::Eq, arg.cval()});
+        } else if (arg.is_var()) {
+          auto it = f.env.find(arg.var_name());
+          if (it != f.env.end()) {
+            pat.fields.push_back({i, CmpOp::Eq, it->second});
+          }
+        }
       }
+      const size_t scanned =
+          engine_.history().probe(pat, [&](const Tuple& t) {
+            Env env = f.env;
+            if (!unify_atom(atom, t.row, env)) return true;
+            bound_any = true;
+            Frame nf;
+            nf.env = std::move(env);
+            nf.bound = f.bound;
+            nf.bound.push_back(t);
+            nf.unbound = f.unbound;
+            next.push_back(std::move(nf));
+            return next.size() < cfg_.max_join_combos * 4;
+          });
+      if (stats_ != nullptr) stats_->history_tuples_scanned += scanned;
       if (!bound_any) {
         Frame nf = f;
         nf.unbound.push_back(atom_idx);
@@ -820,10 +849,14 @@ std::vector<Change> ForestExplorer::manual_insert_options(const Goal& goal) {
   if (phases_ != nullptr) phases_->add("constraint solving", solve_timer.seconds());
   if (!assignment) return out;
 
+  Timer history_timer;
   Row row(decl->arity, Value(0));
-  const auto& hist = engine_.log().history(goal.pattern.table);
+  const auto& hist = engine_.history().rows(goal.pattern.table);
   if (!hist.empty() && hist.front().row.size() == decl->arity) {
     row = hist.front().row;
+  }
+  if (phases_ != nullptr) {
+    phases_->add("history lookups", history_timer.seconds());
   }
   for (size_t i = 0; i < decl->arity; ++i) {
     auto it = assignment->find("c" + std::to_string(i));
@@ -885,9 +918,15 @@ std::vector<Value> ForestExplorer::domain_of_var(const Rule& rule,
   for (const auto& atom : rule.body) {
     for (size_t i = 0; i < atom.args.size(); ++i) {
       if (!atom.args[i]->is_var() || atom.args[i]->var_name() != var) continue;
-      for (const Tuple& t : engine_.log().history(atom.table)) {
+      // Domain extraction has no bound columns; the probe is the ordered
+      // fallback scan over this table's recorded history.
+      prov::TuplePattern any;
+      any.table = atom.table;
+      const size_t scanned = engine_.history().probe(any, [&](const Tuple& t) {
         if (i < t.row.size()) push_unique(out, t.row[i], 64);
-      }
+        return true;
+      });
+      if (stats_ != nullptr) stats_->history_tuples_scanned += scanned;
     }
   }
   if (phases_ != nullptr) phases_->add("history lookups", history_timer.seconds());

@@ -137,12 +137,18 @@ Scenario q5_mac_learning(const sdn::CampusOptions& campus) {
   s.symptom_fixed = [](const backtest::ReplayOutcome&,
                        const backtest::ReplayOutcome&,
                        const eval::Engine& engine, eval::TagMask tag) {
-    for (const auto& t : engine.all_tuples("Learn")) {
-      if (t.row.size() == 3 && t.row[1] == Value(kIpD)) {
-        if (engine.tags_of(t.location(), "Learn", t.row) & tag) return true;
+    eval::TuplePattern learned;
+    learned.table = "Learn";
+    learned.fields = {{1, ndlog::CmpOp::Eq, Value(kIpD)}};
+    bool fixed = false;
+    engine.match_tuples("Learn", learned, [&](const Value& node, const Row& row) {
+      if (row.size() == 3 && (engine.tags_of(node, "Learn", row) & tag)) {
+        fixed = true;
+        return false;
       }
-    }
-    return false;
+      return true;
+    });
+    return fixed;
   };
   return s;
 }

@@ -130,9 +130,24 @@ TEST(Engine, HistoryRecordsEventTuples) {
   e.insert(t("B", {Value(1), Value(5)}));
   e.insert(t("B", {Value(1), Value(5)}));  // duplicate: deduped in history
   e.insert(t("B", {Value(1), Value(6)}));
-  EXPECT_EQ(e.log().history("B").size(), 2u);
-  EXPECT_EQ(e.log().history("A").size(), 2u);
-  EXPECT_TRUE(e.log().history("Zzz").empty());
+  EXPECT_EQ(e.history().rows("B").size(), 2u);
+  EXPECT_EQ(e.history().rows("A").size(), 2u);
+  EXPECT_TRUE(e.history().rows("Zzz").empty());
+  EXPECT_EQ(e.history().total(), 4u);
+
+  // Bound-column probe: an index hit that visits only matching tuples, in
+  // first-appearance order.
+  TuplePattern pat;
+  pat.table = "B";
+  pat.fields = {{1, ndlog::CmpOp::Eq, Value(5)}};
+  std::vector<Tuple> got;
+  e.history().probe(pat, [&](const Tuple& tup) {
+    got.push_back(tup);
+    return true;
+  });
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].row[1], Value(5));
+  EXPECT_GT(e.history().index_probes(), 0u);
 }
 
 TEST(Engine, ArithmeticAndDivisionByZero) {

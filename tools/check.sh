@@ -12,6 +12,10 @@ cmake --build "$BUILD_DIR" -j
 
 (cd "$BUILD_DIR" && ctest -L tier1 --output-on-failure -j)
 
+# The equivalence harness gates every change on its own label too, so a
+# relabelling mistake in CMake can never silently drop it from the gate.
+(cd "$BUILD_DIR" && ctest -L differential --output-on-failure -j)
+
 echo "--- smoke (Q1 pipeline) ---"
 "$BUILD_DIR/smoke" Q1
 

@@ -22,7 +22,7 @@ trap 'rm -f "$RAW"' EXIT
 # --benchmark_out: bench_overhead prints a storage-accounting preamble to
 # stdout, so the JSON must go to a file.
 "$BENCH" \
-  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_JoinHeavyBatchInsert|BM_PacketInProcessing' \
+  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_JoinHeavyBatchInsert|BM_PacketInProcessing|BM_RepairHistoryProbe' \
   --benchmark_out_format=json --benchmark_out="$RAW" >/dev/null
 
 REPO_ROOT="$REPO_ROOT" python3 - "$RAW" "$OUT" <<'EOF'
@@ -65,6 +65,18 @@ for size in (1024, 8192):
         "speedup": rate(bat) / rate(loop) if rate(loop) else None,
     }
 
+history = {}
+for size in (1024, 8192):
+    scan = results.get(f"BM_RepairHistoryProbe/{size}/0")
+    idx = results.get(f"BM_RepairHistoryProbe/{size}/1")
+    if not scan or not idx:
+        continue
+    history[str(size)] = {
+        "scan_lookups_per_sec": rate(scan),
+        "indexed_lookups_per_sec": rate(idx),
+        "speedup": rate(idx) / rate(scan) if rate(scan) else None,
+    }
+
 packetin = {}
 for arg, key in ((0, "provenance_off"), (1, "provenance_on")):
     b = results.get(f"BM_PacketInProcessing/{arg}")
@@ -85,6 +97,7 @@ out = {
                 for k in ("host_name", "num_cpus", "mhz_per_cpu", "date")},
     "join_heavy": join,
     "batch_insert": batch,
+    "history_probe": history,
     "packet_in": packetin,
 }
 with open(out_path, "w") as f:
@@ -99,4 +112,8 @@ for size, b in batch.items():
     print(f"  bulk load({size} rows): {b['batched_tuples_per_sec']:,.0f} tuples/s batched "
           f"vs {b['single_insert_tuples_per_sec']:,.0f} looped "
           f"({b['speedup']:.2f}x)")
+for size, h in history.items():
+    print(f"  history probe({size} tuples): {h['indexed_lookups_per_sec']:,.0f} lookups/s indexed "
+          f"vs {h['scan_lookups_per_sec']:,.0f} scanned "
+          f"({h['speedup']:.1f}x)")
 EOF
