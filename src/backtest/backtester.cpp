@@ -1,7 +1,9 @@
 #include "backtest/backtester.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "util/threads.h"
 #include "util/timer.h"
 
 namespace mp::backtest {
@@ -31,6 +33,21 @@ BacktestReport Backtester::run(
   std::vector<ReplayOutcome> outcomes;
   if (cfg_.use_multiquery) {
     outcomes = harness.replay_joint(candidates);
+  } else if (cfg_.shards > 1 && candidates.size() > 1 &&
+             harness.concurrent_replays()) {
+    // Candidate replays on the worker pool: each replay is independent
+    // (own network + engine; the baseline above is already cached), so
+    // workers just claim the next candidate index. Outcomes land at their
+    // candidate's slot — identical results and order to the loop below.
+    outcomes.assign(candidates.size(), ReplayOutcome{});
+    std::atomic<size_t> next{0};
+    std::function<void()> work = [&] {
+      for (size_t i; (i = next.fetch_add(1)) < candidates.size();) {
+        outcomes[i] = harness.replay(candidates[i]);
+      }
+    };
+    run_thunks_parallel(std::vector<std::function<void()>>(
+        std::min(cfg_.shards, candidates.size()), work));
   } else {
     outcomes.reserve(candidates.size());
     for (const auto& c : candidates) outcomes.push_back(harness.replay(c));

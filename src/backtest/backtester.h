@@ -13,6 +13,13 @@ namespace mp::backtest {
 struct BacktestConfig {
   double alpha = 0.05;
   bool use_multiquery = false;
+  // Worker threads for sequential candidate replays (each candidate's
+  // replay builds its own network + engine, so replays are independent).
+  // Takes effect when > 1, multiquery is off and the harness reports
+  // concurrent_replays(); outcomes are identical to the sequential loop,
+  // in the same candidate order. Tag-mode multiquery replay is already
+  // one joint run and is never parallelized here.
+  size_t shards = 1;
 };
 
 struct BacktestEntry {

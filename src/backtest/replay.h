@@ -32,6 +32,13 @@ class ReplayHarness {
   // Replays the workload with one candidate applied.
   virtual ReplayOutcome replay(const repair::RepairCandidate& cand) = 0;
 
+  // True when replay() may be called from several worker threads at once
+  // (after replay_baseline() has been called once). The Backtester's
+  // `shards` knob parallelizes sequential candidate replays only for
+  // harnesses that opt in; each replay must then touch only state local
+  // to its own call. Default: sequential only.
+  virtual bool concurrent_replays() const { return false; }
+
   // Joint replay of many candidates; default falls back to a sequential
   // loop. The scenario pipeline overrides this with tag-mode multi-query
   // evaluation (Section 4.4).

@@ -65,6 +65,33 @@ void Engine::insert(const Tuple& t, TagMask tags) {
   }
   enqueue_appear(t, catalog_.intern(t.table), tags, cause);
   run_queue();
+  maybe_autocompact();
+}
+
+EventId Engine::receive_remote(Tuple t, TagMask tags) {
+  if (!opt_.tag_mode) tags = kAllTags;
+  EventId cause = kNoEvent;
+  if (opt_.record_provenance) {
+    cause = log_.append(EventKind::Receive, t.location(), t, tags);
+  }
+  const TableId tid = catalog_.intern(t.table);
+  enqueue_appear(std::move(t), tid, tags, cause);
+  run_queue();
+  maybe_autocompact();
+  return cause;
+}
+
+void Engine::receive_unsupport(const Tuple& head) {
+  const TableId tid = catalog_.id_of(head.table);
+  if (tid == ndlog::Catalog::kNoTable) return;
+  auto node_it = nodes_.find(head.location());
+  if (node_it == nodes_.end()) return;
+  TableStore* store = node_it->second.store_if(tid);
+  if (store == nullptr) return;
+  Entry* e = store->find(head.row);
+  if (e == nullptr || e->support <= 0) return;
+  e->support -= 1;
+  if (e->support <= 0) retract(head.location(), head);
 }
 
 void Engine::stage_insert(const Tuple& t, TagMask tags,
@@ -104,6 +131,7 @@ void Engine::insert_batch(std::span<const Tuple> batch, TagMask tags) {
   TableId last_id = 0;
   for (const Tuple& t : batch) stage_insert(t, tags, last_name, last_id);
   end_bulk();
+  maybe_autocompact();
 }
 
 void Engine::insert_batch(std::span<const std::pair<Tuple, TagMask>> batch) {
@@ -114,16 +142,19 @@ void Engine::insert_batch(std::span<const std::pair<Tuple, TagMask>> batch) {
     stage_insert(t, opt_.tag_mode ? tags : kAllTags, last_name, last_id);
   }
   end_bulk();
+  maybe_autocompact();
 }
 
 void Engine::remove(const Tuple& t) {
   remove_one(t);
   run_queue();
+  maybe_autocompact();
 }
 
 void Engine::remove_batch(std::span<const Tuple> batch) {
   for (const Tuple& t : batch) remove_one(t);
   run_queue();
+  maybe_autocompact();
 }
 
 void Engine::remove_one(const Tuple& t) {
@@ -140,6 +171,23 @@ void Engine::remove_one(const Tuple& t) {
   }
   e->support -= 1;
   if (e->support <= 0) retract(t.location(), t);
+}
+
+void Engine::maybe_autocompact() {
+  // Only at a true top level: never mid-fixpoint (events later in the
+  // drain may reference live entries) and never inside an enclosing batch
+  // (the outermost end flushes once).
+  if (running_ || bulk_depth_ > 0) return;
+  if (opt_.compact_after_events == 0 && opt_.compact_after_bytes == 0) return;
+  bool over = opt_.compact_after_events != 0 &&
+              log_.live_size() > opt_.compact_after_events;
+  if (!over && opt_.compact_after_bytes != 0) {
+    // byte_estimate() walks the live suffix, but the policy keeps that
+    // suffix bounded near the threshold, so the walk stays O(threshold).
+    over = log_.byte_estimate() - log_.checkpoint_bytes() >
+           opt_.compact_after_bytes;
+  }
+  if (over) log_.compact(opt_.compact_keep_live);
 }
 
 void Engine::begin_bulk() { ++bulk_depth_; }
@@ -484,6 +532,21 @@ void Engine::derive(const ndlog::Rule& rule, const Value& src_node, Tuple head,
   }
   EventId cause = derive_ev;
   const Value& dst = head.location();
+  if (hooks_.is_local && !(dst == src_node) && !hooks_.is_local(dst)) {
+    // Cross-shard head: log the Send here, ship the tuple to the owning
+    // shard (which logs the Receive and runs the appearance). The
+    // DerivRecord stays in this shard's log — the rule fired here, and
+    // deletion cascades walk the record where the body tuples live.
+    EventId send_ev = kNoEvent;
+    if (opt_.record_provenance) {
+      send_ev = log_.append(EventKind::Send, src_node, head, mask,
+                            derive_ev == kNoEvent
+                                ? std::vector<EventId>{}
+                                : std::vector<EventId>{derive_ev});
+    }
+    hooks_.forward(std::move(head), mask, send_ev);
+    return;
+  }
   if (!(dst == src_node) && opt_.record_provenance) {
     const EventId send_ev =
         log_.append(EventKind::Send, src_node, head, mask,
@@ -532,6 +595,12 @@ void Engine::retract(const Value& node, const Tuple& t) {
     if (catalog_.is_event(rec.head.table)) return true;  // nothing stored
     const TableId htid = catalog_.id_of(rec.head.table);
     if (htid == ndlog::Catalog::kNoTable) return true;
+    if (hooks_.is_local && !hooks_.is_local(rec.head.location())) {
+      // The derived head lives on a peer shard: ship the support decrement
+      // (receive_unsupport mirrors the inline decrement below).
+      hooks_.forward_retract(rec.head);
+      return true;
+    }
     auto dst_it = nodes_.find(rec.head.location());
     if (dst_it == nodes_.end()) return true;
     TableStore* hstore = dst_it->second.store_if(htid);

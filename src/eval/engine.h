@@ -59,6 +59,17 @@ struct EngineOptions {
   bool tag_mode = false;
   bool use_indexes = true;        // off: force full scans (testing only)
   size_t max_steps = 1'000'000;   // guard against runaway candidate programs
+  // Auto-compaction policy (the ROADMAP's "mechanism only, no policy"
+  // item): after a top-level insert/remove reaches fixpoint, if the log's
+  // live suffix exceeds compact_after_events events or compact_after_bytes
+  // serialized bytes, the engine calls EventLog::compact() down to
+  // compact_keep_live live events. 0 disables a threshold (both default
+  // off: compaction drops in-memory Event structs, so provenance-graph
+  // consumers that walk the live suffix must opt in deliberately). Event
+  // ids, event_time() and replay stay valid across auto-compactions.
+  size_t compact_after_events = 0;
+  size_t compact_after_bytes = 0;
+  size_t compact_keep_live = 256;
 };
 
 class Engine {
@@ -95,6 +106,20 @@ class Engine {
   // draining the work queue once at the end.
   void remove_batch(std::span<const Tuple> batch);
 
+  // Explicit bulk-mode bracket: between begin_batch() and end_batch(),
+  // single-tuple insert()/remove()/receive_remote() calls run with the
+  // same deferred secondary-index maintenance as insert_batch (one bulk
+  // pass per touched store, flushed at the outermost end). The sharded
+  // runtime uses this to apply its per-shard streams tuple-at-a-time —
+  // it needs the log position between tuples for the canonical merge —
+  // without giving up the batch amortization. Nestable; equivalence with
+  // un-bracketed evaluation is pinned by the differential harness.
+  void begin_batch() { begin_bulk(); }
+  void end_batch() {
+    end_bulk();
+    maybe_autocompact();
+  }
+
   bool exists(const Value& node, const std::string& table, const Row& row) const;
   std::vector<Row> rows(const Value& node, const std::string& table) const;
   // All currently-live tuples of `table` across every node.
@@ -116,6 +141,32 @@ class Engine {
 
   // Restrict a rule to a candidate tag mask (multi-query backtesting).
   void set_rule_restrict(const std::string& rule, TagMask mask);
+
+  // --- sharded-runtime hooks (src/runtime) -----------------------------
+  // A ShardedEngine gives every shard its own Engine over a partition of
+  // the node space. The hooks reroute the two places where evaluation
+  // crosses a node boundary: a derivation whose head lands on a non-local
+  // node is logged as a Send here and handed to `forward` (the peer shard
+  // logs the matching Receive via receive_remote), and a deletion cascade
+  // that reaches a non-local derived head hands the support decrement to
+  // `forward_retract` (applied by the peer via receive_unsupport, which
+  // logs no extra events — exactly mirroring the serial engine's inline
+  // decrement). With no hooks installed (the default) behaviour is
+  // unchanged.
+  struct ShardHooks {
+    std::function<bool(const Value& node)> is_local;
+    std::function<void(Tuple t, TagMask tags, EventId send_event)> forward;
+    std::function<void(Tuple head)> forward_retract;
+  };
+  void set_shard_hooks(ShardHooks hooks) { hooks_ = std::move(hooks); }
+  // Delivers a tuple shipped by a peer shard: appends the Receive event to
+  // this engine's log (its cross-shard cause is reconnected at merge
+  // time), dispatches the appearance and runs to fixpoint. Returns the
+  // Receive event's local id (kNoEvent with provenance off).
+  EventId receive_remote(Tuple t, TagMask tags);
+  // Applies a cross-shard deletion cascade step: the local copy of `head`
+  // (derived remotely, shipped here) loses one unit of support.
+  void receive_unsupport(const Tuple& head);
 
   EventLog& log() { return log_; }
   const EventLog& log() const { return log_; }
@@ -159,6 +210,9 @@ class Engine {
   // re-entrant batches from callbacks flush once, at the outermost end.
   void begin_bulk();
   void end_bulk();
+  // Applies the EngineOptions auto-compaction policy; called when a
+  // top-level mutation (never a nested or mid-fixpoint one) completes.
+  void maybe_autocompact();
   void run_queue();
   void handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
                      EventId cause);
@@ -187,6 +241,7 @@ class Engine {
   // body-atom trigger index: TableId -> (rule idx, body atom idx)
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> triggers_by_table_;
   std::vector<TagMask> rule_restrict_;  // per rule idx, default kAllTags
+  ShardHooks hooks_;  // empty functions = single-engine (serial) mode
   std::map<Value, Database> nodes_;
   EventLog log_;
   HistoryStore history_;

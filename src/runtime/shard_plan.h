@@ -1,0 +1,57 @@
+// ShardPlan: the node-space partition behind the sharded evaluation
+// runtime (src/runtime/README.md). The paper's NDlog model makes every
+// node's rule evaluation independent except for explicit Send/Receive
+// pairs, so the unit of placement is the node id (a tuple's location
+// value, row[0]). A plan maps every node to one of N shards: explicitly
+// placed nodes first (e.g. pinning the controller away from busy
+// switches), everything else by a mixed hash of the node value so that
+// dense integer node ids spread evenly instead of striding.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/value.h"
+
+namespace mp::runtime {
+
+class ShardPlan {
+ public:
+  explicit ShardPlan(uint32_t shards = 1) : shards_(shards == 0 ? 1 : shards) {}
+
+  uint32_t shards() const { return shards_; }
+
+  // Pins `node` to `shard` (modulo the shard count), overriding the hash
+  // assignment. Placement must happen before the plan is handed to a
+  // ShardedEngine — the partition is immutable while evaluation runs.
+  void place(const Value& node, uint32_t shard) {
+    placed_[node] = shard % shards_;
+  }
+
+  uint32_t shard_of(const Value& node) const {
+    if (!placed_.empty()) {
+      auto it = placed_.find(node);
+      if (it != placed_.end()) return it->second;
+    }
+    if (shards_ == 1) return 0;
+    return static_cast<uint32_t>(mix(node.hash()) % shards_);
+  }
+
+  size_t placed_count() const { return placed_.size(); }
+
+ private:
+  // SplitMix64 finalizer: Value::hash of a small int is near-identity, so
+  // taking it modulo N directly would correlate shard assignment with the
+  // node-id layout of the topology.
+  static uint64_t mix(uint64_t h) {
+    h += 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return h ^ (h >> 31);
+  }
+
+  uint32_t shards_;
+  std::unordered_map<Value, uint32_t, ValueHash> placed_;
+};
+
+}  // namespace mp::runtime

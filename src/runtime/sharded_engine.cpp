@@ -1,0 +1,321 @@
+#include "runtime/sharded_engine.h"
+
+#include <algorithm>
+
+#include "util/threads.h"
+
+namespace mp::runtime {
+
+ShardedEngine::ShardedEngine(const ndlog::Program& program, ShardPlan plan,
+                             ShardedOptions opt)
+    : plan_(std::move(plan)), opt_(opt) {
+  shards_.resize(plan_.shards());
+  for (uint32_t s = 0; s < plan_.shards(); ++s) {
+    Shard& sh = shards_[s];
+    sh.engine = std::make_unique<eval::Engine>(program, opt_.engine);
+    sh.outbox.resize(plan_.shards());
+    eval::Engine::ShardHooks hooks;
+    hooks.is_local = [this, s](const Value& node) {
+      return plan_.shard_of(node) == s;
+    };
+    // The hooks run on the worker that owns shard `s` and write only into
+    // that shard's outbox lanes, which are swapped into peer inboxes at
+    // the round barrier — no lane is ever touched from two threads.
+    hooks.forward = [this, s](eval::Tuple t, eval::TagMask tags,
+                              eval::EventId send_event) {
+      const uint32_t dst = plan_.shard_of(t.location());
+      shards_[s].outbox[dst].push_back(Message{
+          Message::Kind::Deliver, std::move(t), tags, s, send_event});
+    };
+    hooks.forward_retract = [this, s](eval::Tuple head) {
+      const uint32_t dst = plan_.shard_of(head.location());
+      shards_[s].outbox[dst].push_back(Message{
+          Message::Kind::Unsupport, std::move(head), 0, s, eval::kNoEvent});
+    };
+    sh.engine->set_shard_hooks(std::move(hooks));
+  }
+}
+
+void ShardedEngine::stage(bool is_insert, const eval::Tuple& t,
+                          eval::TagMask tags) {
+  Shard& sh = shards_[plan_.shard_of(t.location())];
+  sh.staged.push_back(StagedOp{is_insert, t, tags, gseq_++});
+}
+
+void ShardedEngine::insert(const eval::Tuple& t, eval::TagMask tags) {
+  stage(true, t, tags);
+  run_to_quiescence();
+}
+
+void ShardedEngine::insert_batch(std::span<const eval::Tuple> batch,
+                                 eval::TagMask tags) {
+  for (const eval::Tuple& t : batch) stage(true, t, tags);
+  run_to_quiescence();
+}
+
+void ShardedEngine::insert_batch(
+    std::span<const std::pair<eval::Tuple, eval::TagMask>> batch) {
+  for (const auto& [t, tags] : batch) stage(true, t, tags);
+  run_to_quiescence();
+}
+
+void ShardedEngine::remove(const eval::Tuple& t) {
+  stage(false, t, eval::kAllTags);
+  run_to_quiescence();
+}
+
+void ShardedEngine::remove_batch(std::span<const eval::Tuple> batch) {
+  for (const eval::Tuple& t : batch) stage(false, t, eval::kAllTags);
+  run_to_quiescence();
+}
+
+void ShardedEngine::run_shard_round(Shard& sh, uint64_t round) {
+  eval::Engine& e = *sh.engine;
+  // The whole round runs inside one bulk bracket: per-tuple application
+  // (the merge needs the log position between tuples) with insert_batch's
+  // deferred-index amortization.
+  e.begin_batch();
+  if (!sh.staged.empty()) {
+    // Staged external ops, in stream order, one span per op so the
+    // canonical merge can interleave shards back into stream order.
+    for (StagedOp& op : sh.staged) {
+      sh.spans.push_back(Span{round, op.gseq, e.log().size()});
+      if (op.is_insert) {
+        e.insert(op.tuple, op.tags);
+      } else {
+        e.remove(op.tuple);
+      }
+    }
+    sh.staged.clear();
+  }
+  if (!sh.inbox.empty()) {
+    sh.spans.push_back(Span{round, 0, e.log().size()});
+    for (Message& m : sh.inbox) {
+      if (m.kind == Message::Kind::Deliver) {
+        const eval::EventId recv =
+            e.receive_remote(std::move(m.tuple), m.tags);
+        if (recv != eval::kNoEvent && m.send_event != eval::kNoEvent) {
+          sh.links.push_back(CrossLink{recv, m.src_shard, m.send_event});
+        }
+      } else {
+        e.receive_unsupport(m.tuple);
+      }
+    }
+    sh.inbox.clear();
+  }
+  e.end_batch();
+}
+
+void ShardedEngine::run_to_quiescence() {
+  bool work = false;
+  for (const Shard& sh : shards_) work |= !sh.staged.empty();
+  while (work) {
+    const uint64_t round = round_counter_++;
+    if (round_counter_ > opt_.max_rounds) {
+      diverged_ = true;
+      break;
+    }
+    std::vector<size_t> active;
+    size_t pending = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!shards_[s].staged.empty() || !shards_[s].inbox.empty()) {
+        active.push_back(s);
+        pending += shards_[s].staged.size() + shards_[s].inbox.size();
+      }
+    }
+    if (opt_.parallel && active.size() > 1 &&
+        pending >= opt_.min_parallel_work) {
+      std::vector<std::function<void()>> thunks;
+      thunks.reserve(active.size());
+      for (size_t s : active) {
+        thunks.push_back(
+            [this, s, round] { run_shard_round(shards_[s], round); });
+      }
+      run_thunks_parallel(std::move(thunks));
+    } else {
+      for (size_t s : active) run_shard_round(shards_[s], round);
+    }
+    ++rounds_;
+    // Barrier: swap outboxes into peer inboxes, source shards in order,
+    // so every inbox drain is deterministic regardless of thread timing.
+    work = false;
+    for (size_t d = 0; d < shards_.size(); ++d) {
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        std::vector<Message>& lane = shards_[s].outbox[d];
+        if (lane.empty()) continue;
+        messages_ += lane.size();
+        auto& inbox = shards_[d].inbox;
+        inbox.insert(inbox.end(), std::make_move_iterator(lane.begin()),
+                     std::make_move_iterator(lane.end()));
+        lane.clear();
+      }
+      work |= !shards_[d].inbox.empty();
+    }
+    for (const Shard& sh : shards_) diverged_ |= sh.engine->diverged();
+    if (diverged_) break;
+  }
+}
+
+bool ShardedEngine::exists(const Value& node, const std::string& table,
+                           const Row& row) const {
+  return shard(plan_.shard_of(node)).exists(node, table, row);
+}
+
+std::vector<Row> ShardedEngine::rows(const Value& node,
+                                     const std::string& table) const {
+  return shard(plan_.shard_of(node)).rows(node, table);
+}
+
+std::vector<eval::Tuple> ShardedEngine::all_tuples(
+    const std::string& table) const {
+  std::vector<eval::Tuple> out;
+  for (const Shard& sh : shards_) {
+    std::vector<eval::Tuple> part = sh.engine->all_tuples(table);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+eval::TagMask ShardedEngine::tags_of(const Value& node,
+                                     const std::string& table,
+                                     const Row& row) const {
+  return shard(plan_.shard_of(node)).tags_of(node, table, row);
+}
+
+void ShardedEngine::on_appear(
+    const std::string& table,
+    std::function<void(const eval::Tuple&, eval::TagMask)> cb) {
+  for (Shard& sh : shards_) sh.engine->on_appear(table, cb);
+}
+
+void ShardedEngine::set_rule_restrict(const std::string& rule,
+                                      eval::TagMask mask) {
+  for (Shard& sh : shards_) sh.engine->set_rule_restrict(rule, mask);
+}
+
+size_t ShardedEngine::rule_firings() const {
+  size_t n = 0;
+  for (const Shard& sh : shards_) n += sh.engine->rule_firings();
+  return n;
+}
+
+size_t ShardedEngine::steps() const {
+  size_t n = 0;
+  for (const Shard& sh : shards_) n += sh.engine->steps();
+  return n;
+}
+
+size_t ShardedEngine::index_probes() const {
+  size_t n = 0;
+  for (const Shard& sh : shards_) n += sh.engine->index_probes();
+  return n;
+}
+
+size_t ShardedEngine::full_scans() const {
+  size_t n = 0;
+  for (const Shard& sh : shards_) n += sh.engine->full_scans();
+  return n;
+}
+
+eval::EventLog ShardedEngine::merged_log() const {
+  const size_t n = shards_.size();
+  // Per-shard event copies (the checkpointed prefix decodes back into
+  // Events, so a compacted shard log merges like an uncompacted one).
+  std::vector<std::vector<eval::Event>> events(n);
+  for (size_t s = 0; s < n; ++s) {
+    events[s].reserve(shards_[s].engine->log().size());
+    shards_[s].engine->log().for_each_event(
+        [&](const eval::Event& e) { events[s].push_back(e); });
+  }
+
+  // Global span order: (round, stream position, shard); spans were
+  // appended per shard with non-decreasing rounds and begins.
+  struct GlobalSpan {
+    uint64_t round, gseq;
+    uint32_t shard;
+    uint64_t begin, end;
+  };
+  std::vector<GlobalSpan> spans;
+  for (uint32_t s = 0; s < n; ++s) {
+    const auto& local = shards_[s].spans;
+    for (size_t i = 0; i < local.size(); ++i) {
+      const uint64_t end =
+          i + 1 < local.size() ? local[i + 1].begin : events[s].size();
+      spans.push_back(
+          GlobalSpan{local[i].round, local[i].gseq, s, local[i].begin, end});
+    }
+  }
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const GlobalSpan& a, const GlobalSpan& b) {
+                     if (a.round != b.round) return a.round < b.round;
+                     if (a.gseq != b.gseq) return a.gseq < b.gseq;
+                     return a.shard < b.shard;
+                   });
+
+  // Pass 1: canonical id for every (shard, local id).
+  std::vector<std::vector<eval::EventId>> canon(n);
+  for (size_t s = 0; s < n; ++s) {
+    canon[s].assign(events[s].size(), eval::kNoEvent);
+  }
+  eval::EventId next = 0;
+  for (const GlobalSpan& sp : spans) {
+    for (uint64_t i = sp.begin; i < sp.end; ++i) canon[sp.shard][i] = next++;
+  }
+
+  // Receive -> Send cross-links, keyed by the receive's local id.
+  std::vector<std::unordered_map<eval::EventId, const CrossLink*>> links(n);
+  for (size_t s = 0; s < n; ++s) {
+    for (const CrossLink& l : shards_[s].links) links[s][l.recv] = &l;
+  }
+
+  // Pass 2: append in canonical order, remapping causal links.
+  eval::EventLog out;
+  std::vector<eval::EventId> causes;
+  for (const GlobalSpan& sp : spans) {
+    for (uint64_t i = sp.begin; i < sp.end; ++i) {
+      const eval::Event& ev = events[sp.shard][i];
+      causes.clear();
+      if (ev.kind == eval::EventKind::Receive) {
+        auto it = links[sp.shard].find(ev.id);
+        if (it != links[sp.shard].end()) {
+          const CrossLink& l = *it->second;
+          if (l.send < canon[l.src_shard].size()) {
+            causes.push_back(canon[l.src_shard][l.send]);
+          }
+        }
+      }
+      if (causes.empty()) {
+        for (eval::EventId c : ev.causes) {
+          if (c < canon[sp.shard].size() &&
+              canon[sp.shard][c] != eval::kNoEvent) {
+            causes.push_back(canon[sp.shard][c]);
+          }
+        }
+      }
+      out.append(ev.kind, ev.node, ev.tuple, ev.tags, causes, ev.rule);
+    }
+  }
+
+  // Derivation records, in canonical derive-event order (== the serial
+  // log's derivation order when the multisets agree).
+  std::vector<eval::DerivRecord> recs;
+  for (size_t s = 0; s < n; ++s) {
+    for (const eval::DerivRecord& r : shards_[s].engine->log().derivations()) {
+      eval::DerivRecord copy = r;
+      if (copy.derive_event != eval::kNoEvent &&
+          copy.derive_event < canon[s].size()) {
+        copy.derive_event = canon[s][copy.derive_event];
+      }
+      recs.push_back(std::move(copy));
+    }
+  }
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const eval::DerivRecord& a, const eval::DerivRecord& b) {
+                     return a.derive_event < b.derive_event;
+                   });
+  for (eval::DerivRecord& r : recs) out.add_derivation(std::move(r));
+  return out;
+}
+
+}  // namespace mp::runtime

@@ -1,0 +1,177 @@
+// ShardedEngine: multi-threaded evaluation over a ShardPlan partition of
+// the node space (see src/runtime/README.md for the full model).
+//
+// Each shard owns a complete eval::Engine compiled from the same program
+// (rule compilation is deterministic, so every shard shares an identical
+// catalog and plan layout) evaluating only the nodes the plan assigns to
+// it. The two node-crossing operations are rerouted through
+// Engine::ShardHooks into per-(src,dst) mailboxes:
+//   - a derivation whose head lands on a peer shard ships a Deliver
+//     message (Send logged at the source, Receive at the destination),
+//   - a deletion cascade reaching a peer-shard derived head ships an
+//     Unsupport message (no extra events, mirroring the serial engine's
+//     inline support decrement).
+//
+// Scheduling is round-based: every worker runs its shard to local
+// fixpoint (round 0 applies the staged external inserts/removes in stream
+// order; later rounds drain the shard's inbox), then a barrier swaps
+// outboxes into peer inboxes in shard order. Global quiescence = a round
+// that ships no messages. Workers touch only their own shard's engine and
+// outboxes between barriers, so the schedule is deterministic and
+// race-free by construction (opt.parallel=false runs the same schedule
+// inline, byte-for-byte identically — the cross-check used in tests).
+//
+// After a run, merged_log() rebuilds one canonical EventLog from the
+// per-shard segments in a stable deterministic order keyed by
+// (round, external-stream position, shard, local sequence). External
+// Insert/Delete events therefore appear in exactly the original stream
+// order, which makes backtest::replay_base_stream over the merged log
+// reconstruct the identical serial engine — provenance queries, repair
+// exploration and replay all work unchanged on top of it
+// (tests/differential_test.cpp pins byte-identical repair output).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/engine.h"
+#include "runtime/shard_plan.h"
+
+namespace mp::runtime {
+
+struct ShardedOptions {
+  eval::EngineOptions engine;  // applied to every per-shard engine
+  // false: run every shard's round inline on the calling thread (same
+  // schedule, same logs — the determinism cross-check and the right mode
+  // for callers whose on_appear callbacks are not thread-safe).
+  bool parallel = true;
+  // Rounds whose pending input (staged ops + inbox messages) totals fewer
+  // items than this run inline even with parallel on: spawning workers
+  // costs more than the evaluation (e.g. a single insert(), or the short
+  // tail rounds of a message cycle). Inline and parallel execution follow
+  // the identical schedule, so this is a pure latency knob.
+  size_t min_parallel_work = 64;
+  size_t max_rounds = 1'000'000;  // guard against runaway message cycles
+};
+
+class ShardedEngine {
+ public:
+  ShardedEngine(const ndlog::Program& program, ShardPlan plan,
+                ShardedOptions opt = {});
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // External mutations. Each call routes the tuples to their owning
+  // shards (preserving stream order per shard and recording the global
+  // stream position for the canonical merge) and runs the round scheduler
+  // to global quiescence before returning — the same contract as the
+  // serial Engine's insert/insert_batch.
+  void insert(const eval::Tuple& t, eval::TagMask tags = eval::kAllTags);
+  void insert_batch(std::span<const eval::Tuple> batch,
+                    eval::TagMask tags = eval::kAllTags);
+  void insert_batch(
+      std::span<const std::pair<eval::Tuple, eval::TagMask>> batch);
+  void remove(const eval::Tuple& t);
+  void remove_batch(std::span<const eval::Tuple> batch);
+
+  // Cross-shard aggregate queries (shard-order deterministic).
+  bool exists(const Value& node, const std::string& table,
+              const Row& row) const;
+  std::vector<Row> rows(const Value& node, const std::string& table) const;
+  std::vector<eval::Tuple> all_tuples(const std::string& table) const;
+  eval::TagMask tags_of(const Value& node, const std::string& table,
+                        const Row& row) const;
+
+  // Registered on every shard engine. With opt.parallel the callback runs
+  // on worker threads (possibly concurrently for tuples on different
+  // shards) — it must be thread-safe, or the engine must run with
+  // parallel=false.
+  void on_appear(const std::string& table,
+                 std::function<void(const eval::Tuple&, eval::TagMask)> cb);
+  void set_rule_restrict(const std::string& rule, eval::TagMask mask);
+
+  const ShardPlan& plan() const { return plan_; }
+  size_t shards() const { return shards_.size(); }
+  uint32_t shard_of(const Value& node) const { return plan_.shard_of(node); }
+  eval::Engine& shard(size_t i) { return *shards_[i].engine; }
+  const eval::Engine& shard(size_t i) const { return *shards_[i].engine; }
+
+  // Summed across shards.
+  size_t rule_firings() const;
+  size_t steps() const;
+  size_t index_probes() const;
+  size_t full_scans() const;
+  bool diverged() const { return diverged_; }
+
+  // Scheduler counters: rounds executed and cross-shard tuples shipped.
+  size_t rounds() const { return rounds_; }
+  size_t messages_shipped() const { return messages_; }
+
+  // Rebuilds the canonical merged EventLog (see file comment): events are
+  // renumbered densely in merge order, within-shard causal links are
+  // remapped, and each cross-shard Receive is reconnected to its Send's
+  // canonical id. Derivation records are merged in canonical derive-event
+  // order. O(total events) time and memory — a post-run analysis step,
+  // not a hot path.
+  eval::EventLog merged_log() const;
+
+ private:
+  struct Message {
+    enum class Kind : uint8_t { Deliver, Unsupport };
+    Kind kind = Kind::Deliver;
+    eval::Tuple tuple;
+    eval::TagMask tags = eval::kAllTags;
+    uint32_t src_shard = 0;
+    eval::EventId send_event = eval::kNoEvent;  // src-shard-local id
+  };
+  struct StagedOp {
+    bool is_insert = true;
+    eval::Tuple tuple;
+    eval::TagMask tags = eval::kAllTags;
+    uint64_t gseq = 0;  // position in the external stream
+  };
+  // One contiguous run of a shard's log: everything this shard appended
+  // while processing one external op (round 0 of a run) or one inbox
+  // drain (later rounds). The canonical merge sorts spans by
+  // (round, gseq, shard); within a span, local log order is kept.
+  struct Span {
+    uint64_t round = 0;
+    uint64_t gseq = 0;
+    uint64_t begin = 0;  // first local event id of the span
+  };
+  // Send half of a cross-shard Deliver, recorded by the receiving shard:
+  // at merge time the Receive's cause becomes the Send's canonical id.
+  struct CrossLink {
+    eval::EventId recv = eval::kNoEvent;  // local id in this shard's log
+    uint32_t src_shard = 0;
+    eval::EventId send = eval::kNoEvent;  // local id in src shard's log
+  };
+  struct Shard {
+    std::unique_ptr<eval::Engine> engine;
+    std::vector<StagedOp> staged;
+    std::vector<std::vector<Message>> outbox;  // one lane per destination
+    std::vector<Message> inbox;
+    std::vector<Span> spans;
+    std::vector<CrossLink> links;
+  };
+
+  void stage(bool is_insert, const eval::Tuple& t, eval::TagMask tags);
+  void run_to_quiescence();
+  void run_shard_round(Shard& sh, uint64_t round);
+
+  ShardPlan plan_;
+  ShardedOptions opt_;
+  std::vector<Shard> shards_;
+  uint64_t gseq_ = 0;
+  uint64_t round_counter_ = 0;
+  size_t rounds_ = 0;
+  size_t messages_ = 0;
+  bool diverged_ = false;
+};
+
+}  // namespace mp::runtime

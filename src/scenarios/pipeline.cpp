@@ -209,6 +209,7 @@ PipelineResult run_pipeline(const Scenario& s, const PipelineOptions& opt) {
   Timer replay_timer;
   backtest::BacktestConfig bcfg;
   bcfg.use_multiquery = opt.multiquery;
+  bcfg.shards = opt.backtest_shards;
   backtest::Backtester tester(bcfg);
   result.backtest = tester.run(harness, result.generation.candidates);
   result.phases.merge(result.generation.phases);

@@ -48,6 +48,10 @@ class ScenarioHarness : public backtest::ReplayHarness {
   backtest::ReplayOutcome replay(const repair::RepairCandidate& cand) override;
   std::vector<backtest::ReplayOutcome> replay_joint(
       const std::vector<repair::RepairCandidate>& cands) override;
+  // Candidate replays build a private ScenarioRun each and only read the
+  // shared scenario/workload (plus the baseline cached by the first
+  // replay_baseline() call), so the Backtester may run them on its pool.
+  bool concurrent_replays() const override { return true; }
 
   const std::vector<sdn::Injection>& workload() const { return workload_; }
   // The recorded buggy run (history source for repair generation).
@@ -73,6 +77,9 @@ struct PipelineResult {
 struct PipelineOptions {
   bool multiquery = true;
   size_t max_backtested = 16;  // candidates sent to backtesting
+  // Worker threads for sequential candidate backtests (multiquery off);
+  // forwarded to BacktestConfig::shards.
+  size_t backtest_shards = 1;
 };
 
 PipelineResult run_pipeline(const Scenario& s, const PipelineOptions& opt = {});

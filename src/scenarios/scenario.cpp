@@ -1,6 +1,25 @@
 #include "scenarios/scenario.h"
 
+#include "sdn/topology.h"
+
 namespace mp::scenario {
+
+std::vector<eval::Tuple> engine_trace(const Scenario& s, size_t cap) {
+  // Workload generation needs the topology (host placement), so build a
+  // throwaway network first.
+  sdn::Network probe;
+  sdn::Campus campus = sdn::build_campus(probe, s.campus);
+  if (s.wire_app) s.wire_app(probe, campus);
+  const std::vector<sdn::Injection> work = s.make_workload(probe);
+  const sdn::ControllerBindings bindings = s.make_bindings();
+  std::vector<eval::Tuple> trace = s.config_tuples;
+  trace.reserve(std::min(cap, trace.size() + work.size()));
+  for (const sdn::Injection& inj : work) {
+    if (trace.size() >= cap) break;
+    trace.push_back(bindings.encode_packet_in(inj.sw, inj.port, inj.packet));
+  }
+  return trace;
+}
 
 std::vector<Scenario> all_scenarios(const sdn::CampusOptions& campus) {
   std::vector<Scenario> out;

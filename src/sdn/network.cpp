@@ -95,10 +95,16 @@ struct WalkOutcome {
 
 }  // namespace
 
-void Network::inject_batch(const std::vector<Injection>& work, bool record) {
+void Network::inject_batch(const std::vector<Injection>& work, bool record,
+                           bool preserve_stamped_times) {
   if (record) recorder_.reserve_ingress(work.size());
   for (const Injection& inj : work) {
-    inject(inj.sw, inj.port, inj.packet, record);
+    if (record && preserve_stamped_times && inj.time != 0) {
+      recorder_.record_ingress(inj);
+      inject(inj.sw, inj.port, inj.packet, /*record=*/false);
+    } else {
+      inject(inj.sw, inj.port, inj.packet, record);
+    }
   }
 }
 

@@ -86,7 +86,14 @@ class Network {
   // each packet to completion in order. Packets stay serialized — a miss
   // may install flow state the next packet's forwarding depends on — so
   // batching here amortizes recording, not control-loop round trips.
-  void inject_batch(const std::vector<Injection>& work, bool record = true);
+  // With preserve_stamped_times, injections carrying a nonzero time (the
+  // 1-based stream positions sdn::StreamSlice generation stamps) keep it
+  // in the recorded ingress log, so per-shard-sliced and serial workload
+  // generations record byte-identical logs. Off by default: replaying a
+  // previously *recorded* ingress log (whose times are old injection-
+  // clock values) must restamp with the fresh clock, as it always has.
+  void inject_batch(const std::vector<Injection>& work, bool record = true,
+                    bool preserve_stamped_times = false);
 
   DeliveryStats& stats() { return stats_; }
   const DeliveryStats& stats() const { return stats_; }

@@ -4,12 +4,24 @@
 
 namespace mp::sdn {
 
+uint64_t shard_seed(uint64_t base_seed, uint32_t shard) {
+  // SplitMix64 finalizer over (base, shard): adjacent shard ids land far
+  // apart in seed space, unlike base ^ shard.
+  uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (shard + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 void background_traffic(const Network& net, size_t packets, uint64_t seed,
-                        std::vector<Injection>& out, const TrafficMix& mix) {
+                        const StreamSlice& slice, std::vector<Injection>& out,
+                        const TrafficMix& mix) {
   const auto& hosts = net.hosts();
   if (hosts.size() < 2) return;
   Rng rng(seed);
-  out.reserve(out.size() + packets);
+  out.reserve(out.size() + packets / (slice.of == 0 ? 1 : slice.of) + 1);
+  // The RNG sequence is drawn in full regardless of the slice, so every
+  // slice of the same seed agrees on the same serial stream.
   for (size_t i = 0; i < packets; ++i) {
     const Host& src = hosts[rng.zipf(hosts.size())];
     const Host* dst = &hosts[rng.zipf(hosts.size())];
@@ -34,8 +46,19 @@ void background_traffic(const Network& net, size_t packets, uint64_t seed,
       p.proto = static_cast<int64_t>(Proto::Icmp);
     }
     p.bucket = p.sip % 2 + 1;
-    out.push_back(Injection{src.sw, src.port, p, 0});
+    if (!slice.contains(i)) continue;
+    // Sliced generation stamps the 1-based global stream position: slices
+    // merge back into the serial stream by this key, and
+    // Network::inject_batch preserves it in the recorded ingress log.
+    // Whole-stream generation leaves time = 0 (recorder clock semantics).
+    out.push_back(Injection{src.sw, src.port, p,
+                            slice.stamps_positions() ? i + 1 : 0});
   }
+}
+
+void background_traffic(const Network& net, size_t packets, uint64_t seed,
+                        std::vector<Injection>& out, const TrafficMix& mix) {
+  background_traffic(net, packets, seed, StreamSlice{}, out, mix);
 }
 
 std::vector<Injection> background_traffic(const Network& net, size_t packets,
@@ -46,9 +69,12 @@ std::vector<Injection> background_traffic(const Network& net, size_t packets,
   return out;
 }
 
-void ingress_traffic(const IngressOptions& opt, std::vector<Injection>& out) {
+void ingress_traffic(const IngressOptions& opt, const StreamSlice& slice,
+                     std::vector<Injection>& out) {
   Rng rng(opt.seed);
-  out.reserve(out.size() + opt.flows * opt.packets_per_flow);
+  const size_t total = opt.flows * opt.packets_per_flow;
+  out.reserve(out.size() + total / (slice.of == 0 ? 1 : slice.of) + 1);
+  size_t pos = 0;
   for (size_t f = 0; f < opt.flows; ++f) {
     Packet p;
     p.sip = opt.src_ip_base + static_cast<int64_t>(rng.below(opt.src_ip_count));
@@ -60,10 +86,16 @@ void ingress_traffic(const IngressOptions& opt, std::vector<Injection>& out) {
     p.proto = opt.dpt == 53 ? static_cast<int64_t>(Proto::Udp)
                             : static_cast<int64_t>(Proto::Tcp);
     p.bucket = p.sip % static_cast<int64_t>(opt.buckets) + 1;
-    for (size_t k = 0; k < opt.packets_per_flow; ++k) {
-      out.push_back(Injection{opt.ingress_switch, opt.ingress_port, p, 0});
+    for (size_t k = 0; k < opt.packets_per_flow; ++k, ++pos) {
+      if (!slice.contains(pos)) continue;
+      out.push_back(Injection{opt.ingress_switch, opt.ingress_port, p,
+                              slice.stamps_positions() ? pos + 1 : 0});
     }
   }
+}
+
+void ingress_traffic(const IngressOptions& opt, std::vector<Injection>& out) {
+  ingress_traffic(opt, StreamSlice{}, out);
 }
 
 std::vector<Injection> ingress_traffic(const IngressOptions& opt) {

@@ -1,12 +1,18 @@
 // Differential equivalence harness: every scenario's controller program is
 // driven at the engine level both tuple-at-a-time and through
-// Engine::insert_batch at batch sizes {1, 7, 64, whole-trace}. The batched
-// runs must reach the identical fixpoint: same final table states on every
-// node, same event-log length, same derivation count and same rule-firing
-// count. The tuple stream is the scenario's real workload (config tuples +
-// the PacketIn encoding of every recorded injection), so this exercises
-// each scenario's actual rules, joins and cross-node derivations — the
-// safety net that later batching/sharding changes are tested against.
+// Engine::insert_batch at batch sizes {1, 7, 64, whole-trace}, and — since
+// PR 4 — through the sharded runtime (runtime::ShardedEngine) at shard
+// counts {1, 2, 4, 8}. The batched runs must reach the identical fixpoint:
+// same final table states on every node, same event-log length, same
+// derivation count and same rule-firing count. Sharded runs must reach the
+// same fixpoint with the same event multiset; their canonical merged
+// EventLog must carry the external stream in the exact serial order, so
+// replaying it (backtest::replay_base_stream) reconstructs the serial
+// engine bit-for-bit and the repair explorer's output is byte-identical.
+// The tuple stream is the scenario's real workload (config tuples + the
+// PacketIn encoding of every recorded injection), so this exercises each
+// scenario's actual rules, joins and cross-node derivations — the safety
+// net that later batching/sharding changes are tested against.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -16,11 +22,20 @@
 #include <string>
 #include <vector>
 
+#include "backtest/replay.h"
+#include "ndlog/parser.h"
+#include "repair/forest.h"
+#include "runtime/sharded_engine.h"
 #include "scenarios/scenario.h"
 #include "sdn/topology.h"
+#include "test_util.h"
 
 namespace mp::scenario {
 namespace {
+
+using testutil::event_multiset_hash;
+using testutil::event_sequence_hash;
+using testutil::table_multisets;
 
 struct EngineSnapshot {
   std::map<std::string, std::multiset<std::string>> tables;
@@ -48,45 +63,15 @@ void expect_equal(const EngineSnapshot& got, const EngineSnapshot& want,
 
 EngineSnapshot snapshot(const eval::Engine& engine) {
   EngineSnapshot snap;
-  const ndlog::Catalog& cat = engine.catalog();
-  for (ndlog::Catalog::TableId id = 0; id < cat.size(); ++id) {
-    const std::string& name = cat.name_of(id);
-    auto& rows = snap.tables[name];
-    for (const eval::Tuple& t : engine.all_tuples(name)) {
-      rows.insert(t.to_string());
-    }
-  }
+  snap.tables = table_multisets(engine);
   snap.log_events = engine.log().size();
   snap.derivations = engine.log().derivations().size();
   snap.firings = engine.rule_firings();
-  for (const eval::Event& ev : engine.log().events()) {
-    const std::string line =
-        std::string(eval::to_string(ev.kind)) + " " + ev.tuple.to_string();
-    for (const char c : line) {
-      snap.event_sequence_hash ^= static_cast<unsigned char>(c);
-      snap.event_sequence_hash *= 1099511628211ull;
-    }
-  }
+  snap.event_sequence_hash = event_sequence_hash(engine.log());
   return snap;
 }
 
-// The scenario's engine-level tuple trace: the PacketIn encoding of every
-// workload injection (the same encoding the controller proxy applies on a
-// flow-table miss), capped to keep the five-scenario sweep fast.
-std::vector<eval::Tuple> scenario_trace(const Scenario& s, size_t cap) {
-  sdn::Network probe;
-  sdn::Campus campus = sdn::build_campus(probe, s.campus);
-  if (s.wire_app) s.wire_app(probe, campus);
-  const std::vector<sdn::Injection> work = s.make_workload(probe);
-  const sdn::ControllerBindings bindings = s.make_bindings();
-  std::vector<eval::Tuple> trace;
-  trace.reserve(std::min(cap, work.size()));
-  for (const sdn::Injection& inj : work) {
-    if (trace.size() >= cap) break;
-    trace.push_back(bindings.encode_packet_in(inj.sw, inj.port, inj.packet));
-  }
-  return trace;
-}
+using testutil::explore_all;
 
 // batch_size 0 = tuple-at-a-time baseline.
 EngineSnapshot run_trace(const Scenario& s,
@@ -94,10 +79,8 @@ EngineSnapshot run_trace(const Scenario& s,
                          size_t batch_size) {
   eval::Engine engine(s.program);
   if (batch_size == 0) {
-    for (const eval::Tuple& t : s.config_tuples) engine.insert(t);
     for (const eval::Tuple& t : trace) engine.insert(t);
   } else {
-    engine.insert_batch(s.config_tuples);
     for (size_t i = 0; i < trace.size(); i += batch_size) {
       const size_t n = std::min(batch_size, trace.size() - i);
       engine.insert_batch(std::span<const eval::Tuple>(trace.data() + i, n));
@@ -109,8 +92,8 @@ EngineSnapshot run_trace(const Scenario& s,
 TEST(Differential, AllScenariosBatchedMatchesSequential) {
   for (const Scenario& s : all_scenarios()) {
     SCOPED_TRACE("scenario " + s.id);
-    const std::vector<eval::Tuple> trace = scenario_trace(s, 4000);
-    ASSERT_FALSE(trace.empty());
+    const std::vector<eval::Tuple> trace = engine_trace(s, 4000);
+    ASSERT_GT(trace.size(), s.config_tuples.size());
     const EngineSnapshot baseline = run_trace(s, trace, 0);
     EXPECT_GT(baseline.firings, 0u) << "trace must exercise the rules";
     for (size_t batch_size :
@@ -118,6 +101,99 @@ TEST(Differential, AllScenariosBatchedMatchesSequential) {
       expect_equal(run_trace(s, trace, batch_size), baseline,
                    s.id + " batch_size=" + std::to_string(batch_size));
     }
+  }
+}
+
+// The ShardedEngine-vs-Engine equivalence sweep: identical final tables,
+// equal event multisets (canonical hash), and a canonical merged log whose
+// replay rebuilds the serial engine bit-for-bit — which makes the repair
+// explorer's output byte-identical to the single-threaded engine's.
+TEST(Differential, ShardedMatchesSerialOnAllScenarios) {
+  for (const Scenario& s : all_scenarios()) {
+    SCOPED_TRACE("scenario " + s.id);
+    const std::vector<eval::Tuple> trace = engine_trace(s, 1200);
+
+    eval::Engine serial(s.program);
+    for (const eval::Tuple& t : trace) serial.insert(t);
+    const EngineSnapshot want = snapshot(serial);
+    const uint64_t want_canonical = event_multiset_hash(serial.log());
+    const std::vector<std::string> want_repairs = explore_all(s, serial);
+    EXPECT_FALSE(want_repairs.empty());
+
+    for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards));
+      runtime::ShardedEngine se(s.program, runtime::ShardPlan(shards));
+      se.insert_batch(trace);
+      EXPECT_FALSE(se.diverged());
+      EXPECT_EQ(table_multisets(se), want.tables);
+      EXPECT_EQ(se.rule_firings(), want.firings);
+
+      const eval::EventLog merged = se.merged_log();
+      EXPECT_EQ(merged.size(), want.log_events);
+      EXPECT_EQ(merged.derivations().size(), want.derivations);
+      EXPECT_EQ(event_multiset_hash(merged), want_canonical)
+          << "sharded run must produce the serial event multiset";
+      if (shards == 1) {
+        EXPECT_EQ(event_sequence_hash(merged), want.event_sequence_hash)
+            << "one shard must replay the serial schedule exactly";
+      }
+
+      // The canonical merge keeps the external stream in serial order, so
+      // replaying it rebuilds the single-threaded engine exactly...
+      eval::Engine rebuilt(s.program);
+      const size_t applied = backtest::replay_base_stream(merged, rebuilt);
+      EXPECT_GT(applied, 0u);
+      expect_equal(snapshot(rebuilt), want,
+                   s.id + " replay of merged log, shards=" +
+                       std::to_string(shards));
+      // ...and repair exploration on top of it is byte-identical.
+      EXPECT_EQ(explore_all(s, rebuilt), want_repairs);
+    }
+  }
+}
+
+// Adversarial cross-shard stream: a directed token ring whose nodes are
+// explicitly placed round-robin across shards, so EVERY hop is a remote
+// Send/Receive ping-ponging between shards. Last is keyed per
+// (node, token): each revisit displaces the previous hop's row
+// (cross-shard Underive/Disappear traffic), and the hub replica makes the
+// displacement's support decrement cross shards as well.
+TEST(Differential, CrossShardPingPongMatchesSerial) {
+  // The shared token-ring fixture (testutil::ring_program / ring_trace)
+  // at a deeper hop cap than the runtime suite's.
+  const ndlog::Program program =
+      ndlog::parse_program(testutil::ring_program(32));
+  const int64_t nodes = 6;
+  const std::vector<eval::Tuple> trace = testutil::ring_trace(nodes, 8);
+
+  eval::Engine serial(program);
+  for (const eval::Tuple& t : trace) serial.insert(t);
+  const EngineSnapshot want = snapshot(serial);
+  const uint64_t want_canonical = event_multiset_hash(serial.log());
+  EXPECT_GT(want.firings, 100u);
+
+  for (uint32_t shards : {2u, 4u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    runtime::ShardPlan plan(shards);
+    // Ring neighbours always live on different shards (and the hub on its
+    // own): every hop of every token is a cross-shard message.
+    for (int64_t n = 1; n <= nodes; ++n) {
+      plan.place(Value(n), static_cast<uint32_t>(n) % shards);
+    }
+    plan.place(Value(100), shards - 1);
+    runtime::ShardedEngine se(program, plan);
+    se.insert_batch(trace);
+    EXPECT_FALSE(se.diverged());
+    EXPECT_GT(se.messages_shipped(), 0u);
+    EXPECT_EQ(table_multisets(se), want.tables);
+    EXPECT_EQ(se.rule_firings(), want.firings);
+    const eval::EventLog merged = se.merged_log();
+    EXPECT_EQ(event_multiset_hash(merged), want_canonical);
+
+    eval::Engine rebuilt(program);
+    backtest::replay_base_stream(merged, rebuilt);
+    expect_equal(snapshot(rebuilt), want,
+                 "ping-pong replay, shards=" + std::to_string(shards));
   }
 }
 

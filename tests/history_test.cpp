@@ -22,27 +22,11 @@
 #include "repair/forest.h"
 #include "scenarios/scenario.h"
 #include "sdn/topology.h"
+#include "test_util.h"
 #include "util/rng.h"
 
 namespace mp::eval {
 namespace {
-
-// The scenario's engine-level tuple trace (same construction as the
-// differential harness): config tuples + the PacketIn encoding of every
-// recorded injection.
-std::vector<Tuple> scenario_trace(const scenario::Scenario& s, size_t cap) {
-  sdn::Network probe;
-  sdn::Campus campus = sdn::build_campus(probe, s.campus);
-  if (s.wire_app) s.wire_app(probe, campus);
-  const std::vector<sdn::Injection> work = s.make_workload(probe);
-  const sdn::ControllerBindings bindings = s.make_bindings();
-  std::vector<Tuple> trace = s.config_tuples;
-  for (const sdn::Injection& inj : work) {
-    if (trace.size() >= cap) break;
-    trace.push_back(bindings.encode_packet_in(inj.sw, inj.port, inj.packet));
-  }
-  return trace;
-}
 
 std::vector<std::string> probe_result(const HistoryStore& h,
                                       const TuplePattern& pat) {
@@ -72,7 +56,7 @@ TEST(HistoryProbe, MatchesLinearScanOnAllScenarios) {
   for (const scenario::Scenario& s : scenario::all_scenarios()) {
     SCOPED_TRACE("scenario " + s.id);
     Engine engine(s.program);
-    engine.insert_batch(scenario_trace(s, 1500));
+    engine.insert_batch(scenario::engine_trace(s, 1500));
     ASSERT_GT(engine.history().total(), 0u);
 
     size_t nonempty = 0;
@@ -149,23 +133,12 @@ std::map<std::string, std::multiset<std::string>> table_snapshot(
 
 // FNV-1a over the (kind, tuple) sequence of the *full* log, checkpointed
 // prefix included (same hash the differential harness uses).
-uint64_t event_sequence_hash(const EventLog& log) {
-  uint64_t h = 1469598103934665603ull;
-  log.for_each_event([&](const Event& ev) {
-    const std::string line =
-        std::string(to_string(ev.kind)) + " " + ev.tuple.to_string();
-    for (const char c : line) {
-      h ^= static_cast<unsigned char>(c);
-      h *= 1099511628211ull;
-    }
-  });
-  return h;
-}
+using testutil::event_sequence_hash;
 
 TEST(EventLogCheckpoint, RoundTripReplayReproducesTablesAndHash) {
   const scenario::Scenario s = scenario::q1_copy_paste({});
   Engine original(s.program);
-  original.insert_batch(scenario_trace(s, 800));
+  original.insert_batch(scenario::engine_trace(s, 800));
   ASSERT_GT(original.log().size(), 100u);
 
   const auto want_tables = table_snapshot(original);
@@ -221,6 +194,56 @@ TEST(EventLogCheckpoint, SerializedBytesMatchesWhatCompactionWrites) {
       << "byte_estimate must agree with what compaction actually writes";
 }
 
+// The EngineOptions auto-compaction policy: once the live suffix crosses
+// the configured threshold, a top-level insert triggers
+// EventLog::compact(compact_keep_live) — and event ids, timestamps, the
+// decoded sequence and replay all stay stable across the automatic
+// truncations.
+TEST(EventLogCheckpoint, AutoCompactionKeepsIdsStable) {
+  const scenario::Scenario s = scenario::q1_copy_paste({});
+  Engine plain(s.program);
+  const std::vector<Tuple> trace = scenario::engine_trace(s, 600);
+  for (const Tuple& t : trace) plain.insert(t);
+
+  EngineOptions opt;
+  opt.compact_after_events = 200;
+  opt.compact_keep_live = 50;
+  Engine compacting(s.program, opt);
+  for (const Tuple& t : trace) compacting.insert(t);
+
+  // Compaction actually auto-triggered (repeatedly), bounding the live
+  // suffix near the policy's knee...
+  EXPECT_GT(compacting.log().base_id(), 0u);
+  EXPECT_GT(compacting.log().checkpoint_bytes(), 0u);
+  EXPECT_LE(compacting.log().live_size(), opt.compact_after_events + 64);
+  // ...without perturbing evaluation or the id space.
+  EXPECT_EQ(compacting.log().size(), plain.log().size());
+  EXPECT_EQ(compacting.rule_firings(), plain.rule_firings());
+  EXPECT_EQ(event_sequence_hash(compacting.log()),
+            event_sequence_hash(plain.log()));
+  EXPECT_EQ(table_snapshot(compacting), table_snapshot(plain));
+  for (EventId id : {EventId{0}, EventId{17},
+                     EventId{compacting.log().size() - 1}}) {
+    EXPECT_EQ(compacting.log().event_time(id), plain.log().event_time(id))
+        << "event " << id << " must stay addressable after auto-compaction";
+  }
+
+  // Replay of the auto-compacted log reproduces the same fixpoint.
+  Engine rebuilt(s.program);
+  backtest::replay_base_stream(compacting.log(), rebuilt);
+  EXPECT_EQ(table_snapshot(rebuilt), table_snapshot(plain));
+
+  // The byte threshold triggers on its own too.
+  EngineOptions bopt;
+  bopt.compact_after_bytes = 16 * 1024;
+  bopt.compact_keep_live = 50;
+  Engine bytes_engine(s.program, bopt);
+  for (const Tuple& t : trace) bytes_engine.insert(t);
+  EXPECT_GT(bytes_engine.log().base_id(), 0u);
+  EXPECT_EQ(event_sequence_hash(bytes_engine.log()),
+            event_sequence_hash(plain.log()));
+}
+
 TEST(EventLogCheckpoint, CompactedDeleteEventsReplayToo) {
   const char* prog = "table A/2.\ntable B/3.\n";
   Engine original(ndlog::parse_program(prog));
@@ -243,21 +266,10 @@ TEST(EventLogCheckpoint, CompactedDeleteEventsReplayToo) {
 
 // --- repair regression --------------------------------------------------
 
-// One line per candidate: cost + description + every change, so any drift
-// in the repair sets, their costs or their order fails the comparison.
-std::vector<std::string> explore_all(const scenario::Scenario& s,
-                                     const Engine& engine) {
-  std::vector<std::string> out;
-  for (const repair::Symptom& sym : s.symptoms) {
-    repair::ForestExplorer explorer(engine, s.space);
-    for (const repair::RepairCandidate& c : explorer.explore(sym)) {
-      std::string line = std::to_string(c.cost) + " | " + c.description +
-                         " | changes=" + std::to_string(c.changes.size());
-      out.push_back(std::move(line));
-    }
-  }
-  return out;
-}
+// One line per candidate (cost + description + change count, the shared
+// testutil canonical form), so any drift in the repair sets, their costs
+// or their order fails the comparison.
+using testutil::explore_all;
 
 TEST(RepairRegression, ExplorerOutputIdenticalIndexedVsScan) {
   size_t index_probes = 0;
@@ -265,7 +277,7 @@ TEST(RepairRegression, ExplorerOutputIdenticalIndexedVsScan) {
   for (const scenario::Scenario& s : scenario::all_scenarios()) {
     SCOPED_TRACE("scenario " + s.id);
     Engine engine(s.program);
-    engine.insert_batch(scenario_trace(s, 1500));
+    engine.insert_batch(scenario::engine_trace(s, 1500));
 
     const auto indexed = explore_all(s, engine);
     EXPECT_FALSE(indexed.empty());

@@ -1,0 +1,332 @@
+// Sharded-runtime coverage (src/runtime/): shard planning, deterministic
+// round scheduling (parallel == inline, run-to-run stable), canonical
+// event-log merging (dense ids, causal links, cross-shard Send/Receive
+// reconnection), cross-shard deletion cascades, the per-shard traffic
+// stream slicing, the Backtester's candidate-replay pool, and the
+// engine's auto-compaction policy. Labelled `concurrency`: tools/check.sh
+// CHECK_TSAN=1 reruns exactly this suite under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "backtest/backtester.h"
+#include "ndlog/parser.h"
+#include "runtime/sharded_engine.h"
+#include "scenarios/pipeline.h"
+#include "scenarios/scenario.h"
+#include "sdn/topology.h"
+#include "sdn/traffic.h"
+#include "test_util.h"
+
+namespace mp::runtime {
+namespace {
+
+using eval::Engine;
+using eval::EventLog;
+using eval::Tuple;
+using testutil::event_sequence_hash;
+using testutil::ring_trace;
+using testutil::table_multisets;
+
+// Options that force the parallel path even for tiny rounds, so this
+// suite (and its TSan rerun) actually exercises worker threads.
+ShardedOptions parallel_opts() {
+  ShardedOptions opt;
+  opt.min_parallel_work = 1;
+  return opt;
+}
+
+// The shared adversarial token-ring fixture (testutil::ring_program /
+// ring_trace) at this suite's hop cap.
+ndlog::Program ring_prog() {
+  return ndlog::parse_program(testutil::ring_program(24));
+}
+
+TEST(ShardPlan, ExplicitPlacementWinsAndHashCoversAllShards) {
+  ShardPlan plan(4);
+  EXPECT_EQ(plan.shards(), 4u);
+  plan.place(Value(7), 2);
+  plan.place(Value::str("C"), 9);  // placed modulo the shard count
+  EXPECT_EQ(plan.shard_of(Value(7)), 2u);
+  EXPECT_EQ(plan.shard_of(Value::str("C")), 1u);
+  std::set<uint32_t> hit;
+  for (int64_t n = 0; n < 64; ++n) hit.insert(plan.shard_of(Value(n)));
+  EXPECT_EQ(hit.size(), 4u) << "hash placement must not leave shards empty";
+  // Stable: the same node maps to the same shard every time.
+  for (int64_t n = 0; n < 64; ++n) {
+    EXPECT_EQ(plan.shard_of(Value(n)), plan.shard_of(Value(n)));
+  }
+  // shards=0 clamps to a single shard instead of dividing by zero.
+  EXPECT_EQ(ShardPlan(0).shards(), 1u);
+}
+
+TEST(ShardedEngine, MatchesSerialOnCrossShardRingWithRetractions) {
+  const ndlog::Program program = ring_prog();
+  const std::vector<Tuple> trace = ring_trace(8, 6);
+
+  Engine serial(program);
+  for (const Tuple& t : trace) serial.insert(t);
+  const auto want = table_multisets(serial);
+  const uint64_t want_hash = event_sequence_hash(serial.log());
+
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ShardedEngine se(program, ShardPlan(shards), parallel_opts());
+    se.insert_batch(trace);
+    EXPECT_FALSE(se.diverged());
+    EXPECT_EQ(table_multisets(se), want);
+    EXPECT_EQ(se.rule_firings(), serial.rule_firings());
+    if (shards > 1) {
+      EXPECT_GT(se.messages_shipped(), 0u) << "ring must cross shards";
+      EXPECT_GT(se.rounds(), 1u);
+    }
+    const EventLog merged = se.merged_log();
+    EXPECT_EQ(merged.size(), serial.log().size());
+    EXPECT_EQ(merged.derivations().size(), serial.log().derivations().size());
+    if (shards == 1) {
+      // One shard runs the exact serial schedule: the merged log must
+      // reproduce the serial event sequence byte-for-byte.
+      EXPECT_EQ(event_sequence_hash(merged), want_hash);
+    }
+  }
+}
+
+TEST(ShardedEngine, ParallelInlineAndRepeatedRunsAgreeByteForByte) {
+  const ndlog::Program program = ring_prog();
+  const std::vector<Tuple> trace = ring_trace(8, 6);
+  auto run = [&](bool parallel) {
+    ShardedOptions opt = parallel_opts();
+    opt.parallel = parallel;
+    ShardedEngine se(program, ShardPlan(4), opt);
+    se.insert_batch(trace);
+    return event_sequence_hash(se.merged_log());
+  };
+  const uint64_t first = run(true);
+  EXPECT_EQ(run(true), first) << "parallel schedule must be deterministic";
+  EXPECT_EQ(run(false), first) << "inline mode must replay the same schedule";
+}
+
+TEST(ShardedEngine, MergedLogIsCausallyOrderedAndReconnectsSends) {
+  const ndlog::Program program = ring_prog();
+  ShardedEngine se(program, ShardPlan(4), parallel_opts());
+  se.insert_batch(ring_trace(8, 4));
+  const EventLog merged = se.merged_log();
+
+  size_t receives = 0;
+  std::vector<eval::Event> events;
+  merged.for_each_event([&](const eval::Event& ev) { events.push_back(ev); });
+  for (const eval::Event& ev : events) {
+    for (eval::EventId c : ev.causes) {
+      EXPECT_LT(c, ev.id) << "cause after effect in the canonical order";
+    }
+    if (ev.kind == eval::EventKind::Receive) {
+      ++receives;
+      ASSERT_EQ(ev.causes.size(), 1u);
+      const eval::Event& send = events[ev.causes[0]];
+      EXPECT_EQ(send.kind, eval::EventKind::Send);
+      EXPECT_EQ(send.tuple.to_string(), ev.tuple.to_string())
+          << "a Receive's cause must be its own Send";
+    }
+  }
+  EXPECT_GT(receives, 0u);
+  // Ids are dense and the merge preserved every shard's events.
+  size_t total = 0;
+  for (size_t s = 0; s < se.shards(); ++s) total += se.shard(s).log().size();
+  EXPECT_EQ(merged.size(), total);
+}
+
+TEST(ShardedEngine, RemoveCascadesAcrossShards) {
+  // Base(@N,X) derives Copy(@Hub,N,X) on a hub pinned to its own shard;
+  // removing the base tuple must underive the remote copy.
+  const ndlog::Program program = ndlog::parse_program(
+      "table Base/2.\ntable HubAt/2.\ntable Copy/3.\n"
+      "r1 Copy(@Hub,N,X) :- Base(@N,X), HubAt(@N,Hub).\n");
+  ShardPlan plan(4);
+  plan.place(Value(100), 3);
+  ShardedEngine se(program, plan, parallel_opts());
+  std::vector<Tuple> setup;
+  for (int64_t n = 1; n <= 8; ++n) {
+    setup.push_back(Tuple{"HubAt", {Value(n), Value(100)}});
+    setup.push_back(Tuple{"Base", {Value(n), Value(n * 10)}});
+  }
+  se.insert_batch(setup);
+  EXPECT_TRUE(se.exists(Value(100), "Copy", {Value(100), Value(3), Value(30)}));
+  se.remove(Tuple{"Base", {Value(3), Value(30)}});
+  EXPECT_FALSE(se.exists(Value(100), "Copy", {Value(100), Value(3), Value(30)}));
+  EXPECT_TRUE(se.exists(Value(100), "Copy", {Value(100), Value(4), Value(40)}));
+
+  // The serial engine agrees on the final state.
+  Engine serial(program);
+  for (const Tuple& t : setup) serial.insert(t);
+  serial.remove(Tuple{"Base", {Value(3), Value(30)}});
+  EXPECT_EQ(table_multisets(se), table_multisets(serial));
+}
+
+TEST(Traffic, SlicedStreamsReassembleTheSerialStream) {
+  sdn::Network net;
+  sdn::CampusOptions copt;
+  sdn::build_campus(net, copt);
+  ASSERT_GE(net.hosts().size(), 2u);
+
+  // Packet identity without the time field: whole-stream generation keeps
+  // time = 0 (the recorder's injection clock stays authoritative), while
+  // slices stamp the 1-based global stream position.
+  auto key = [](const sdn::Injection& i) {
+    return std::to_string(i.sw) + "/" + std::to_string(i.port) + " " +
+           std::to_string(i.packet.sip) + ">" + std::to_string(i.packet.dip) +
+           ":" + std::to_string(i.packet.dpt) + "#" +
+           std::to_string(i.packet.spt);
+  };
+  const std::vector<sdn::Injection> serial =
+      sdn::background_traffic(net, 300, 42);
+  ASSERT_EQ(serial.size(), 300u);
+  for (const sdn::Injection& i : serial) EXPECT_EQ(i.time, 0u);
+  for (uint32_t of : {2u, 4u}) {
+    SCOPED_TRACE("slices=" + std::to_string(of));
+    std::vector<sdn::Injection> merged;
+    for (uint32_t shard = 0; shard < of; ++shard) {
+      sdn::background_traffic(net, 300, 42, sdn::StreamSlice{shard, of},
+                              merged);
+    }
+    ASSERT_EQ(merged.size(), serial.size());
+    // Sorting by the stamped global position must reconstruct the serial
+    // stream packet-for-packet.
+    std::sort(merged.begin(), merged.end(),
+              [](const sdn::Injection& a, const sdn::Injection& b) {
+                return a.time < b.time;
+              });
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(merged[i].time, i + 1);
+      EXPECT_EQ(key(merged[i]), key(serial[i]));
+    }
+  }
+
+  sdn::IngressOptions iopt;
+  iopt.flows = 30;
+  iopt.packets_per_flow = 4;
+  const std::vector<sdn::Injection> iserial = sdn::ingress_traffic(iopt);
+  for (const sdn::Injection& i : iserial) EXPECT_EQ(i.time, 0u);
+  std::vector<sdn::Injection> imerged;
+  for (uint32_t shard = 0; shard < 3; ++shard) {
+    sdn::ingress_traffic(iopt, sdn::StreamSlice{shard, 3}, imerged);
+  }
+  ASSERT_EQ(imerged.size(), iserial.size());
+  std::sort(imerged.begin(), imerged.end(),
+            [](const sdn::Injection& a, const sdn::Injection& b) {
+              return a.time < b.time;
+            });
+  for (size_t i = 0; i < iserial.size(); ++i) {
+    EXPECT_EQ(imerged[i].time, i + 1);
+    EXPECT_EQ(key(imerged[i]), key(iserial[i]));
+  }
+
+  // Derived per-shard seeds decorrelate: neighbouring shards produce
+  // different streams.
+  EXPECT_NE(sdn::shard_seed(42, 0), sdn::shard_seed(42, 1));
+  EXPECT_NE(sdn::shard_seed(42, 1), sdn::shard_seed(43, 1));
+}
+
+// --- Backtester candidate pool ------------------------------------------
+
+class CountingHarness : public backtest::ReplayHarness {
+ public:
+  backtest::ReplayOutcome replay_baseline() override {
+    backtest::ReplayOutcome o;
+    o.delivered = 100;
+    return o;
+  }
+  backtest::ReplayOutcome replay(const repair::RepairCandidate& c) override {
+    replays.fetch_add(1);
+    backtest::ReplayOutcome o;
+    o.delivered = 100;
+    o.symptom_fixed = c.cost < 2.0;  // outcome depends only on the candidate
+    return o;
+  }
+  bool concurrent_replays() const override { return true; }
+  std::atomic<size_t> replays{0};
+};
+
+TEST(BacktesterPool, ParallelReplaysMatchSequential) {
+  std::vector<repair::RepairCandidate> cands(9);
+  for (size_t i = 0; i < cands.size(); ++i) {
+    cands[i].cost = static_cast<double>(i) * 0.5;
+    cands[i].description = "cand-" + std::to_string(i);
+  }
+  backtest::BacktestConfig seq_cfg;
+  CountingHarness seq_harness;
+  const backtest::BacktestReport seq =
+      backtest::Backtester(seq_cfg).run(seq_harness, cands);
+
+  backtest::BacktestConfig pool_cfg;
+  pool_cfg.shards = 4;
+  CountingHarness pool_harness;
+  const backtest::BacktestReport pool =
+      backtest::Backtester(pool_cfg).run(pool_harness, cands);
+
+  EXPECT_EQ(pool_harness.replays.load(), cands.size());
+  ASSERT_EQ(pool.entries.size(), seq.entries.size());
+  EXPECT_EQ(pool.effective_count, seq.effective_count);
+  EXPECT_EQ(pool.accepted_count, seq.accepted_count);
+  for (size_t i = 0; i < seq.entries.size(); ++i) {
+    EXPECT_EQ(pool.entries[i].candidate.description,
+              seq.entries[i].candidate.description);
+    EXPECT_EQ(pool.entries[i].effective, seq.entries[i].effective);
+    EXPECT_EQ(pool.entries[i].accepted, seq.entries[i].accepted);
+  }
+}
+
+// The real ScenarioHarness opted into concurrent replays: drive an actual
+// scenario pipeline (generation + sequential candidate backtests) through
+// the pool and require results identical to the single-threaded run. This
+// is the test that puts the opt-in's thread-safety claim under the TSan
+// gate (CHECK_TSAN=1 reruns this suite).
+TEST(BacktesterPool, ScenarioBacktestsOnThePoolMatchSequential) {
+  const scenario::Scenario s = scenario::q1_copy_paste({});
+  auto run = [&](size_t shards) {
+    scenario::PipelineOptions opt;
+    opt.multiquery = false;
+    opt.max_backtested = 6;
+    opt.backtest_shards = shards;
+    return scenario::run_pipeline(s, opt);
+  };
+  const scenario::PipelineResult seq = run(1);
+  const scenario::PipelineResult pool = run(4);
+  EXPECT_GT(seq.candidates, 1u);
+  EXPECT_EQ(pool.candidates, seq.candidates);
+  EXPECT_EQ(pool.effective, seq.effective);
+  EXPECT_EQ(pool.accepted, seq.accepted);
+  ASSERT_EQ(pool.backtest.entries.size(), seq.backtest.entries.size());
+  for (size_t i = 0; i < seq.backtest.entries.size(); ++i) {
+    const backtest::BacktestEntry& a = seq.backtest.entries[i];
+    const backtest::BacktestEntry& b = pool.backtest.entries[i];
+    EXPECT_EQ(b.candidate.description, a.candidate.description);
+    EXPECT_EQ(b.effective, a.effective);
+    EXPECT_EQ(b.accepted, a.accepted);
+    EXPECT_EQ(b.ks.statistic, a.ks.statistic);
+    EXPECT_EQ(b.outcome.delivered, a.outcome.delivered);
+  }
+}
+
+// --- scenarios on the sharded runtime -----------------------------------
+
+TEST(ShardedScenarios, AllFiveScenariosRunShardedWithEqualTables) {
+  for (const scenario::Scenario& s : scenario::all_scenarios()) {
+    SCOPED_TRACE("scenario " + s.id);
+    const std::vector<Tuple> trace = scenario::engine_trace(s, 600);
+    Engine serial(s.program);
+    serial.insert_batch(trace);
+    ShardedEngine se(s.program, ShardPlan(4));
+    se.insert_batch(trace);
+    EXPECT_FALSE(se.diverged());
+    EXPECT_EQ(table_multisets(se), table_multisets(serial));
+    EXPECT_EQ(se.rule_firings(), serial.rule_firings());
+  }
+}
+
+}  // namespace
+}  // namespace mp::runtime

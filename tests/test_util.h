@@ -1,0 +1,134 @@
+// Shared helpers for the test suites (not part of the library).
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "eval/engine.h"
+#include "eval/event_log.h"
+#include "repair/forest.h"
+#include "runtime/sharded_engine.h"
+#include "scenarios/scenario.h"
+
+namespace mp::testutil {
+
+// The repair explorer's output for every symptom of a scenario, one line
+// per candidate (cost + description + change count), so any drift in the
+// repair sets, their costs or their order fails a byte comparison. Both
+// the differential and history suites assert on this canonical form.
+inline std::vector<std::string> explore_all(const scenario::Scenario& s,
+                                            const eval::Engine& engine) {
+  std::vector<std::string> out;
+  for (const repair::Symptom& sym : s.symptoms) {
+    repair::ForestExplorer explorer(engine, s.space);
+    for (const repair::RepairCandidate& c : explorer.explore(sym)) {
+      out.push_back(std::to_string(c.cost) + " | " + c.description +
+                    " | changes=" + std::to_string(c.changes.size()));
+    }
+  }
+  return out;
+}
+
+inline uint64_t fnv1a(uint64_t h, const std::string& line) {
+  for (const char c : line) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline std::string event_line(const eval::Event& ev) {
+  return std::string(eval::to_string(ev.kind)) + " " + ev.tuple.to_string();
+}
+
+// FNV-1a over the (kind, tuple) event sequence of the full log,
+// checkpointed prefix included: two logs agree iff they recorded the same
+// events in the same order.
+inline uint64_t event_sequence_hash(const eval::EventLog& log) {
+  uint64_t h = 1469598103934665603ull;
+  log.for_each_event(
+      [&](const eval::Event& ev) { h = fnv1a(h, event_line(ev)); });
+  return h;
+}
+
+// Order-canonical variant: the (kind, tuple) lines are sorted before
+// hashing, so two logs agree iff their event *multisets* agree. This is
+// the cross-schedule comparison — a sharded run interleaves independent
+// shards' events differently than the serial engine, but must produce
+// exactly the same set of them.
+inline uint64_t event_multiset_hash(const eval::EventLog& log) {
+  std::vector<std::string> lines;
+  lines.reserve(log.size());
+  log.for_each_event(
+      [&](const eval::Event& ev) { lines.push_back(event_line(ev)); });
+  std::sort(lines.begin(), lines.end());
+  uint64_t h = 1469598103934665603ull;
+  for (const std::string& line : lines) h = fnv1a(h, line + "\n");
+  return h;
+}
+
+// Per-table row multisets across every node — the cross-engine table
+// comparison both the differential and runtime suites assert on. One
+// canonical form for any engine-like source: the serial Engine and the
+// ShardedEngine overloads both delegate here.
+template <typename EngineLike>
+std::map<std::string, std::multiset<std::string>> table_multisets_of(
+    const ndlog::Catalog& cat, const EngineLike& e) {
+  std::map<std::string, std::multiset<std::string>> out;
+  for (ndlog::Catalog::TableId id = 0; id < cat.size(); ++id) {
+    const std::string& name = cat.name_of(id);
+    auto& rows = out[name];
+    for (const eval::Tuple& t : e.all_tuples(name)) rows.insert(t.to_string());
+  }
+  return out;
+}
+
+inline std::map<std::string, std::multiset<std::string>> table_multisets(
+    const eval::Engine& e) {
+  return table_multisets_of(e.catalog(), e);
+}
+
+inline std::map<std::string, std::multiset<std::string>> table_multisets(
+    const runtime::ShardedEngine& se) {
+  return table_multisets_of(se.shard(0).catalog(), se);
+}
+
+// The adversarial cross-shard fixture shared by the runtime and
+// differential suites: a directed token ring where every hop is a remote
+// Send (ping-pong across shards when neighbours are placed apart), Last is
+// keyed per (node, token) so each revisit displaces the previous hop's row
+// (cross-shard Underive/Disappear traffic), and the hub replica at node
+// 100 makes the displacement's support decrement cross shards too.
+inline std::string ring_program(int64_t hop_cap) {
+  return
+      "table NextHop/2.\n"
+      "table HubAt/2.\n"
+      "table Seen/3.\n"
+      "table Last/3 keys(0,1).\n"
+      "table Mirror/4.\n"
+      "event Token/3.\n"
+      "r1 Token(@M,T,HH) :- Token(@N,T,H), NextHop(@N,M), H < " +
+      std::to_string(hop_cap) +
+      ", HH := H + 1.\n"
+      "r2 Seen(@N,T,H) :- Token(@N,T,H).\n"
+      "r3 Last(@N,T,H) :- Token(@N,T,H).\n"
+      "r4 Mirror(@Hub,N,T,H) :- Last(@N,T,H), HubAt(@N,Hub).\n";
+}
+
+inline std::vector<eval::Tuple> ring_trace(int64_t nodes, int64_t tokens) {
+  std::vector<eval::Tuple> trace;
+  for (int64_t n = 1; n <= nodes; ++n) {
+    trace.push_back(eval::Tuple{"NextHop", {Value(n), Value(n % nodes + 1)}});
+    trace.push_back(eval::Tuple{"HubAt", {Value(n), Value(100)}});
+  }
+  for (int64_t t = 0; t < tokens; ++t) {
+    trace.push_back(
+        eval::Tuple{"Token", {Value(t % nodes + 1), Value(t), Value(0)}});
+  }
+  return trace;
+}
+
+}  // namespace mp::testutil

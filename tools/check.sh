@@ -2,6 +2,11 @@
 # The tier-1 gate in one command: configure, build, run the labelled ctest
 # suites and the smoke tool (ROADMAP "Tier-1 verify"). Usage:
 #   tools/check.sh [build-dir]
+# With CHECK_TSAN=1 the script additionally configures a side build
+# directory with -fsanitize=thread (CMake option MP_TSAN) and runs the
+# `concurrency`-labelled suites (the sharded runtime) under
+# ThreadSanitizer:
+#   CHECK_TSAN=1 tools/check.sh
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -18,5 +23,13 @@ cmake --build "$BUILD_DIR" -j
 
 echo "--- smoke (Q1 pipeline) ---"
 "$BUILD_DIR/smoke" Q1
+
+if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
+  echo "--- ThreadSanitizer (concurrency suites) ---"
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S "$REPO_ROOT" -DMP_TSAN=ON
+  cmake --build "$TSAN_DIR" --target runtime_test -j
+  (cd "$TSAN_DIR" && ctest -L concurrency --output-on-failure)
+fi
 
 echo "check.sh: OK"

@@ -22,7 +22,7 @@ trap 'rm -f "$RAW"' EXIT
 # --benchmark_out: bench_overhead prints a storage-accounting preamble to
 # stdout, so the JSON must go to a file.
 "$BENCH" \
-  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_JoinHeavyBatchInsert|BM_PacketInProcessing|BM_RepairHistoryProbe' \
+  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_JoinHeavyBatchInsert|BM_PacketInProcessing|BM_RepairHistoryProbe|BM_ShardedEval' \
   --benchmark_out_format=json --benchmark_out="$RAW" >/dev/null
 
 REPO_ROOT="$REPO_ROOT" python3 - "$RAW" "$OUT" <<'EOF'
@@ -83,6 +83,21 @@ for arg, key in ((0, "provenance_off"), (1, "provenance_on")):
     if b:
         packetin[key] = {"tuples_per_sec": rate(b)}
 
+# Sharded end-to-end scaling: Arg(0) is the serial Engine baseline, the
+# other args are ShardedEngine worker counts over the identical workload.
+sharded = {}
+serial = results.get("BM_ShardedEval/0/manual_time")
+for workers in (1, 2, 4, 8):
+    b = results.get(f"BM_ShardedEval/{workers}/manual_time")
+    if not b:
+        continue
+    sharded[str(workers)] = {
+        "tuples_per_sec": rate(b),
+        "serial_tuples_per_sec": rate(serial) if serial else None,
+        "speedup_vs_serial": (rate(b) / rate(serial)
+                              if serial and rate(serial) else None),
+    }
+
 try:
     commit = subprocess.check_output(
         ["git", "-C", os.environ.get("REPO_ROOT", "."), "rev-parse",
@@ -99,6 +114,7 @@ out = {
     "batch_insert": batch,
     "history_probe": history,
     "packet_in": packetin,
+    "sharded_eval": sharded,
 }
 with open(out_path, "w") as f:
     json.dump(out, f, indent=2)
@@ -116,4 +132,8 @@ for size, h in history.items():
     print(f"  history probe({size} tuples): {h['indexed_lookups_per_sec']:,.0f} lookups/s indexed "
           f"vs {h['scan_lookups_per_sec']:,.0f} scanned "
           f"({h['speedup']:.1f}x)")
+for workers, srow in sharded.items():
+    sp = srow["speedup_vs_serial"]
+    print(f"  sharded eval({workers} workers): {srow['tuples_per_sec']:,.0f} tuples/s "
+          + (f"({sp:.2f}x vs serial)" if sp else "(no serial baseline)"))
 EOF
