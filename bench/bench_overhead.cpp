@@ -22,6 +22,11 @@ const char* kProgram =
     "Hdr == 53, Prt := 3.\n";
 
 // PacketIn processing latency with provenance recording enabled/disabled.
+// With recording on, the per-event storage cost (serialized-format bytes
+// per logged event) is reported too — the interned record layout stores
+// handles + 16-bit ids per entry, names once per checkpoint, so this is
+// the number the `provenance_overhead` rows in BENCH_engine.json track
+// alongside throughput.
 void BM_PacketInProcessing(benchmark::State& state) {
   eval::EngineOptions opt;
   opt.record_provenance = state.range(0) != 0;
@@ -34,6 +39,25 @@ void BM_PacketInProcessing(benchmark::State& state) {
     benchmark::DoNotOptimize(engine.rule_firings());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (opt.record_provenance && engine.log().size() > 0) {
+    const double nevents = static_cast<double>(engine.log().size());
+    state.counters["bytes_per_event"] =
+        static_cast<double>(engine.log().byte_estimate()) / nevents;
+    // The pre-interning entry layout carried the table and rule names
+    // inline in every entry (no string table); its size over this exact
+    // workload = interned entry + name lengths, reported so the
+    // provenance_overhead rows can track the layout's bytes/event drop.
+    size_t stringly = 0;
+    for (const eval::Event& ev : engine.log().events()) {
+      stringly += engine.log().serialized_bytes(ev) +
+                  engine.log().table_name(ev.tuple).size() +
+                  engine.log().rule_name(ev.rule).size();
+    }
+    state.counters["bytes_per_event_stringly"] =
+        static_cast<double>(stringly) / nevents;
+    state.counters["events_per_tuple"] =
+        nevents / static_cast<double>(state.iterations());
+  }
   state.SetLabel(opt.record_provenance ? "provenance ON" : "provenance OFF");
 }
 BENCHMARK(BM_PacketInProcessing)->Arg(0)->Arg(1);
@@ -149,7 +173,7 @@ void BM_RepairHistoryProbe(benchmark::State& state) {
     pat.table = "Hist";
     pat.fields = {{1, ndlog::CmpOp::Eq, Value(k++ % n)},
                   {2, ndlog::CmpOp::Ge, Value(0)}};
-    engine.history().probe(pat, [&](const eval::Tuple&) {
+    engine.history().probe(pat, [&](eval::TupleRef) {
       ++matches;
       return true;
     });

@@ -21,11 +21,11 @@ size_t replay_base_stream(const eval::EventLog& log, eval::Engine& into) {
   log.for_each_event([&](const eval::Event& ev) {
     if (ev.kind == eval::EventKind::Insert) {
       flush_removes();
-      inserts.emplace_back(ev.tuple, ev.tags);
+      inserts.emplace_back(log.tuple_of(ev), ev.tags);
       ++applied;
     } else if (ev.kind == eval::EventKind::Delete) {
       flush_inserts();
-      removes.push_back(ev.tuple);
+      removes.push_back(log.tuple_of(ev));
       ++applied;
     }
   });

@@ -12,6 +12,7 @@
 
 #include "eval/plan.h"
 #include "eval/tuple.h"
+#include "eval/tuple_pool.h"
 #include "ndlog/schema.h"
 
 namespace mp::eval {
@@ -20,6 +21,10 @@ struct Entry {
   int support = 0;        // number of live derivations (base insert counts 1)
   TagMask tags = 0;       // candidate worlds in which the row exists
   uint64_t appear_event = 0;  // event id of the most recent appearance
+  // Interned handle for this (table, row) in the engine's TuplePool; set on
+  // appearance when provenance recording is on (kNoTupleRef otherwise).
+  // Lets the join path record body provenance without re-hashing the row.
+  TupleRef ref = kNoTupleRef;
 };
 
 class TableStore {

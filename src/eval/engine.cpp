@@ -35,11 +35,13 @@ bool eval_expr(const ndlog::Expr& e, const Env& env, Value& out) {
 
 Engine::Engine(ndlog::Program program, EngineOptions opt)
     : program_(std::move(program)), catalog_(program_), opt_(opt) {
+  log_.attach(&catalog_);  // pool TableIds == catalog TableIds
   compiled_.reserve(program_.rules.size());
   for (const auto& rule : program_.rules) {
     compiled_.push_back(compile_rule(rule, catalog_, index_specs_));
+    compiled_.back().log_rule = log_.intern_rule(rule.name);
   }
-  history_.attach(&catalog_, opt_.use_indexes);
+  history_.attach(&catalog_, &log_.pool(), opt_.use_indexes);
   triggers_by_table_.resize(catalog_.size());
   rule_restrict_.assign(program_.rules.size(), kAllTags);
   for (size_t r = 0; r < program_.rules.size(); ++r) {
@@ -57,26 +59,77 @@ Database& Engine::node_db(const Value& node) {
   return it->second;
 }
 
+TableId Engine::intern_extern_table(const std::string& name) {
+  // One-entry cache: ids are stable and names unique, so a content match
+  // can never be stale; a homogeneous insert stream pays one string
+  // compare instead of a catalog hash per tuple.
+  if (!extern_cache_valid_ || name != extern_name_cache_) {
+    extern_id_cache_ = catalog_.intern(name);
+    extern_name_cache_ = name;
+    extern_cache_valid_ = true;
+  }
+  return extern_id_cache_;
+}
+
+Row Engine::acquire_row() {
+  if (row_pool_.empty()) return Row();
+  Row r = std::move(row_pool_.back());
+  row_pool_.pop_back();
+  r.clear();  // keeps the vector's capacity for the refill
+  return r;
+}
+
+void Engine::release_row(Row&& row) {
+  if (row_pool_.size() < 64) row_pool_.push_back(std::move(row));
+}
+
+void Engine::dispatch_external(const Tuple& t, TableId tid, TagMask tags,
+                               EventId cause, TupleRef ref) {
+  if (running_ || !queue_.empty()) {
+    // Re-entrant entry (from an on_appear callback): queue it so the
+    // outer drain keeps sequential order.
+    enqueue_appear(t, tid, tags, cause, ref);
+    run_queue();
+    return;
+  }
+  // Direct dispatch: handle the external appearance in place — no queue
+  // round trip, no Tuple copy — then drain the derived work it enqueued.
+  // The step accounting mirrors what the queue pop would have charged;
+  // running_ is held so callbacks that insert() enqueue, as they would
+  // inside a queue drain.
+  if (++steps_ > opt_.max_steps) {
+    diverged_ = true;
+    return;
+  }
+  running_ = true;
+  handle_appear(t, tid, tags, cause, ref);
+  running_ = false;
+  run_queue();
+}
+
 void Engine::insert(const Tuple& t, TagMask tags) {
   if (!opt_.tag_mode) tags = kAllTags;
+  const TableId tid = intern_extern_table(t.table);
   EventId cause = kNoEvent;
+  TupleRef ref = kNoTupleRef;
   if (opt_.record_provenance) {
-    cause = log_.append(EventKind::Insert, t.location(), t, tags);
+    ref = log_.pool().intern(tid, t.row);
+    cause = log_.append(EventKind::Insert, t.location(), ref, tags);
   }
-  enqueue_appear(t, catalog_.intern(t.table), tags, cause);
-  run_queue();
+  dispatch_external(t, tid, tags, cause, ref);
   maybe_autocompact();
 }
 
 EventId Engine::receive_remote(Tuple t, TagMask tags) {
   if (!opt_.tag_mode) tags = kAllTags;
+  const TableId tid = intern_extern_table(t.table);
   EventId cause = kNoEvent;
+  TupleRef ref = kNoTupleRef;
   if (opt_.record_provenance) {
-    cause = log_.append(EventKind::Receive, t.location(), t, tags);
+    ref = log_.pool().intern(tid, t.row);
+    cause = log_.append(EventKind::Receive, t.location(), ref, tags);
   }
-  const TableId tid = catalog_.intern(t.table);
-  enqueue_appear(std::move(t), tid, tags, cause);
-  run_queue();
+  dispatch_external(t, tid, tags, cause, ref);
   maybe_autocompact();
   return cause;
 }
@@ -91,37 +144,22 @@ void Engine::receive_unsupport(const Tuple& head) {
   Entry* e = store->find(head.row);
   if (e == nullptr || e->support <= 0) return;
   e->support -= 1;
-  if (e->support <= 0) retract(head.location(), head);
+  if (e->support <= 0) retract(head.location(), tid, head.row);
 }
 
 void Engine::stage_insert(const Tuple& t, TagMask tags,
                           const std::string*& last_name, TableId& last_id) {
-  EventId cause = kNoEvent;
-  if (opt_.record_provenance) {
-    cause = log_.append(EventKind::Insert, t.location(), t, tags);
-  }
   if (last_name == nullptr || t.table != *last_name) {
     last_id = catalog_.intern(t.table);
     last_name = &t.table;
   }
-  if (running_ || !queue_.empty()) {
-    // Re-entrant batch (insert_batch from an on_appear callback): fall
-    // back to the queue path so the outer drain keeps sequential order.
-    enqueue_appear(t, last_id, tags, cause);
-    run_queue();
-    return;
+  EventId cause = kNoEvent;
+  TupleRef ref = kNoTupleRef;
+  if (opt_.record_provenance) {
+    ref = log_.pool().intern(last_id, t.row);
+    cause = log_.append(EventKind::Insert, t.location(), ref, tags);
   }
-  // Direct dispatch: handle the external appearance in place — no queue
-  // round trip, no Tuple copy — then drain the derived work it enqueued.
-  // The step accounting mirrors what the queue pop would have charged.
-  if (++steps_ > opt_.max_steps) {
-    diverged_ = true;
-    return;
-  }
-  running_ = true;  // callbacks that insert() must enqueue, as they would
-  handle_appear(t, last_id, tags, cause);  // inside a queue drain
-  running_ = false;
-  run_queue();
+  dispatch_external(t, last_id, tags, cause, ref);
 }
 
 void Engine::insert_batch(std::span<const Tuple> batch, TagMask tags) {
@@ -167,10 +205,12 @@ void Engine::remove_one(const Tuple& t) {
   Entry* e = store->find(t.row);
   if (e == nullptr || e->support <= 0) return;
   if (opt_.record_provenance) {
-    log_.append(EventKind::Delete, t.location(), t, e->tags);
+    log_.append(EventKind::Delete, t.location(),
+                e->ref != kNoTupleRef ? e->ref : log_.pool().intern(tid, t.row),
+                e->tags);
   }
   e->support -= 1;
-  if (e->support <= 0) retract(t.location(), t);
+  if (e->support <= 0) retract(t.location(), tid, t.row);
 }
 
 void Engine::maybe_autocompact() {
@@ -276,8 +316,9 @@ void Engine::set_rule_restrict(const std::string& rule, TagMask mask) {
   }
 }
 
-void Engine::enqueue_appear(Tuple t, TableId tid, TagMask tags, EventId cause) {
-  queue_.push_back(PendingAppear{std::move(t), tid, tags, cause});
+void Engine::enqueue_appear(Tuple t, TableId tid, TagMask tags, EventId cause,
+                            TupleRef ref) {
+  queue_.push_back(PendingAppear{std::move(t), tid, tags, cause, ref});
 }
 
 void Engine::run_queue() {
@@ -291,16 +332,20 @@ void Engine::run_queue() {
     }
     PendingAppear p = std::move(queue_.front());
     queue_.pop_front();
-    handle_appear(p.tuple, p.table_id, p.tags, p.cause);
+    handle_appear(p.tuple, p.table_id, p.tags, p.cause, p.ref);
+    release_row(std::move(p.tuple.row));
   }
   running_ = false;
 }
 
 void Engine::handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
-                           EventId cause) {
+                           EventId cause, TupleRef ref) {
   const Value& node = tuple.location();
   const bool is_event = catalog_.is_event(table_id);
   EventId appear_ev = cause;
+  if (opt_.record_provenance && ref == kNoTupleRef) {
+    ref = log_.pool().intern(table_id, tuple.row);
+  }
 
   if (!is_event) {
     TableStore& store = node_db(node).store(table_id);
@@ -316,7 +361,7 @@ void Engine::handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
       if (auto old = store.row_with_key(key); old && *old != tuple.row) {
         const Entry* oe = store.find(*old);
         if (oe != nullptr && oe->support > 0) {
-          retract(node, Tuple{tuple.table, *old});
+          retract(node, table_id, *old);
         }
       }
       store.index_key(key, tuple.row);
@@ -333,28 +378,32 @@ void Engine::handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
       return;
     }
     if (opt_.record_provenance) {
-      appear_ev = log_.append(EventKind::Appear, node, tuple, e.tags,
-                              cause == kNoEvent ? std::vector<EventId>{}
-                                                : std::vector<EventId>{cause});
-      history_.record(table_id, tuple);
+      appear_ev = log_.append(EventKind::Appear, node, ref, e.tags,
+                              cause == kNoEvent
+                                  ? std::span<const EventId>{}
+                                  : std::span<const EventId>{&cause, 1});
+      history_.record(table_id, ref);
     }
     e.appear_event = appear_ev;
+    e.ref = ref;
   } else {
     if (opt_.record_provenance) {
-      appear_ev = log_.append(EventKind::Appear, node, tuple, tags,
-                              cause == kNoEvent ? std::vector<EventId>{}
-                                                : std::vector<EventId>{cause});
-      history_.record(table_id, tuple);
+      appear_ev = log_.append(EventKind::Appear, node, ref, tags,
+                              cause == kNoEvent
+                                  ? std::span<const EventId>{}
+                                  : std::span<const EventId>{&cause, 1});
+      history_.record(table_id, ref);
     }
   }
 
   run_callbacks(table_id, tuple, tags);
 
-  fire_rules(node, tuple, table_id, tags, appear_ev);
+  fire_rules(node, tuple, table_id, tags, appear_ev, ref);
 }
 
 void Engine::fire_rules(const Value& node, const Tuple& trigger, TableId tid,
-                        TagMask mask, EventId trigger_event) {
+                        TagMask mask, EventId trigger_event,
+                        TupleRef trigger_ref) {
   if (tid >= triggers_by_table_.size()) return;  // interned after construction
   auto node_it = nodes_.find(node);
   const Database* db = node_it == nodes_.end() ? nullptr : &node_it->second;
@@ -370,44 +419,65 @@ void Engine::fire_rules(const Value& node, const Tuple& trigger, TableId tid,
     if (trigger.row.size() != tp.arity) continue;
     frame_.reset(cr.nslots);
     if (!unify_ops(tp.trigger_ops, trigger.row, frame_)) continue;
+    if (opt_.pushdown_selections && !eval_pushed_sels(cr, tp.trigger_sels)) {
+      continue;
+    }
     const ndlog::Rule& rule = program_.rules[rule_idx];
     if (opt_.record_provenance) {
       cause_scratch_.assign(rule.body.size(), kNoEvent);
-      body_scratch_.assign(rule.body.size(), Tuple{});
+      body_scratch_.assign(rule.body.size(), kNoTupleRef);
       cause_scratch_[body_idx] = trigger_event;
-      body_scratch_[body_idx] = trigger;
+      body_scratch_[body_idx] = trigger_ref;
     }
-    exec_step(cr, rule, tp, 0, db, node, rule_mask, trigger, trigger_event);
+    exec_step(cr, rule, tp, 0, db, node, rule_mask, trigger, trigger_event,
+              trigger_ref);
     if (diverged_) return;
   }
+}
+
+bool Engine::eval_pushed_sels(const CompiledRule& cr,
+                              const std::vector<uint32_t>& sels) {
+  for (uint32_t i : sels) {
+    const CompiledSelection& sel = cr.sels[i];
+    Value sa, sb;
+    const Value* a = sel.lhs.eval_ref(frame_, sa);
+    const Value* b = sel.rhs.eval_ref(frame_, sb);
+    if (a == nullptr || b == nullptr || !ndlog::cmp_eval(sel.op, *a, *b)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void Engine::exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
                        const TriggerPlan& tp, size_t step_idx,
                        const Database* db, const Value& node, TagMask mask,
-                       const Tuple& trigger, EventId trigger_event) {
+                       const Tuple& trigger, EventId trigger_event,
+                       TupleRef trigger_ref) {
   if (++steps_ > opt_.max_steps) {
     diverged_ = true;
     return;
   }
   if (step_idx == tp.steps.size()) {
-    finish_rule(cr, rule, node, mask);
+    finish_rule(cr, rule, tp, node, mask);
     return;
   }
   const AtomStep& st = tp.steps[step_idx];
+  const bool pushdown = opt_.pushdown_selections;
 
   if (st.access == AtomStep::Access::TriggerSelf) {
     // Event tables cannot be joined from storage (they are transient); the
     // only way an event atom is satisfied is as the trigger itself.
     if (trigger.row.size() != st.arity) return;
     const size_t m = frame_.mark();
-    if (unify_ops(st.full_ops, trigger.row, frame_)) {
+    if (unify_ops(st.full_ops, trigger.row, frame_) &&
+        (!pushdown || eval_pushed_sels(cr, st.sels))) {
       if (opt_.record_provenance) {
         cause_scratch_[st.body_pos] = trigger_event;
-        body_scratch_[st.body_pos] = trigger;
+        body_scratch_[st.body_pos] = trigger_ref;
       }
       exec_step(cr, rule, tp, step_idx + 1, db, node, mask, trigger,
-                trigger_event);
+                trigger_event, trigger_ref);
     }
     frame_.undo_to(m);
     return;
@@ -436,14 +506,14 @@ void Engine::exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
       if (opt_.tag_mode && m2 == 0) continue;
       if (item->first.size() != st.arity) continue;
       const size_t m = frame_.mark();
-      if (unify_ops(st.residual_ops, item->first, frame_)) {
+      if (unify_ops(st.residual_ops, item->first, frame_) &&
+          (!pushdown || eval_pushed_sels(cr, st.sels))) {
         if (opt_.record_provenance) {
           cause_scratch_[st.body_pos] = entry.appear_event;
-          body_scratch_[st.body_pos] =
-              Tuple{catalog_.name_of(st.table), item->first};
+          body_scratch_[st.body_pos] = entry.ref;
         }
         exec_step(cr, rule, tp, step_idx + 1, db, node, m2, trigger,
-                  trigger_event);
+                  trigger_event, trigger_ref);
       }
       frame_.undo_to(m);
       if (diverged_) return;
@@ -460,14 +530,14 @@ void Engine::exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
     if (opt_.tag_mode && m2 == 0) continue;
     if (item.first.size() != st.arity) continue;
     const size_t m = frame_.mark();
-    if (unify_ops(st.full_ops, item.first, frame_)) {
+    if (unify_ops(st.full_ops, item.first, frame_) &&
+        (!pushdown || eval_pushed_sels(cr, st.sels))) {
       if (opt_.record_provenance) {
         cause_scratch_[st.body_pos] = entry.appear_event;
-        body_scratch_[st.body_pos] =
-            Tuple{catalog_.name_of(st.table), item.first};
+        body_scratch_[st.body_pos] = entry.ref;
       }
       exec_step(cr, rule, tp, step_idx + 1, db, node, m2, trigger,
-                trigger_event);
+                trigger_event, trigger_ref);
     }
     frame_.undo_to(m);
     if (diverged_) return;
@@ -475,9 +545,13 @@ void Engine::exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
 }
 
 void Engine::finish_rule(const CompiledRule& cr, const ndlog::Rule& rule,
-                         const Value& node, TagMask mask) {
+                         const TriggerPlan& tp, const Value& node,
+                         TagMask mask) {
   const size_t m = frame_.mark();
-  // Assignments bind new slots in order, then selections filter.
+  // Assignments bind new slots in order, then selections filter —
+  // skipping those already evaluated inside the join (pushdown); their
+  // slots cannot have changed since (assignment-target selections are
+  // never pushed).
   for (const CompiledAssign& asg : cr.assigns) {
     Value v;
     if (!asg.expr.eval(frame_, v)) {
@@ -486,16 +560,21 @@ void Engine::finish_rule(const CompiledRule& cr, const ndlog::Rule& rule,
     }
     frame_.rebind(asg.slot, std::move(v));
   }
-  for (const CompiledSelection& sel : cr.sels) {
-    Value a, b;
-    if (!sel.lhs.eval(frame_, a) || !sel.rhs.eval(frame_, b) ||
-        !ndlog::cmp_eval(sel.op, a, b)) {
+  const uint64_t pushed = opt_.pushdown_selections ? tp.pushed_mask : 0;
+  for (size_t i = 0; i < cr.sels.size(); ++i) {
+    if (i < 64 && ((pushed >> i) & 1)) continue;
+    const CompiledSelection& sel = cr.sels[i];
+    Value sa, sb;
+    const Value* a = sel.lhs.eval_ref(frame_, sa);
+    const Value* b = sel.rhs.eval_ref(frame_, sb);
+    if (a == nullptr || b == nullptr || !ndlog::cmp_eval(sel.op, *a, *b)) {
       frame_.undo_to(m);
       return;
     }
   }
   Tuple head;
   head.table = rule.head.table;
+  head.row = acquire_row();
   head.row.reserve(cr.head_args.size());
   for (const SlotExpr& arg : cr.head_args) {
     Value v;
@@ -507,28 +586,27 @@ void Engine::finish_rule(const CompiledRule& cr, const ndlog::Rule& rule,
   }
   ++firings_;
   if (opt_.record_provenance) {
-    derive(rule, node, std::move(head), mask, cause_scratch_, body_scratch_);
+    derive(cr, rule, node, std::move(head), mask, cause_scratch_,
+           body_scratch_);
   } else {
-    derive(rule, node, std::move(head), mask, {}, {});
+    derive(cr, rule, node, std::move(head), mask, {}, {});
   }
   frame_.undo_to(m);
 }
 
-void Engine::derive(const ndlog::Rule& rule, const Value& src_node, Tuple head,
-                    TagMask mask, std::vector<EventId> cause_events,
-                    std::vector<Tuple> body_tuples) {
+void Engine::derive(const CompiledRule& cr, const ndlog::Rule& rule,
+                    const Value& src_node, Tuple head, TagMask mask,
+                    std::span<const EventId> cause_events,
+                    std::span<const TupleRef> body_refs) {
   EventId derive_ev = kNoEvent;
+  TupleRef href = kNoTupleRef;
   if (opt_.record_provenance) {
-    derive_ev = log_.append(EventKind::Derive, src_node, head, mask,
-                            cause_events, rule.name);
-    DerivRecord rec;
-    rec.derive_event = derive_ev;
-    rec.rule = rule.name;
-    rec.head = head;
-    // body_tuples[i] corresponds to rule.body[i] (the repair engine's
+    href = log_.pool().intern(cr.head_table, head.row);
+    derive_ev = log_.append(EventKind::Derive, src_node, href, mask,
+                            cause_events, cr.log_rule);
+    // body_refs[i] corresponds to rule.body[i] (the repair engine's
     // symbolic re-execution relies on this alignment).
-    rec.body = std::move(body_tuples);
-    log_.add_derivation(std::move(rec));
+    log_.add_derivation(cr.log_rule, href, body_refs, derive_ev);
   }
   EventId cause = derive_ev;
   const Value& dst = head.location();
@@ -539,76 +617,79 @@ void Engine::derive(const ndlog::Rule& rule, const Value& src_node, Tuple head,
     // deletion cascades walk the record where the body tuples live.
     EventId send_ev = kNoEvent;
     if (opt_.record_provenance) {
-      send_ev = log_.append(EventKind::Send, src_node, head, mask,
+      send_ev = log_.append(EventKind::Send, src_node, href, mask,
                             derive_ev == kNoEvent
-                                ? std::vector<EventId>{}
-                                : std::vector<EventId>{derive_ev});
+                                ? std::span<const EventId>{}
+                                : std::span<const EventId>{&derive_ev, 1});
     }
     hooks_.forward(std::move(head), mask, send_ev);
     return;
   }
   if (!(dst == src_node) && opt_.record_provenance) {
     const EventId send_ev =
-        log_.append(EventKind::Send, src_node, head, mask,
-                    derive_ev == kNoEvent ? std::vector<EventId>{}
-                                          : std::vector<EventId>{derive_ev});
-    cause = log_.append(EventKind::Receive, dst, head, mask, {send_ev});
+        log_.append(EventKind::Send, src_node, href, mask,
+                    derive_ev == kNoEvent
+                        ? std::span<const EventId>{}
+                        : std::span<const EventId>{&derive_ev, 1});
+    cause = log_.append(EventKind::Receive, dst, href, mask, {&send_ev, 1});
   }
-  const TableId tid = catalog_.intern(head.table);
-  enqueue_appear(std::move(head), tid, mask, cause);
+  enqueue_appear(std::move(head), cr.head_table, mask, cause, href);
 }
 
-void Engine::retract(const Value& node, const Tuple& t) {
-  const TableId tid = catalog_.id_of(t.table);
-  if (tid == ndlog::Catalog::kNoTable) return;
+void Engine::retract(const Value& node, TableId tid, const Row& row) {
   auto node_it = nodes_.find(node);
   if (node_it == nodes_.end()) return;
   TableStore* store = node_it->second.store_if(tid);
   if (store == nullptr) return;
-  Entry* e = store->find(t.row);
+  Entry* e = store->find(row);
   if (e == nullptr) return;
   e->support = 0;
   const TagMask tags = e->tags;
+  const TupleRef ref = e->ref;
   e->tags = 0;
   if (opt_.record_provenance) {
-    log_.append(EventKind::Disappear, node, t, tags);
+    log_.append(EventKind::Disappear, node,
+                ref != kNoTupleRef ? ref : log_.pool().intern(tid, row), tags);
   }
   const ndlog::TableDecl& decl = catalog_.decl(tid);
   if (!decl.keys.empty() && decl.keys.size() < decl.arity) {
-    const Row key = catalog_.key_of(tid, t.row);
-    if (auto cur = store->row_with_key(key); cur && *cur == t.row) {
+    const Row key = catalog_.key_of(tid, row);
+    if (auto cur = store->row_with_key(key); cur && *cur == row) {
       store->unindex_key(key);
     }
   }
-  store->erase(t.row);
+  store->erase(row);  // nothing below touches `row` (it may alias the entry)
 
-  // Cascade: every live derivation that consumed t loses support. The
-  // callback walk visits the index bucket directly (no snapshot vector);
-  // liveness is checked at visit time, so records cascaded away by the
-  // recursion below are skipped exactly as the old re-check did.
-  if (!opt_.record_provenance) return;
-  log_.for_each_derivation_using(t, [&](size_t idx) {
+  // Cascade: every live derivation that consumed the tuple loses support.
+  // The callback walk visits the index bucket directly (no snapshot
+  // vector); liveness is checked at visit time, so records cascaded away
+  // by the recursion below are skipped exactly as the old re-check did.
+  // All of it runs on handles — heads materialize only when shipped to a
+  // peer shard.
+  if (!opt_.record_provenance || ref == kNoTupleRef) return;
+  log_.for_each_derivation_using(ref, [&](size_t idx) {
     DerivRecord& rec = log_.derivation(idx);
     rec.live = false;
-    log_.append(EventKind::Underive, rec.head.location(), rec.head, kAllTags,
-                {}, rec.rule);
-    if (catalog_.is_event(rec.head.table)) return true;  // nothing stored
-    const TableId htid = catalog_.id_of(rec.head.table);
-    if (htid == ndlog::Catalog::kNoTable) return true;
-    if (hooks_.is_local && !hooks_.is_local(rec.head.location())) {
+    const TupleRef href = rec.head;
+    const TableId htid = log_.table_of(href);
+    const Row& hrow = log_.row_of(href);
+    const Value& hloc = hrow[0];
+    log_.append(EventKind::Underive, hloc, href, kAllTags, {}, rec.rule);
+    if (catalog_.is_event(htid)) return true;  // nothing stored
+    if (hooks_.is_local && !hooks_.is_local(hloc)) {
       // The derived head lives on a peer shard: ship the support decrement
       // (receive_unsupport mirrors the inline decrement below).
-      hooks_.forward_retract(rec.head);
+      hooks_.forward_retract(log_.materialize(href));
       return true;
     }
-    auto dst_it = nodes_.find(rec.head.location());
+    auto dst_it = nodes_.find(hloc);
     if (dst_it == nodes_.end()) return true;
     TableStore* hstore = dst_it->second.store_if(htid);
     if (hstore == nullptr) return true;
-    Entry* he = hstore->find(rec.head.row);
+    Entry* he = hstore->find(hrow);
     if (he == nullptr || he->support <= 0) return true;
     he->support -= 1;
-    if (he->support <= 0) retract(rec.head.location(), rec.head);
+    if (he->support <= 0) retract(hloc, htid, hrow);
     return true;
   });
 }

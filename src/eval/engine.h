@@ -58,6 +58,12 @@ struct EngineOptions {
   bool record_provenance = true;  // turn off to measure overhead (S5.4)
   bool tag_mode = false;
   bool use_indexes = true;        // off: force full scans (testing only)
+  // Evaluate selections whose variables are bound mid-join during the
+  // owning atom's probe/scan step instead of only at rule finish. Off:
+  // finish-only evaluation (differential cross-check mode); the final
+  // fixpoint, event log and derivations are identical either way (pinned
+  // by tests/differential_test.cpp).
+  bool pushdown_selections = true;
   size_t max_steps = 1'000'000;   // guard against runaway candidate programs
   // Auto-compaction policy (the ROADMAP's "mechanism only, no policy"
   // item): after a top-level insert/remove reaches fixpoint, if the log's
@@ -194,10 +200,20 @@ class Engine {
     TableId table_id = 0;
     TagMask tags = 0;
     EventId cause = kNoEvent;  // event that produced it (Insert/Receive/Derive)
+    TupleRef ref = kNoTupleRef;  // interned handle (provenance on)
   };
 
   Database& node_db(const Value& node);
-  void enqueue_appear(Tuple t, TableId tid, TagMask tags, EventId cause);
+  TableId intern_extern_table(const std::string& name);
+  Row acquire_row();
+  void release_row(Row&& row);
+  // Shared external-tuple dispatch (insert / receive_remote /
+  // stage_insert): handle_appear in place at a true top level — no queue
+  // round trip or Tuple copy — falling back to the queue when re-entrant.
+  void dispatch_external(const Tuple& t, TableId tid, TagMask tags,
+                         EventId cause, TupleRef ref);
+  void enqueue_appear(Tuple t, TableId tid, TagMask tags, EventId cause,
+                      TupleRef ref);
   // One insert_batch element: logs the Insert event, then dispatches the
   // appearance directly into handle_appear (no queue round trip) and runs
   // its derived closure to fixpoint; falls back to the queue when called
@@ -215,20 +231,25 @@ class Engine {
   void maybe_autocompact();
   void run_queue();
   void handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
-                     EventId cause);
+                     EventId cause, TupleRef ref);
   void fire_rules(const Value& node, const Tuple& trigger, TableId tid,
-                  TagMask mask, EventId trigger_event);
+                  TagMask mask, EventId trigger_event, TupleRef trigger_ref);
   void exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
                  const TriggerPlan& tp, size_t step_idx, const Database* db,
                  const Value& node, TagMask mask, const Tuple& trigger,
-                 EventId trigger_event);
+                 EventId trigger_event, TupleRef trigger_ref);
   void run_callbacks(TableId tid, const Tuple& t, TagMask tags);
   void finish_rule(const CompiledRule& cr, const ndlog::Rule& rule,
-                   const Value& node, TagMask mask);
-  void derive(const ndlog::Rule& rule, const Value& src_node, Tuple head,
-              TagMask mask, std::vector<EventId> cause_events,
-              std::vector<Tuple> body_tuples);
-  void retract(const Value& node, const Tuple& t);
+                   const TriggerPlan& tp, const Value& node, TagMask mask);
+  // Evaluates pushed-down selections `sels` on the current frame; false =
+  // some selection failed (prune this join branch).
+  bool eval_pushed_sels(const CompiledRule& cr,
+                        const std::vector<uint32_t>& sels);
+  void derive(const CompiledRule& cr, const ndlog::Rule& rule,
+              const Value& src_node, Tuple head, TagMask mask,
+              std::span<const EventId> cause_events,
+              std::span<const TupleRef> body_refs);
+  void retract(const Value& node, TableId tid, const Row& row);
 
   static bool unify_ops(const std::vector<ArgOp>& ops, const Row& row,
                         Frame& f);
@@ -251,11 +272,22 @@ class Engine {
   std::vector<std::vector<std::function<void(const Tuple&, TagMask)>>>
       callbacks_;
   // Join scratch, reused across firings (the join path is not re-entrant:
-  // callbacks and derivations only enqueue work).
+  // callbacks and derivations only enqueue work). Body provenance is
+  // collected as interned handles — no Tuple is materialized on the join
+  // path.
   Frame frame_;
   Row probe_key_;
   std::vector<EventId> cause_scratch_;
-  std::vector<Tuple> body_scratch_;
+  std::vector<TupleRef> body_scratch_;
+  // Recycled Row capacity for derived heads: finish_rule takes a row here,
+  // run_queue returns it after the appearance is handled, so the
+  // derive -> enqueue -> dispatch round trip does not malloc per firing.
+  std::vector<Row> row_pool_;
+  // One-entry table-interning cache for the external insert/receive entry
+  // points (homogeneous streams hash the table name once, not per tuple).
+  std::string extern_name_cache_;
+  TableId extern_id_cache_ = 0;
+  bool extern_cache_valid_ = false;
   // Bulk-mode state: stores switched to deferred indexing by the current
   // insert_batch (flushed when the outermost batch finishes).
   int bulk_depth_ = 0;

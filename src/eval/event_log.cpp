@@ -19,39 +19,103 @@ const char* to_string(EventKind k) {
   return "?";
 }
 
-std::string Event::to_string() const {
-  std::string out = mp::eval::to_string(kind);
-  out += "(t=" + std::to_string(time) + ", @" + node.to_string() + ", " +
-         tuple.to_string();
-  if (!rule.empty()) out += ", rule=" + rule;
+std::string EventLog::to_string(const Event& e) const {
+  std::string out = mp::eval::to_string(e.kind);
+  out += "(t=" + std::to_string(e.time) + ", @" + e.node.to_string() + ", " +
+         tuple_of(e).to_string();
+  if (e.rule != kNoRule) out += ", rule=" + rule_name(e.rule);
   out += ")";
   return out;
 }
 
-EventId EventLog::append(EventKind kind, Value node, Tuple tuple, TagMask tags,
-                         std::vector<EventId> causes, std::string rule) {
-  Event e;
-  e.id = size();
-  e.kind = kind;
-  e.time = tick();
-  e.node = std::move(node);
-  e.tuple = std::move(tuple);
-  e.rule = std::move(rule);
-  e.causes = std::move(causes);
-  e.tags = tags;
-  events_.push_back(std::move(e));
-  return events_.back().id;
+RuleId EventLog::intern_rule(const std::string& name) {
+  auto [it, inserted] =
+      rule_ids_.try_emplace(name, static_cast<RuleId>(rule_names_.size()));
+  if (inserted) rule_names_.push_back(name);
+  return it->second;
 }
 
-size_t EventLog::add_derivation(DerivRecord rec) {
+TupleRef EventLog::find_ref(const Tuple& t) const {
+  const TableId tid = names().id_of(t.table);
+  if (tid == ndlog::Catalog::kNoTable) return kNoTupleRef;
+  return pool_.find(tid, t.row);
+}
+
+EventId EventLog::append(EventKind kind, const Value& node, TupleRef tuple,
+                         TagMask tags, std::span<const EventId> causes,
+                         RuleId rule) {
+  // ncauses is 16 bits wide; nothing the runtime produces comes close
+  // (causes per event = rule body size or 1), so cap instead of
+  // recording a mod-65536 count that would silently drop causal edges.
+  assert(causes.size() <= 0xffff);
+  if (causes.size() > 0xffff) causes = causes.first(0xffff);
+  const EventId id = size();
+  Event& e = events_.emplace_back();
+  e.id = id;
+  e.kind = kind;
+  e.time = tick();
+  e.node = node;
+  e.tuple = tuple;
+  e.rule = rule;
+  e.causes_begin = cause_base_ + cause_arena_.size();
+  e.ncauses = static_cast<uint16_t>(causes.size());
+  e.tags = tags;
+  // `causes` may alias this log's own arena (a span from causes_of(), the
+  // natural way to duplicate an event): copy by index so push_back's
+  // reallocation cannot invalidate the source mid-copy.
+  const EventId* arena_begin = cause_arena_.data();
+  if (!causes.empty() && causes.data() >= arena_begin &&
+      causes.data() < arena_begin + cause_arena_.size()) {
+    const size_t off = static_cast<size_t>(causes.data() - arena_begin);
+    const size_t n = causes.size();
+    for (size_t i = 0; i < n; ++i) cause_arena_.push_back(cause_arena_[off + i]);
+  } else {
+    cause_arena_.insert(cause_arena_.end(), causes.begin(), causes.end());
+  }
+  return id;
+}
+
+EventId EventLog::append(EventKind kind, const Value& node, const Tuple& tuple,
+                         TagMask tags, const std::vector<EventId>& causes,
+                         const std::string& rule) {
+  return append(kind, node, intern_tuple(tuple), tags,
+                std::span<const EventId>(causes),
+                rule.empty() ? kNoRule : intern_rule(rule));
+}
+
+std::span<const EventId> EventLog::causes_of(const Event& e) const {
+  if (e.ncauses == 0) return {};
+  if (e.causes_begin == kDecodedCauses) {
+    // Checkpoint-decoded scratch event: causes live in the decode buffer.
+    return {decode_causes_.data(), e.ncauses};
+  }
+  if (e.causes_begin < cause_base_) {
+    // A copy of a live event whose arena prefix has since been compacted
+    // away: the causes are only reachable through the checkpoint now.
+    return {};
+  }
+  return {cause_arena_.data() + (e.causes_begin - cause_base_), e.ncauses};
+}
+
+size_t EventLog::add_derivation(RuleId rule, TupleRef head,
+                                std::span<const TupleRef> body,
+                                EventId derive_event, bool live) {
   const size_t idx = derivations_.size();
-  head_index_[rec.head].push_back(idx);
-  for (const Tuple& b : rec.body) body_index_[b].push_back(idx);
-  derivations_.push_back(std::move(rec));
+  DerivRecord rec;
+  rec.derive_event = derive_event;
+  rec.rule = rule;
+  rec.head = head;
+  rec.body_begin = body_arena_.size();
+  rec.nbody = static_cast<uint16_t>(body.size());
+  rec.live = live;
+  head_index_[head].push_back(idx);
+  for (TupleRef b : body) body_index_[b].push_back(idx);
+  body_arena_.insert(body_arena_.end(), body.begin(), body.end());
+  derivations_.push_back(rec);
   return idx;
 }
 
-std::vector<size_t> EventLog::derivations_of(const Tuple& t) const {
+std::vector<size_t> EventLog::derivations_of(TupleRef t) const {
   std::vector<size_t> out;
   for_each_derivation_of(t, [&](size_t idx) {
     out.push_back(idx);
@@ -60,7 +124,7 @@ std::vector<size_t> EventLog::derivations_of(const Tuple& t) const {
   return out;
 }
 
-std::vector<size_t> EventLog::derivations_using(const Tuple& t) const {
+std::vector<size_t> EventLog::derivations_using(TupleRef t) const {
   std::vector<size_t> out;
   for_each_derivation_using(t, [&](size_t idx) {
     out.push_back(idx);
@@ -70,7 +134,8 @@ std::vector<size_t> EventLog::derivations_using(const Tuple& t) const {
 }
 
 void EventLog::for_each_derivation_of(
-    const Tuple& t, const std::function<bool(size_t)>& fn) const {
+    TupleRef t, const std::function<bool(size_t)>& fn) const {
+  if (t == kNoTupleRef) return;
   auto it = head_index_.find(t);
   if (it == head_index_.end()) return;
   for (size_t idx : it->second) {
@@ -79,7 +144,8 @@ void EventLog::for_each_derivation_of(
 }
 
 void EventLog::for_each_derivation_using(
-    const Tuple& t, const std::function<bool(size_t)>& fn) const {
+    TupleRef t, const std::function<bool(size_t)>& fn) const {
+  if (t == kNoTupleRef) return;
   auto it = body_index_.find(t);
   if (it == body_index_.end()) return;
   for (size_t idx : it->second) {
@@ -87,7 +153,7 @@ void EventLog::for_each_derivation_using(
   }
 }
 
-bool EventLog::has_derivation_of(const Tuple& t) const {
+bool EventLog::has_derivation_of(TupleRef t) const {
   bool any = false;
   for_each_derivation_of(t, [&](size_t) {
     any = true;
@@ -101,6 +167,7 @@ bool EventLog::has_derivation_of(const Tuple& t) const {
 namespace {
 
 constexpr size_t kHeaderBytes = 32;
+constexpr uint16_t kNoRuleSerialized = 0xffff;
 
 void put_u16(std::vector<uint8_t>& out, uint16_t v) {
   out.push_back(static_cast<uint8_t>(v));
@@ -112,29 +179,32 @@ void put_u32(std::vector<uint8_t>& out, uint32_t v) {
 void put_u64(std::vector<uint8_t>& out, uint64_t v) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
 }
-void put_bytes(std::vector<uint8_t>& out, const std::string& s) {
-  out.insert(out.end(), s.begin(), s.end());
-}
 void put_value(std::vector<uint8_t>& out, const Value& v) {
   out.push_back(v.is_int() ? 0 : 1);
   if (v.is_int()) {
     put_u64(out, static_cast<uint64_t>(v.as_int()));
   } else {
     put_u16(out, static_cast<uint16_t>(v.as_str().size()));
-    put_bytes(out, v.as_str());
+    out.insert(out.end(), v.as_str().begin(), v.as_str().end());
   }
 }
 size_t value_bytes(const Value& v) {
   return v.is_int() ? 1 + 8 : 1 + 2 + v.as_str().size();
 }
 
+// True exactly once per id: grows `seen` on demand and records the id.
+// Shared by compact() (write the name record) and byte_estimate()
+// (account its size) so the string-table first-reference rule lives in
+// one place.
+bool first_ref(std::vector<uint8_t>& seen, uint32_t id) {
+  if (id >= seen.size()) seen.resize(id + 1, 0);
+  if (seen[id]) return false;
+  seen[id] = 1;
+  return true;
+}
+
 uint16_t get_u16(const uint8_t* p) {
   return static_cast<uint16_t>(p[0] | (p[1] << 8));
-}
-uint32_t get_u32(const uint8_t* p) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
-  return v;
 }
 uint64_t get_u64(const uint8_t* p) {
   uint64_t v = 0;
@@ -157,29 +227,37 @@ Value get_value(const uint8_t*& p) {
 
 }  // namespace
 
-size_t EventLog::serialized_bytes(const Event& e) {
-  size_t sz = kHeaderBytes + value_bytes(e.node) + e.tuple.table.size() +
-              e.rule.size() + 8 * e.causes.size();
-  for (const Value& v : e.tuple.row) sz += value_bytes(v);
+size_t EventLog::serialized_bytes(const Event& e) const {
+  size_t sz = kHeaderBytes + value_bytes(e.node) + 8 * e.ncauses;
+  for (const Value& v : pool_.row(e.tuple)) sz += value_bytes(v);
   return sz;
 }
 
+void EventLog::write_name_record(uint8_t kind, uint16_t id,
+                                 const std::string& name) {
+  ckpt_names_.push_back(kind);
+  put_u16(ckpt_names_, id);
+  put_u16(ckpt_names_, static_cast<uint16_t>(name.size()));
+  ckpt_names_.insert(ckpt_names_.end(), name.begin(), name.end());
+}
+
 void EventLog::serialize(const Event& e, std::vector<uint8_t>& out) const {
+  const TableId tid = pool_.table(e.tuple);
+  const Row& row = pool_.row(e.tuple);
   put_u64(out, e.time);
   put_u64(out, e.tags);
   out.push_back(static_cast<uint8_t>(e.kind));
   out.push_back(0);
-  put_u16(out, static_cast<uint16_t>(e.tuple.table.size()));
-  put_u16(out, static_cast<uint16_t>(e.rule.size()));
-  put_u16(out, static_cast<uint16_t>(e.tuple.row.size()));
-  put_u16(out, static_cast<uint16_t>(e.causes.size()));
+  put_u16(out, static_cast<uint16_t>(tid));
+  put_u16(out, e.rule == kNoRule ? kNoRuleSerialized
+                                 : static_cast<uint16_t>(e.rule));
+  put_u16(out, static_cast<uint16_t>(row.size()));
+  put_u16(out, e.ncauses);
   put_u16(out, 0);
   put_u32(out, static_cast<uint32_t>(serialized_bytes(e) - kHeaderBytes));
   put_value(out, e.node);
-  for (const Value& v : e.tuple.row) put_value(out, v);
-  put_bytes(out, e.tuple.table);
-  put_bytes(out, e.rule);
-  for (EventId c : e.causes) put_u64(out, c);
+  for (const Value& v : row) put_value(out, v);
+  for (EventId c : causes_of(e)) put_u64(out, c);
 }
 
 Event EventLog::decode(size_t entry) const {
@@ -189,44 +267,46 @@ Event EventLog::decode(size_t entry) const {
   e.time = get_u64(p);
   e.tags = get_u64(p + 8);
   e.kind = static_cast<EventKind>(p[16]);
-  const uint16_t table_len = get_u16(p + 18);
-  const uint16_t rule_len = get_u16(p + 20);
+  const uint16_t table_id = get_u16(p + 18);
+  const uint16_t rule_id = get_u16(p + 20);
   const uint16_t nvals = get_u16(p + 22);
   const uint16_t ncauses = get_u16(p + 24);
   p += kHeaderBytes;
   e.node = get_value(p);
-  e.tuple.row.reserve(nvals);
-  for (uint16_t i = 0; i < nvals; ++i) e.tuple.row.push_back(get_value(p));
-  e.tuple.table.assign(reinterpret_cast<const char*>(p), table_len);
-  p += table_len;
-  e.rule.assign(reinterpret_cast<const char*>(p), rule_len);
-  p += rule_len;
-  e.causes.reserve(ncauses);
+  Row row;
+  row.reserve(nvals);
+  for (uint16_t i = 0; i < nvals; ++i) row.push_back(get_value(p));
+  // The tuple was interned when the event was appended and the pool is
+  // never truncated, so the lookup always hits.
+  e.tuple = pool_.find(table_id, row);
+  assert(e.tuple != kNoTupleRef);
+  e.rule = rule_id == kNoRuleSerialized ? kNoRule : rule_id;
+  e.ncauses = ncauses;
+  e.causes_begin = kDecodedCauses;  // causes_of: read the decode buffer
+  decode_causes_.clear();
+  decode_causes_.reserve(ncauses);
   for (uint16_t i = 0; i < ncauses; ++i) {
-    e.causes.push_back(get_u64(p));
+    decode_causes_.push_back(get_u64(p));
     p += 8;
   }
   return e;
 }
 
-namespace {
-
-// Every length the 32-byte header stores is a u16; an event exceeding one
-// (nothing the runtime produces) must stay live, not decode garbled.
-bool fits_checkpoint_format(const Event& e) {
+bool EventLog::fits_checkpoint_format(const Event& e) const {
+  // Every length/id the 32-byte header stores is a u16; an event exceeding
+  // one (nothing the runtime produces) must stay live, not decode garbled.
   constexpr size_t kMax = 0xffff;
-  if (e.tuple.table.size() > kMax || e.rule.size() > kMax ||
-      e.tuple.row.size() > kMax || e.causes.size() > kMax) {
+  const Row& row = pool_.row(e.tuple);
+  if (pool_.table(e.tuple) >= kMax || row.size() > kMax || e.ncauses > kMax) {
     return false;
   }
+  if (e.rule != kNoRule && e.rule >= kNoRuleSerialized) return false;
   if (e.node.is_str() && e.node.as_str().size() > kMax) return false;
-  for (const Value& v : e.tuple.row) {
+  for (const Value& v : row) {
     if (v.is_str() && v.as_str().size() > kMax) return false;
   }
   return true;
 }
-
-}  // namespace
 
 size_t EventLog::compact(size_t keep_live) {
   if (events_.size() <= keep_live) return 0;
@@ -240,17 +320,50 @@ size_t EventLog::compact(size_t keep_live) {
   if (n == 0) return 0;
   ckpt_offsets_.reserve(ckpt_offsets_.size() + n);
   for (size_t i = 0; i < n; ++i) {
+    const Event& e = events_[i];
+    // Names are written to the string-table section once, on first
+    // reference by any checkpointed entry.
+    const TableId tid = pool_.table(e.tuple);
+    if (first_ref(table_name_written_, tid)) {
+      write_name_record(0, static_cast<uint16_t>(tid), names().name_of(tid));
+    }
+    if (e.rule != kNoRule && first_ref(rule_name_written_, e.rule)) {
+      write_name_record(1, static_cast<uint16_t>(e.rule), rule_names_[e.rule]);
+    }
     ckpt_offsets_.push_back(ckpt_.size());
-    serialize(events_[i], ckpt_);
+    serialize(e, ckpt_);
   }
   events_.erase(events_.begin(), events_.begin() + static_cast<ptrdiff_t>(n));
   base_id_ += n;
+  // Drop the cause-arena prefix the erased events owned.
+  const uint64_t new_base =
+      events_.empty() ? cause_base_ + cause_arena_.size()
+                      : events_.front().causes_begin;
+  if (new_base > cause_base_) {
+    cause_arena_.erase(cause_arena_.begin(),
+                       cause_arena_.begin() +
+                           static_cast<ptrdiff_t>(new_base - cause_base_));
+    cause_base_ = new_base;
+  }
   return n;
 }
 
 size_t EventLog::byte_estimate() const {
-  size_t total = ckpt_.size();
-  for (const Event& e : events_) total += serialized_bytes(e);
+  size_t total = ckpt_.size() + ckpt_names_.size();
+  // Name records compacting the live suffix would add (names referenced by
+  // live events and not yet in the checkpoint string table).
+  std::vector<uint8_t> tseen = table_name_written_;
+  std::vector<uint8_t> rseen = rule_name_written_;
+  for (const Event& e : events_) {
+    total += serialized_bytes(e);
+    const TableId tid = pool_.table(e.tuple);
+    if (first_ref(tseen, tid)) {
+      total += name_record_bytes(names().name_of(tid));
+    }
+    if (e.rule != kNoRule && first_ref(rseen, e.rule)) {
+      total += name_record_bytes(rule_names_[e.rule]);
+    }
+  }
   return total;
 }
 
@@ -267,11 +380,17 @@ void EventLog::for_each_event(const std::function<void(const Event&)>& fn) const
 
 void EventLog::clear() {
   events_.clear();
+  cause_arena_.clear();
+  cause_base_ = 0;
   derivations_.clear();
+  body_arena_.clear();
   head_index_.clear();
   body_index_.clear();
   ckpt_.clear();
   ckpt_offsets_.clear();
+  ckpt_names_.clear();
+  table_name_written_.clear();
+  rule_name_written_.clear();
   base_id_ = 0;
   time_ = 0;
 }

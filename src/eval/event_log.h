@@ -8,34 +8,65 @@
 //     rebuilt independently of the immutable record,
 //   - backtest replay and storage accounting (src/backtest, Section 5.4).
 //
-// The log is checkpointable: compact() serializes the oldest events into
-// the paper's ~120 B/entry fixed-header format (Section 5.4) and drops
-// their in-memory Event (and Tuple) copies, so the record no longer grows
-// without bound. Ids stay stable across compaction — the id space is
+// Records are fixed-width handles into interned storage, not heap-owning
+// structs: an Event carries a TupleRef into the log's TuplePool (32-bit
+// handle; the pooled slot keeps the dense TableId and precomputed hash), an
+// interned RuleId, and an (offset, count) view into the log's cause arena.
+// DerivRecords likewise hold the head as a TupleRef and the body as a view
+// into a TupleRef arena. Appending an event is therefore a few integer
+// stores plus an arena copy of the cause ids — no table-string, Row or
+// vector allocation — which is what closes the provenance-recording gap
+// on the packet-processing hot path (BENCH_engine.json
+// `provenance_overhead`). Consumers that need materialized tuples go
+// through tuple_of()/materialize(); equality tests anywhere downstream
+// are handle compares.
+//
+// Table names resolve through an ndlog::Catalog: an engine attach()es its
+// own catalog (so TableIds match the engine's id space); a standalone log
+// (merged shard logs, tests) owns a private catalog and interns lazily.
+//
+// The log is checkpointable: compact() serializes the oldest events into a
+// fixed-header format (Section 5.4) and drops their in-memory Event
+// copies, so the record no longer grows without bound. Table and rule
+// names are written once per checkpoint into a string-table section
+// (ckpt names blob) the first time an id is referenced; entries store the
+// 16-bit ids. Ids stay stable across compaction — the id space is
 // [0, size()), of which [base_id(), size()) is held live — and replay
 // (backtest::replay_base_stream) walks checkpoint + live suffix through
-// for_each_event().
+// for_each_event(). TupleRefs survive compaction: the pool is never
+// truncated, so handles held by the history store or table entries remain
+// valid (pinned by tests/tuple_pool_test.cpp).
 //
 // Serialized entry layout (little-endian, 32-byte fixed header):
-//   u64 time | u64 tags | u8 kind | u8 reserved | u16 table_len |
-//   u16 rule_len | u16 nvals | u16 ncauses | u16 reserved | u32 payload_len
+//   u64 time | u64 tags | u8 kind | u8 reserved | u16 table_id |
+//   u16 rule_id | u16 nvals | u16 ncauses | u16 reserved | u32 payload_len
 // followed by payload: node value, nvals row values (u8 tag, then i64 or
-// u16 len + bytes), table bytes, rule bytes, ncauses x u64 cause ids.
+// u16 len + bytes), ncauses x u64 cause ids. String-table records (name
+// blob): u8 kind (0 = table, 1 = rule) | u16 id | u16 len | bytes.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "eval/tuple.h"
+#include "eval/tuple_pool.h"
+#include "ndlog/schema.h"
 
 namespace mp::eval {
 
 using EventId = uint64_t;
 using Time = uint64_t;
 inline constexpr EventId kNoEvent = ~0ULL;
+
+// Interned rule name (EventLog::intern_rule / rule_name).
+using RuleId = uint32_t;
+inline constexpr RuleId kNoRule = ~RuleId{0};
 
 enum class EventKind : uint8_t {
   Insert,     // base tuple inserted externally
@@ -50,36 +81,91 @@ enum class EventKind : uint8_t {
 
 const char* to_string(EventKind k);
 
+// causes_begin sentinel marking a checkpoint-decoded scratch Event whose
+// causes live in the log's decode buffer, not the arena (unreachable as a
+// real offset: the arena would have to hold 2^64 ids).
+inline constexpr uint64_t kDecodedCauses = ~0ULL;
+
 struct Event {
   EventId id = kNoEvent;
-  EventKind kind = EventKind::Insert;
   Time time = 0;
-  Value node;       // where the event happened
-  Tuple tuple;
-  std::string rule;              // rule name for Derive/Underive
-  std::vector<EventId> causes;   // direct causal predecessors
+  uint64_t causes_begin = 0;     // absolute offset into the cause arena
+  Value node;                    // where the event happened
+  TupleRef tuple = kNoTupleRef;  // into the owning log's TuplePool
+  RuleId rule = kNoRule;         // rule for Derive/Underive
+  uint16_t ncauses = 0;          // direct causal predecessors
+  EventKind kind = EventKind::Insert;
   TagMask tags = kAllTags;
-  std::string to_string() const;
 };
 
 // A derivation record links a derived head tuple to the concrete body
 // tuples that produced it; used for positive provenance trees and for
-// support-count cascade on deletion.
+// support-count cascade on deletion. head/body are handles; body refs live
+// in the owning log's body arena (EventLog::body_of).
 struct DerivRecord {
   EventId derive_event = kNoEvent;
-  std::string rule;
-  Tuple head;
-  std::vector<Tuple> body;
+  uint64_t body_begin = 0;      // offset into the body-ref arena
+  TupleRef head = kNoTupleRef;
+  RuleId rule = kNoRule;
+  uint16_t nbody = 0;
   bool live = true;  // false once the derivation has been retracted
 };
 
 class EventLog {
  public:
-  EventId append(EventKind kind, Value node, Tuple tuple, TagMask tags,
-                 std::vector<EventId> causes = {}, std::string rule = {});
+  EventLog() {
+    // Own a private catalog until (unless) an engine attach()es its own,
+    // so names() is a plain dereference — never a lazy const mutation.
+    own_names_ = std::make_unique<ndlog::Catalog>();
+    names_ = own_names_.get();
+  }
+  EventLog(EventLog&&) = default;
+  EventLog& operator=(EventLog&&) = default;
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
 
-  size_t add_derivation(DerivRecord rec);  // returns record index
+  // Uses `catalog` as the table-name space (the owning engine's), so
+  // TableIds inside TupleRefs match the engine's ids. Must be called
+  // before the first append. Without attach() the log uses its own
+  // private catalog (standalone logs: merged shard logs, tests).
+  void attach(ndlog::Catalog* catalog) { names_ = catalog; }
 
+  TuplePool& pool() { return pool_; }
+  const TuplePool& pool() const { return pool_; }
+
+  // --- interning --------------------------------------------------------
+  RuleId intern_rule(const std::string& name);
+  const std::string& rule_name(RuleId id) const {
+    static const std::string kEmpty;
+    return id == kNoRule ? kEmpty : rule_names_[id];
+  }
+  TupleRef intern_tuple(const std::string& table, const Row& row) {
+    return pool_.intern(names().intern(table), row);
+  }
+  TupleRef intern_tuple(const Tuple& t) { return intern_tuple(t.table, t.row); }
+  // Lookup without insertion (const contexts); kNoTupleRef when the tuple
+  // was never recorded.
+  TupleRef find_ref(const Tuple& t) const;
+
+  // --- append (hot path) ------------------------------------------------
+  // `tuple` must be a handle from this log's pool; `causes` is copied into
+  // the cause arena. No allocation beyond amortized arena growth.
+  EventId append(EventKind kind, const Value& node, TupleRef tuple,
+                 TagMask tags, std::span<const EventId> causes = {},
+                 RuleId rule = kNoRule);
+  // Materialized variant (merge, replay, tests): interns the tuple (and
+  // rule name) first.
+  EventId append(EventKind kind, const Value& node, const Tuple& tuple,
+                 TagMask tags, const std::vector<EventId>& causes = {},
+                 const std::string& rule = {});
+
+  // Appends a derivation record; `body` is copied into the body arena.
+  // body[i] corresponds to rule.body[i]. Returns the record index.
+  size_t add_derivation(RuleId rule, TupleRef head,
+                        std::span<const TupleRef> body, EventId derive_event,
+                        bool live = true);
+
+  // --- access -----------------------------------------------------------
   // Live (un-compacted) suffix of the log; events()[i] has id base_id()+i.
   const std::vector<Event>& events() const { return events_; }
   // Valid only for live ids (id >= base_id()); compacted events are
@@ -88,20 +174,55 @@ class EventLog {
     assert(id >= base_id_ && id - base_id_ < events_.size());
     return events_[id - base_id_];
   }
+  // Causal predecessors of `e`. For live events (and copies of them) the
+  // span points into the cause arena: valid until the next append (which
+  // may reallocate the arena) or compact (which may drop the prefix —
+  // a copy of an event compacted since it was taken yields an empty
+  // span; resolve through for_each_event instead). For checkpoint-decoded
+  // scratch events the span points into the decode scratch buffer and is
+  // valid only until the next decode.
+  std::span<const EventId> causes_of(const Event& e) const;
+
+  // Handle resolution.
+  const Row& row_of(TupleRef r) const { return pool_.row(r); }
+  TableId table_of(TupleRef r) const { return pool_.table(r); }
+  const std::string& table_name(TupleRef r) const {
+    return names().name_of(pool_.table(r));
+  }
+  Tuple materialize(TupleRef r) const {
+    return Tuple{table_name(r), pool_.row(r)};
+  }
+  Tuple tuple_of(const Event& e) const { return materialize(e.tuple); }
+  // Exact pre-pool Event::to_string() formatting (replay / trace output).
+  std::string to_string(const Event& e) const;
+
   const std::vector<DerivRecord>& derivations() const { return derivations_; }
   DerivRecord& derivation(size_t idx) { return derivations_[idx]; }
+  std::span<const TupleRef> body_of(const DerivRecord& rec) const {
+    return {body_arena_.data() + rec.body_begin, rec.nbody};
+  }
+  Tuple head_of(const DerivRecord& rec) const { return materialize(rec.head); }
 
   // Indices of live derivation records whose head equals `t`.
-  std::vector<size_t> derivations_of(const Tuple& t) const;
+  std::vector<size_t> derivations_of(TupleRef t) const;
+  std::vector<size_t> derivations_of(const Tuple& t) const {
+    return derivations_of(find_ref(t));
+  }
   // Indices of live derivation records with `t` among their body tuples.
-  std::vector<size_t> derivations_using(const Tuple& t) const;
+  std::vector<size_t> derivations_using(TupleRef t) const;
+  std::vector<size_t> derivations_using(const Tuple& t) const {
+    return derivations_using(find_ref(t));
+  }
   // Allocation-light variants: visit indices of live records in insertion
   // order; `fn` returns false to stop.
-  void for_each_derivation_of(const Tuple& t,
+  void for_each_derivation_of(TupleRef t,
                               const std::function<bool(size_t)>& fn) const;
-  void for_each_derivation_using(const Tuple& t,
+  void for_each_derivation_using(TupleRef t,
                                  const std::function<bool(size_t)>& fn) const;
-  bool has_derivation_of(const Tuple& t) const;
+  bool has_derivation_of(TupleRef t) const;
+  bool has_derivation_of(const Tuple& t) const {
+    return has_derivation_of(find_ref(t));
+  }
 
   Time now() const { return time_; }
   Time tick() { return ++time_; }
@@ -110,30 +231,33 @@ class EventLog {
   // Serializes all but the newest `keep_live` live events into the
   // checkpoint buffer and erases their Event structs. Returns the number
   // of events compacted. Compaction stops early at the first event that
-  // exceeds the format's u16 length fields (a >64 KiB string or >65535
-  // row values / causes — nothing the runtime produces): such an event
-  // and everything after it stay live rather than corrupting the decode.
-  // Derivation records are unaffected; their derive_event ids remain
-  // resolvable via event_time().
+  // exceeds the format's u16 fields (a >64 KiB string, >65535 row values /
+  // causes, or a table/rule id >= 0xffff — nothing the runtime produces):
+  // such an event and everything after it stay live rather than corrupting
+  // the decode. Derivation records (and the TuplePool) are unaffected;
+  // derive_event ids remain resolvable via event_time().
   size_t compact(size_t keep_live = 0);
   EventId base_id() const { return base_id_; }
   size_t live_size() const { return events_.size(); }
-  size_t checkpoint_bytes() const { return ckpt_.size(); }
+  // Serialized checkpoint footprint: entry bytes plus the string-table
+  // (names) section.
+  size_t checkpoint_bytes() const { return ckpt_.size() + ckpt_names_.size(); }
   // Timestamp of any event, live or checkpointed.
   Time event_time(EventId id) const;
   // Walks the full event sequence in id order: each checkpointed entry is
   // decoded into a scratch Event (valid only for the duration of the
   // call), then the live suffix is visited in place.
   void for_each_event(const std::function<void(const Event&)>& fn) const;
-  // Exact size of `e` in the serialized checkpoint format; byte_estimate()
-  // is the sum of this over all events, compacted or live.
-  static size_t serialized_bytes(const Event& e);
+  // Exact size of `e`'s entry in the serialized checkpoint format (header
+  // + node + row values + cause ids; names are accounted separately, once
+  // per distinct name). byte_estimate() sums this over all events plus the
+  // name records.
+  size_t serialized_bytes(const Event& e) const;
 
   // On-disk footprint of the log in the serialized format above: bytes
-  // already written to the checkpoint plus what compacting the live
-  // suffix would write (computed on demand — it's a cold accessor, and
-  // append stays free of accounting work). The paper reports ~120-byte
-  // entries.
+  // already written to the checkpoint (entries + names) plus what
+  // compacting the live suffix would write (computed on demand — it's a
+  // cold accessor, and append stays free of accounting work).
   size_t byte_estimate() const;
   // Total events ever appended (compacted + live); ids are dense in
   // [0, size()).
@@ -141,15 +265,40 @@ class EventLog {
   void clear();
 
  private:
+  ndlog::Catalog& names() { return *names_; }
+  const ndlog::Catalog& names() const { return *names_; }
+  static size_t name_record_bytes(const std::string& name) {
+    return 1 + 2 + 2 + name.size();
+  }
+  void write_name_record(uint8_t kind, uint16_t id, const std::string& name);
+  bool fits_checkpoint_format(const Event& e) const;
   void serialize(const Event& e, std::vector<uint8_t>& out) const;
   Event decode(size_t entry) const;  // entry index into ckpt_offsets_
 
+  ndlog::Catalog* names_ = nullptr;  // attached or own_names_.get()
+  std::unique_ptr<ndlog::Catalog> own_names_;
+  TuplePool pool_;
+  std::vector<std::string> rule_names_;
+  std::unordered_map<std::string, RuleId> rule_ids_;
+
   std::vector<Event> events_;  // live suffix; events_[i].id == base_id_ + i
+  // Cause arena: every event's causes are one contiguous run; compaction
+  // drops the prefix below the first live event (cause_base_ rebases).
+  std::vector<EventId> cause_arena_;
+  uint64_t cause_base_ = 0;
   std::vector<DerivRecord> derivations_;
-  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> head_index_;
-  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> body_index_;
-  std::vector<uint8_t> ckpt_;          // serialized compacted prefix
+  std::vector<TupleRef> body_arena_;  // DerivRecord body refs
+  // Derivation indexes keyed by handle (interning makes lookup a 32-bit
+  // hash, dedup a handle compare).
+  std::unordered_map<TupleRef, std::vector<size_t>> head_index_;
+  std::unordered_map<TupleRef, std::vector<size_t>> body_index_;
+
+  std::vector<uint8_t> ckpt_;          // serialized compacted entries
   std::vector<size_t> ckpt_offsets_;   // entry i starts at ckpt_[offsets[i]]
+  std::vector<uint8_t> ckpt_names_;    // string-table section (names, once)
+  std::vector<uint8_t> table_name_written_;  // by TableId
+  std::vector<uint8_t> rule_name_written_;   // by RuleId
+  mutable std::vector<EventId> decode_causes_;  // scratch for decode()
   EventId base_id_ = 0;
   Time time_ = 0;
 };

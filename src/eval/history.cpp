@@ -32,18 +32,24 @@ HistoryStore::PerTable& HistoryStore::table_slot(TableId table) {
   return tables_[table];
 }
 
-bool HistoryStore::record(TableId table, const Tuple& t) {
+bool HistoryStore::record(TableId table, TupleRef t) {
+  // Interned handles make dedup a flag test: the pool guarantees one
+  // handle per distinct (table, row), so "seen this handle" is exactly
+  // "seen this tuple".
+  if (t >= recorded_.size()) recorded_.resize(t + 1, 0);
+  if (recorded_[t]) return false;
+  recorded_[t] = 1;
   PerTable& pt = table_slot(table);
-  if (!pt.seen.insert(t.row).second) return false;
   const auto pos = static_cast<uint32_t>(pt.rows.size());
   pt.rows.push_back(t);
   ++total_;
   if (const auto* sets = specs_.for_table(table)) {
     // Indexes are registered (and back-filled) by probe; here we only
     // append the new position to each existing one.
+    const Row& row = pool_->row(t);
     Row key;
     for (size_t i = 0; i < pt.indexes.size(); ++i) {
-      if (!project_key(t.row, (*sets)[i], key)) continue;
+      if (!project_key(row, (*sets)[i], key)) continue;
       pt.indexes[i][std::move(key)].push_back(pos);
       key = Row();  // moved-from: make reuse explicit
     }
@@ -51,14 +57,15 @@ bool HistoryStore::record(TableId table, const Tuple& t) {
   return true;
 }
 
-const std::vector<Tuple>& HistoryStore::rows(TableId table) const {
-  static const std::vector<Tuple> kEmpty;
+const std::vector<TupleRef>& HistoryStore::rows(TableId table) const {
+  static const std::vector<TupleRef> kEmpty;
   const PerTable* pt = table_if(table);
   return pt == nullptr ? kEmpty : pt->rows;
 }
 
-const std::vector<Tuple>& HistoryStore::rows(const std::string& table) const {
-  static const std::vector<Tuple> kEmpty;
+const std::vector<TupleRef>& HistoryStore::rows(
+    const std::string& table) const {
+  static const std::vector<TupleRef> kEmpty;
   if (catalog_ == nullptr) return kEmpty;
   const TableId id = catalog_->id_of(table);
   return id == ndlog::Catalog::kNoTable ? kEmpty : rows(id);
@@ -77,7 +84,7 @@ size_t HistoryStore::ensure_index(TableId table, const PerTable& pt,
     // Retroactive build: positions appended ascending keeps every bucket
     // in first-appearance order, matching the scan the index replaces.
     for (uint32_t pos = 0; pos < pt.rows.size(); ++pos) {
-      if (!project_key(pt.rows[pos].row, set, key)) continue;
+      if (!project_key(pool_->row(pt.rows[pos]), set, key)) continue;
       buckets[std::move(key)].push_back(pos);
       key = Row();
     }
@@ -86,7 +93,7 @@ size_t HistoryStore::ensure_index(TableId table, const PerTable& pt,
 }
 
 size_t HistoryStore::probe(TableId table, const TuplePattern& pattern,
-                           const std::function<bool(const Tuple&)>& fn) const {
+                           const std::function<bool(TupleRef)>& fn) const {
   const PerTable* pt = table_if(table);
   if (pt == nullptr || pt->rows.empty()) return 0;
 
@@ -104,8 +111,8 @@ size_t HistoryStore::probe(TableId table, const TuplePattern& pattern,
 
   if (cols.empty()) {
     ++full_scans_;
-    for (const Tuple& t : pt->rows) {
-      if (pattern.matches(t.row) && !fn(t)) break;
+    for (TupleRef t : pt->rows) {
+      if (pattern.matches(pool_->row(t)) && !fn(t)) break;
     }
     return pt->rows.size();
   }
@@ -126,14 +133,14 @@ size_t HistoryStore::probe(TableId table, const TuplePattern& pattern,
   auto it = buckets.find(key);
   if (it == buckets.end()) return 0;
   for (uint32_t pos : it->second) {
-    const Tuple& t = pt->rows[pos];
-    if (pattern.matches(t.row) && !fn(t)) break;
+    const TupleRef t = pt->rows[pos];
+    if (pattern.matches(pool_->row(t)) && !fn(t)) break;
   }
   return it->second.size();
 }
 
 size_t HistoryStore::probe(const TuplePattern& pattern,
-                           const std::function<bool(const Tuple&)>& fn) const {
+                           const std::function<bool(TupleRef)>& fn) const {
   if (catalog_ == nullptr) return 0;
   const TableId id = catalog_->id_of(pattern.table);
   if (id == ndlog::Catalog::kNoTable) return 0;
@@ -142,6 +149,7 @@ size_t HistoryStore::probe(const TuplePattern& pattern,
 
 void HistoryStore::clear() {
   tables_.clear();
+  recorded_.clear();
   specs_ = IndexSpecs();
   total_ = 0;
   index_probes_ = 0;

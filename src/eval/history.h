@@ -8,9 +8,12 @@
 // compact record (EventLog, checkpointable) plus rebuildable secondary
 // indexes (this store).
 //
-// - Tuples are keyed by the catalog's interned TableId and kept in
-//   first-appearance order (deduplicated), so consumers that relied on
-//   EventLog::history()'s deterministic order see the same sequence.
+// - The store holds TupleRef handles into the engine's TuplePool (the same
+//   interned storage the EventLog records), keyed by the catalog's dense
+//   TableId and kept in first-appearance order. Interning makes dedup a
+//   handle compare: record() is one flag test per appearance — the pool
+//   already guarantees one handle per distinct tuple — instead of a
+//   per-table hash-set insert of a full Tuple.
 // - Secondary hash indexes reuse the engine's IndexSpecs registry and the
 //   TableStore key-projection scheme: each distinct set of Eq-bound
 //   columns a probe uses is registered on demand, built retroactively
@@ -28,11 +31,11 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "eval/plan.h"
 #include "eval/tuple.h"
+#include "eval/tuple_pool.h"
 #include "ndlog/ast.h"
 #include "ndlog/schema.h"
 
@@ -58,22 +61,32 @@ struct TuplePattern {
 
 class HistoryStore {
  public:
-  // Wires the catalog used to resolve string-keyed lookups and the index
-  // mode (false = every probe is an ordered scan; used to cross-check the
-  // two paths in tests). Called once by the owning engine.
-  void attach(const ndlog::Catalog* catalog, bool use_indexes = true) {
+  // Wires the catalog used to resolve string-keyed lookups, the tuple pool
+  // the recorded handles point into, and the index mode (false = every
+  // probe is an ordered scan; used to cross-check the two paths in tests).
+  // Called once by the owning engine; tests re-attach to flip the mode.
+  void attach(const ndlog::Catalog* catalog, const TuplePool* pool,
+              bool use_indexes = true) {
     catalog_ = catalog;
+    pool_ = pool;
     use_indexes_ = use_indexes;
   }
 
-  // Records an observed tuple (first appearance wins; duplicates are
-  // ignored). Returns true if the tuple was new. Maintains every secondary
-  // index already registered for the table.
-  bool record(TableId table, const Tuple& t);
+  // Records an observed tuple handle (first appearance wins; duplicates
+  // are ignored — a one-flag handle compare, no hashing). Returns true if
+  // the tuple was new. Maintains every secondary index already registered
+  // for the table. `table` must be pool_->table(t).
+  bool record(TableId table, TupleRef t);
 
-  // All recorded tuples of a table, in first-appearance order.
-  const std::vector<Tuple>& rows(TableId table) const;
-  const std::vector<Tuple>& rows(const std::string& table) const;
+  // All recorded tuple handles of a table, in first-appearance order.
+  const std::vector<TupleRef>& rows(TableId table) const;
+  const std::vector<TupleRef>& rows(const std::string& table) const;
+
+  // Handle resolution (pool passthrough).
+  const Row& row_of(TupleRef t) const { return pool_->row(t); }
+  Tuple materialize(TupleRef t) const {
+    return Tuple{catalog_->name_of(pool_->table(t)), pool_->row(t)};
+  }
 
   // Visits every recorded tuple of `table` matching `pattern`, in
   // first-appearance order; `fn` returns false to stop early. Patterns
@@ -83,11 +96,11 @@ class HistoryStore {
   // size on an index hit, full table history on the fallback scan) — the
   // quantity ExploreStats::history_tuples_scanned accumulates.
   size_t probe(TableId table, const TuplePattern& pattern,
-               const std::function<bool(const Tuple&)>& fn) const;
+               const std::function<bool(TupleRef)>& fn) const;
   // Same, resolving `pattern.table` through the catalog (unknown table:
   // zero matches).
   size_t probe(const TuplePattern& pattern,
-               const std::function<bool(const Tuple&)>& fn) const;
+               const std::function<bool(TupleRef)>& fn) const;
 
   size_t total() const { return total_; }
   // Access-path counters (mirrors Engine::index_probes/full_scans).
@@ -98,8 +111,7 @@ class HistoryStore {
 
  private:
   struct PerTable {
-    std::vector<Tuple> rows;                   // first-appearance order
-    std::unordered_set<Row, RowHash> seen;     // dedup within the table
+    std::vector<TupleRef> rows;  // first-appearance order
     // One bucket map per registered column set (parallel to the specs_
     // entry for this table); buckets hold positions into `rows`. Mutable
     // members: indexes are a rebuildable cache registered/built lazily by
@@ -121,9 +133,11 @@ class HistoryStore {
                       std::vector<uint32_t> cols) const;
 
   const ndlog::Catalog* catalog_ = nullptr;
+  const TuplePool* pool_ = nullptr;
   bool use_indexes_ = true;
   mutable IndexSpecs specs_;       // Eq-column sets registered by probes
   std::deque<PerTable> tables_;    // by TableId; deque: rows() refs stay valid
+  std::vector<uint8_t> recorded_;  // by TupleRef: handle already recorded
   size_t total_ = 0;
   mutable size_t index_probes_ = 0;
   mutable size_t full_scans_ = 0;

@@ -205,6 +205,49 @@ bool make_step(const ndlog::Atom& atom, uint32_t body_pos, SlotMap& sm,
   return true;
 }
 
+// Slots a compiled expression reads (Var nodes).
+void collect_slots(const SlotExpr& e, std::vector<uint32_t>& out) {
+  for (const SlotExpr::Node& n : e.nodes) {
+    if (n.kind == ndlog::Expr::Kind::Var) out.push_back(n.slot);
+  }
+}
+
+// Selection-pushdown analysis: for each selection, the set of slots it
+// reads, and whether pushing it into the join is sound. A selection is
+// pushable iff none of its variables is an assignment target — an `:=`
+// may rebind (shadow) a join variable at finish, so the join-time value
+// could differ from the one the finish-time evaluation would see.
+struct SelInfo {
+  std::vector<uint32_t> slots;
+  bool pushable = true;
+};
+
+std::vector<SelInfo> analyze_sels(const CompiledRule& cr) {
+  std::vector<uint8_t> assigned;
+  for (const CompiledAssign& a : cr.assigns) {
+    grow(assigned, a.slot);
+    assigned[a.slot] = 1;
+  }
+  std::vector<SelInfo> out(cr.sels.size());
+  for (size_t i = 0; i < cr.sels.size(); ++i) {
+    collect_slots(cr.sels[i].lhs, out[i].slots);
+    collect_slots(cr.sels[i].rhs, out[i].slots);
+    for (uint32_t s : out[i].slots) {
+      if (s < assigned.size() && assigned[s]) out[i].pushable = false;
+    }
+    if (i >= 64) out[i].pushable = false;  // pushed_mask is 64 bits wide
+  }
+  return out;
+}
+
+bool all_bound(const std::vector<uint32_t>& slots,
+               const std::vector<uint8_t>& bound) {
+  for (uint32_t s : slots) {
+    if (s >= bound.size() || !bound[s]) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 CompiledRule compile_rule(const ndlog::Rule& rule, ndlog::Catalog& catalog,
@@ -230,7 +273,8 @@ CompiledRule compile_rule(const ndlog::Rule& rule, ndlog::Catalog& catalog,
   for (const auto& arg : rule.head.args) {
     cr.head_args.push_back(compile_expr(*arg, sm));
   }
-  catalog.intern(rule.head.table);
+  cr.head_table = catalog.intern(rule.head.table);
+  const std::vector<SelInfo> sel_info = analyze_sels(cr);
 
   cr.triggers.resize(rule.body.size());
   for (size_t t = 0; t < rule.body.size(); ++t) {
@@ -241,6 +285,18 @@ CompiledRule compile_rule(const ndlog::Rule& rule, ndlog::Catalog& catalog,
       tp.dead = true;
       continue;
     }
+    // Pushdown: attach each pushable selection to the earliest point its
+    // slots are all bound — the trigger itself, or the step that binds
+    // the last of them (checked again after every step below).
+    auto push_ready_sels = [&](std::vector<uint32_t>& into) {
+      for (uint32_t i = 0; i < sel_info.size(); ++i) {
+        if (!sel_info[i].pushable || (tp.pushed_mask >> i) & 1) continue;
+        if (!all_bound(sel_info[i].slots, bound)) continue;
+        tp.pushed_mask |= uint64_t{1} << i;
+        into.push_back(i);
+      }
+    };
+    push_ready_sels(tp.trigger_sels);
     std::vector<size_t> remaining;
     for (size_t b = 0; b < rule.body.size(); ++b) {
       if (b != t) remaining.push_back(b);
@@ -292,6 +348,7 @@ CompiledRule compile_rule(const ndlog::Rule& rule, ndlog::Catalog& catalog,
         tp.dead = true;
         break;
       }
+      push_ready_sels(st.sels);
       tp.steps.push_back(std::move(st));
     }
   }

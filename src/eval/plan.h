@@ -15,6 +15,15 @@
 //   - assignments, selections and head arguments are compiled to
 //     slot-indexed expression trees (SlotExpr), so rule finishing never
 //     touches a string either.
+//   - selections are pushed down into the join: a selection whose
+//     variables are all bound by the trigger / earlier atom steps (and
+//     none of which is reassigned by an `:=` assignment, whose value at
+//     finish could differ) is attached to the step that binds its last
+//     variable and filters candidate rows during that step's probe/scan,
+//     instead of only after the full join at finish. The pushed set is
+//     recorded per trigger plan (pushed_mask) so rule finishing skips
+//     exactly those; EngineOptions::pushdown_selections=false restores
+//     the finish-only evaluation for differential cross-checks.
 #pragma once
 
 #include <cstdint>
@@ -31,47 +40,54 @@ using TableId = ndlog::Catalog::TableId;
 // Flat slot frame: the join-time variable environment. Binding a slot
 // appends to the trail; backtracking rewinds to a mark. A slot that was
 // already bound when overwritten (assignments may shadow join variables)
-// has its previous value saved for restoration.
+// has its previous value saved for restoration. The trail is a plain u32
+// per bind (high bit = "a saved Value must be restored", kept on a side
+// stack) — a fresh bind, the overwhelmingly common case, never constructs
+// or destroys a Value for its undo record.
 struct Frame {
+  static constexpr uint32_t kSavedBit = 0x80000000u;
   std::vector<Value> slots;
   std::vector<uint8_t> bound;
-  struct Undo {
-    uint32_t slot = 0;
-    uint8_t had_value = 0;
-    Value old;
-  };
-  std::vector<Undo> trail;
+  std::vector<uint32_t> trail;
+  std::vector<Value> saved;  // previous values for kSavedBit trail entries
 
+  // Stale slot Values are kept when the size already fits (every read is
+  // guarded by `bound`, and bind()'s copy-assign then reuses any string
+  // capacity): resetting is two cheap clears, not nslots Value
+  // destructions, on the per-trigger-attempt hot path.
   void reset(size_t nslots) {
-    slots.assign(nslots, Value());
+    if (slots.size() != nslots) slots.resize(nslots);
     bound.assign(nslots, 0);
     trail.clear();
+    saved.clear();
   }
   size_t mark() const { return trail.size(); }
   void bind(uint32_t slot, const Value& v) {
-    trail.push_back(Undo{slot, 0, Value()});
+    trail.push_back(slot);
     slots[slot] = v;
     bound[slot] = 1;
   }
   // Bind that may overwrite an existing binding (assignment semantics).
   void rebind(uint32_t slot, Value v) {
     if (bound[slot]) {
-      trail.push_back(Undo{slot, 1, std::move(slots[slot])});
+      trail.push_back(slot | kSavedBit);
+      saved.push_back(std::move(slots[slot]));
     } else {
-      trail.push_back(Undo{slot, 0, Value()});
+      trail.push_back(slot);
       bound[slot] = 1;
     }
     slots[slot] = std::move(v);
   }
   void undo_to(size_t m) {
     while (trail.size() > m) {
-      Undo& u = trail.back();
-      if (u.had_value) {
-        slots[u.slot] = std::move(u.old);
-      } else {
-        bound[u.slot] = 0;
-      }
+      const uint32_t u = trail.back();
       trail.pop_back();
+      if (u & kSavedBit) {
+        slots[u & ~kSavedBit] = std::move(saved.back());
+        saved.pop_back();
+      } else {
+        bound[u] = 0;
+      }
     }
   }
 };
@@ -91,6 +107,20 @@ struct SlotExpr {
   int32_t root = -1;
 
   bool eval(const Frame& f, Value& out) const { return eval_node(f, root, out); }
+
+  // Zero-copy operand access for selection evaluation: a plain Var/Const
+  // root yields a pointer into the frame/plan (scratch untouched);
+  // arithmetic evaluates into `scratch`. nullptr = unbound slot or
+  // invalid arithmetic (the same failures eval() reports).
+  const Value* eval_ref(const Frame& f, Value& scratch) const {
+    if (root < 0) return nullptr;
+    const Node& n = nodes[root];
+    if (n.kind == ndlog::Expr::Kind::Var) {
+      return f.bound[n.slot] ? &f.slots[n.slot] : nullptr;
+    }
+    if (n.kind == ndlog::Expr::Kind::Const) return &n.cval;
+    return eval_node(f, root, scratch) ? &scratch : nullptr;
+  }
 
  private:
   bool eval_node(const Frame& f, int32_t idx, Value& out) const;
@@ -132,6 +162,10 @@ struct AtomStep {
   std::vector<KeyPart> key;        // probe key parts, in index-column order
   std::vector<ArgOp> full_ops;     // all args (scan / forced-scan path)
   std::vector<ArgOp> residual_ops; // args not covered by the probe key
+  // Selections (indices into CompiledRule::sels) fully bound once this
+  // step's variables are unified: evaluated per candidate row to prune
+  // the join early (selection pushdown).
+  std::vector<uint32_t> sels;
 };
 
 // The compiled execution plan for one (rule, trigger body atom) pair.
@@ -139,6 +173,13 @@ struct TriggerPlan {
   bool dead = false;  // can never fire (e.g. unreachable event atom)
   uint32_t arity = 0;
   std::vector<ArgOp> trigger_ops;
+  // Selections fully bound by the trigger atom alone (evaluated once per
+  // firing attempt, before any join step runs).
+  std::vector<uint32_t> trigger_sels;
+  // Bit i set = selection i is evaluated inside the join (trigger_sels or
+  // some step's sels) for this plan; rule finishing skips those.
+  // Selections with index >= 64 are never pushed down.
+  uint64_t pushed_mask = 0;
   std::vector<AtomStep> steps;  // join order chosen by the planner
 };
 
@@ -153,6 +194,8 @@ struct CompiledSelection {
 
 struct CompiledRule {
   uint32_t nslots = 0;
+  TableId head_table = 0;   // interned rule.head.table (no hash per firing)
+  uint32_t log_rule = ~0u;  // EventLog RuleId; filled in by the engine
   std::vector<CompiledAssign> assigns;
   std::vector<CompiledSelection> sels;
   std::vector<SlotExpr> head_args;

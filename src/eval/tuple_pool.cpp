@@ -1,0 +1,73 @@
+#include "eval/tuple_pool.h"
+
+namespace mp::eval {
+
+TupleRef TuplePool::probe(TableId table, const Row& row, size_t h,
+                          size_t* bucket_out) const {
+  size_t i = h & mask_;
+  while (true) {
+    const uint32_t b = buckets_[i];
+    if (b == 0) {
+      *bucket_out = i;
+      return kNoTupleRef;
+    }
+    const TupleRef ref = b - 1;
+    const Slot& s = slots_[ref];
+    if (s.hash == h && s.table == table && s.row == row) {
+      *bucket_out = i;
+      return ref;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+void TuplePool::grow() {
+  const size_t want = buckets_.empty() ? 64 : buckets_.size() * 2;
+  buckets_.assign(want, 0);
+  mask_ = want - 1;
+  for (TupleRef ref = 0; ref < slots_.size(); ++ref) {
+    size_t i = slots_[ref].hash & mask_;
+    while (buckets_[i] != 0) i = (i + 1) & mask_;
+    buckets_[i] = ref + 1;
+  }
+}
+
+TupleRef TuplePool::intern(TableId table, const Row& row) {
+  if (buckets_.empty() || slots_.size() * 4 >= buckets_.size() * 3) grow();
+  const size_t h = key_hash(table, row);
+  size_t bucket = 0;
+  const TupleRef found = probe(table, row, h, &bucket);
+  if (found != kNoTupleRef) return found;  // dedup hit: the row is not copied
+  return insert_slot(bucket, h, table, Row(row));
+}
+
+TupleRef TuplePool::intern(TableId table, Row&& row) {
+  if (buckets_.empty() || slots_.size() * 4 >= buckets_.size() * 3) grow();
+  const size_t h = key_hash(table, row);
+  size_t bucket = 0;
+  const TupleRef found = probe(table, row, h, &bucket);
+  if (found != kNoTupleRef) return found;
+  return insert_slot(bucket, h, table, std::move(row));
+}
+
+TupleRef TuplePool::insert_slot(size_t bucket, size_t h, TableId table,
+                                Row&& row) {
+  const auto ref = static_cast<TupleRef>(slots_.size());
+  slots_.push_back(Slot{std::move(row), h, table});
+  buckets_[bucket] = ref + 1;
+  return ref;
+}
+
+TupleRef TuplePool::find(TableId table, const Row& row) const {
+  if (buckets_.empty()) return kNoTupleRef;
+  size_t bucket = 0;
+  return probe(table, row, key_hash(table, row), &bucket);
+}
+
+void TuplePool::clear() {
+  slots_.clear();
+  buckets_.clear();
+  mask_ = 0;
+}
+
+}  // namespace mp::eval

@@ -6,48 +6,50 @@ namespace mp::prov {
 
 namespace {
 
-void explain_tuple(const eval::Engine& engine, ProvenanceGraph& g,
-                   size_t parent, const eval::Tuple& tuple, size_t depth,
-                   std::set<std::string>& on_path) {
+// Walks the derivation record graph on interned handles; Tuples are
+// materialized only when a vertex is emitted (the graph's labels keep
+// their exact pre-pool formatting).
+void explain_ref(const eval::Engine& engine, ProvenanceGraph& g, size_t parent,
+                 eval::TupleRef ref, size_t depth,
+                 std::set<eval::TupleRef>& on_path) {
   const auto& log = engine.log();
-  const std::string key = tuple.to_string();
-  if (depth == 0 || on_path.count(key)) return;
-  on_path.insert(key);
+  if (depth == 0 || on_path.count(ref)) return;
+  on_path.insert(ref);
 
-  if (!log.has_derivation_of(tuple)) {
+  if (!log.has_derivation_of(ref)) {
     // Base tuple: leaf INSERT vertex.
     Vertex v;
     v.kind = VertexKind::Insert;
-    v.node = tuple.location();
-    v.tuple = tuple;
+    v.tuple = log.materialize(ref);
+    v.node = v.tuple.location();
     const size_t idx = g.add(std::move(v));
     g.link(parent, idx);
   } else {
-    log.for_each_derivation_of(tuple, [&](size_t d) {
+    log.for_each_derivation_of(ref, [&](size_t d) {
       const eval::DerivRecord& rec = log.derivations()[d];
       Vertex v;
       v.kind = VertexKind::Derive;
-      v.node = rec.head.location();
-      v.tuple = rec.head;
-      v.rule = rec.rule;
+      v.tuple = log.head_of(rec);
+      v.node = v.tuple.location();
+      v.rule = log.rule_name(rec.rule);
       // event_time (not event()): the derive event may already have been
       // compacted into the log's checkpoint.
       v.time = log.event_time(rec.derive_event);
       const size_t idx = g.add(std::move(v));
       g.link(parent, idx);
-      for (const eval::Tuple& b : rec.body) {
+      for (eval::TupleRef b : log.body_of(rec)) {
         Vertex bv;
         bv.kind = VertexKind::Exist;
-        bv.node = b.location();
-        bv.tuple = b;
+        bv.tuple = log.materialize(b);
+        bv.node = bv.tuple.location();
         const size_t bidx = g.add(std::move(bv));
         g.link(idx, bidx);
-        explain_tuple(engine, g, bidx, b, depth - 1, on_path);
+        explain_ref(engine, g, bidx, b, depth - 1, on_path);
       }
       return true;
     });
   }
-  on_path.erase(key);
+  on_path.erase(ref);
 }
 
 }  // namespace
@@ -60,8 +62,20 @@ ProvenanceGraph explain_exists(const eval::Engine& engine,
   root.node = tuple.location();
   root.tuple = tuple;
   g.add(std::move(root));
-  std::set<std::string> on_path;
-  explain_tuple(engine, g, 0, tuple, max_depth, on_path);
+  const eval::TupleRef ref = engine.log().find_ref(tuple);
+  if (ref != eval::kNoTupleRef) {
+    std::set<eval::TupleRef> on_path;
+    explain_ref(engine, g, 0, ref, max_depth, on_path);
+  } else if (max_depth > 0) {
+    // Never recorded: no derivations exist, so the pre-pool walk emitted a
+    // base-tuple INSERT leaf under the root; keep that shape.
+    Vertex v;
+    v.kind = VertexKind::Insert;
+    v.node = tuple.location();
+    v.tuple = tuple;
+    const size_t idx = g.add(std::move(v));
+    g.link(0, idx);
+  }
   return g;
 }
 
@@ -77,6 +91,7 @@ ProvenanceGraph explain_missing(const eval::Engine& engine,
   if (max_depth == 0) return g;
 
   const auto& program = engine.program();
+  const auto& history = engine.history();
   for (const auto& rule : program.rules) {
     if (rule.head.table != pattern.table) continue;
     // NDERIVE: this rule failed to derive a matching tuple.
@@ -94,15 +109,15 @@ ProvenanceGraph explain_missing(const eval::Engine& engine,
       TuplePattern any_of;  // unconstrained: representative lookup
       any_of.table = atom.table;
       bool any = false;
-      engine.history().probe(any_of, [&](const eval::Tuple& t) {
+      history.probe(any_of, [&](eval::TupleRef ref) {
         // Cheap arity screen: full unification is done by the repair
         // engine; here we only build the explanatory tree.
-        if (t.row.size() != atom.args.size()) return true;
+        if (history.row_of(ref).size() != atom.args.size()) return true;
         any = true;
         Vertex ev;
         ev.kind = VertexKind::Exist;
-        ev.node = t.location();
-        ev.tuple = t;
+        ev.tuple = history.materialize(ref);
+        ev.node = ev.tuple.location();
         const size_t eidx = g.add(std::move(ev));
         g.link(nd_idx, eidx);
         return false;  // one representative per atom keeps the tree readable

@@ -365,29 +365,33 @@ void ForestExplorer::expand_appear(const TreeState& st, const Goal& goal,
 void ForestExplorer::expand_disappear(const TreeState& st, const Goal& goal,
                                       std::vector<TreeState>& out) {
   Timer history_timer;
+  const eval::EventLog& log = engine_.log();
   // Indexed history probe filtered to tuples still live somewhere. Live
   // tuples are a subset of recorded history (every live tuple had an
   // Appear event), so this enumerates the same matches as the old
   // all_tuples scan — but in deterministic first-appearance order, and as
-  // an index hit on the pattern's bound columns.
-  std::vector<Tuple> matching;
+  // an index hit on the pattern's bound columns. The walk stays on
+  // interned handles; Tuples materialize only inside emitted Changes.
+  std::vector<eval::TupleRef> matching;
   const size_t scanned =
-      engine_.history().probe(goal.pattern, [&](const Tuple& t) {
-        if (!t.row.empty() && engine_.exists(t.location(), t.table, t.row)) {
-          matching.push_back(t);
+      engine_.history().probe(goal.pattern, [&](eval::TupleRef ref) {
+        const Row& row = log.row_of(ref);
+        if (!row.empty() &&
+            engine_.exists(row[0], log.table_name(ref), row)) {
+          matching.push_back(ref);
         }
         return matching.size() < 4;  // each match forks its own subtree
       });
   if (stats_ != nullptr) stats_->history_tuples_scanned += scanned;
   if (phases_ != nullptr) phases_->add("history lookups", history_timer.seconds());
 
-  for (const Tuple& target : matching) {
-    const auto derivs = engine_.log().derivations_of(target);
+  for (const eval::TupleRef target : matching) {
+    const auto derivs = log.derivations_of(target);
     if (derivs.empty()) {
       // Base tuple: delete it.
       Change c;
       c.kind = ChangeKind::DeleteBaseTuple;
-      c.tuple = target;
+      c.tuple = log.materialize(target);
       TreeState child = st;
       child.cost += costs_.cost(c, engine_.program());
       child.changes.push_back(std::move(c));
@@ -399,21 +403,24 @@ void ForestExplorer::expand_disappear(const TreeState& st, const Goal& goal,
     // and fork over their cross product.
     std::vector<std::vector<Change>> per_deriv;
     for (size_t d : derivs) {
-      const eval::DerivRecord& rec = engine_.log().derivations()[d];
-      const Rule* rule = engine_.program().find_rule(rec.rule);
+      const eval::DerivRecord& rec = log.derivations()[d];
+      const std::string& rule_name = log.rule_name(rec.rule);
+      const Rule* rule = engine_.program().find_rule(rule_name);
       if (rule == nullptr) continue;
       std::vector<Change> opts;
 
       // Reconstruct the variable environment from the recorded body tuples
       // (symbolic re-execution of the derivation, Section 4.2). The engine
-      // guarantees rec.body[i] matches rule->body[i] regardless of which
-      // atom triggered the firing.
+      // guarantees body[i] matches rule->body[i] regardless of which atom
+      // triggered the firing.
+      const std::span<const eval::TupleRef> body = log.body_of(rec);
       Env env;
-      bool env_ok = rec.body.size() == rule->body.size();
+      bool env_ok = body.size() == rule->body.size();
       if (env_ok) {
-        for (size_t i = 0; i < rec.body.size(); ++i) {
-          if (rec.body[i].table != rule->body[i].table ||
-              !unify_atom(rule->body[i], rec.body[i].row, env)) {
+        for (size_t i = 0; i < body.size(); ++i) {
+          if (body[i] == eval::kNoTupleRef ||
+              log.table_name(body[i]) != rule->body[i].table ||
+              !unify_atom(rule->body[i], log.row_of(body[i]), env)) {
             env_ok = false;
             break;
           }
@@ -437,12 +444,13 @@ void ForestExplorer::expand_disappear(const TreeState& st, const Goal& goal,
         }
       }
       // Deleting a base body tuple starves the derivation.
-      for (const Tuple& b : rec.body) {
-        if (!engine_.log().has_derivation_of(b) &&
-            !engine_.catalog().is_event(b.table)) {
+      for (const eval::TupleRef b : body) {
+        if (b == eval::kNoTupleRef) continue;
+        if (!log.has_derivation_of(b) &&
+            !engine_.catalog().is_event(log.table_of(b))) {
           Change c;
           c.kind = ChangeKind::DeleteBaseTuple;
-          c.tuple = b;
+          c.tuple = log.materialize(b);
           opts.push_back(std::move(c));
         }
       }
@@ -450,7 +458,7 @@ void ForestExplorer::expand_disappear(const TreeState& st, const Goal& goal,
       {
         Change c;
         c.kind = ChangeKind::DeleteRule;
-        c.rule = rec.rule;
+        c.rule = rule_name;
         opts.push_back(std::move(c));
       }
       if (!opts.empty()) per_deriv.push_back(std::move(opts));
@@ -505,7 +513,7 @@ std::vector<ForestExplorer::JoinResult> ForestExplorer::enumerate_joins(
 
   struct Frame {
     Env env;
-    std::vector<Tuple> bound;
+    std::vector<eval::TupleRef> bound;
     std::vector<size_t> unbound;
   };
   std::vector<Frame> frontier{Frame{}};
@@ -536,14 +544,16 @@ std::vector<ForestExplorer::JoinResult> ForestExplorer::enumerate_joins(
         }
       }
       const size_t scanned =
-          engine_.history().probe(pat, [&](const Tuple& t) {
+          engine_.history().probe(pat, [&](eval::TupleRef ref) {
             Env env = f.env;
-            if (!unify_atom(atom, t.row, env)) return true;
+            if (!unify_atom(atom, engine_.history().row_of(ref), env)) {
+              return true;
+            }
             bound_any = true;
             Frame nf;
             nf.env = std::move(env);
             nf.bound = f.bound;
-            nf.bound.push_back(t);
+            nf.bound.push_back(ref);
             nf.unbound = f.unbound;
             next.push_back(std::move(nf));
             return next.size() < cfg_.max_join_combos * 4;
@@ -852,8 +862,9 @@ std::vector<Change> ForestExplorer::manual_insert_options(const Goal& goal) {
   Timer history_timer;
   Row row(decl->arity, Value(0));
   const auto& hist = engine_.history().rows(goal.pattern.table);
-  if (!hist.empty() && hist.front().row.size() == decl->arity) {
-    row = hist.front().row;
+  if (!hist.empty() &&
+      engine_.history().row_of(hist.front()).size() == decl->arity) {
+    row = engine_.history().row_of(hist.front());
   }
   if (phases_ != nullptr) {
     phases_->add("history lookups", history_timer.seconds());
@@ -922,10 +933,12 @@ std::vector<Value> ForestExplorer::domain_of_var(const Rule& rule,
       // fallback scan over this table's recorded history.
       prov::TuplePattern any;
       any.table = atom.table;
-      const size_t scanned = engine_.history().probe(any, [&](const Tuple& t) {
-        if (i < t.row.size()) push_unique(out, t.row[i], 64);
-        return true;
-      });
+      const size_t scanned =
+          engine_.history().probe(any, [&](eval::TupleRef ref) {
+            const Row& row = engine_.history().row_of(ref);
+            if (i < row.size()) push_unique(out, row[i], 64);
+            return true;
+          });
       if (stats_ != nullptr) stats_->history_tuples_scanned += scanned;
     }
   }

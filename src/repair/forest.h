@@ -98,7 +98,7 @@ class ForestExplorer {
   // environments (deduplicated on the variables that matter).
   struct JoinResult {
     eval::Env env;
-    std::vector<eval::Tuple> bound;       // one per bound body atom
+    std::vector<eval::TupleRef> bound;    // one per bound body atom (handles)
     std::vector<size_t> unbound_atoms;    // body atoms with no history match
   };
   std::vector<JoinResult> enumerate_joins(const ndlog::Rule& rule);

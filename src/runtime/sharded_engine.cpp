@@ -222,12 +222,48 @@ eval::EventLog ShardedEngine::merged_log() const {
   const size_t n = shards_.size();
   // Per-shard event copies (the checkpointed prefix decodes back into
   // Events, so a compacted shard log merges like an uncompacted one).
-  std::vector<std::vector<eval::Event>> events(n);
+  // Causes are materialized per event: a decoded scratch Event's cause
+  // span only lives until the next decode.
+  struct MergeEvent {
+    eval::Event ev;
+    std::vector<eval::EventId> causes;
+  };
+  std::vector<std::vector<MergeEvent>> events(n);
   for (size_t s = 0; s < n; ++s) {
-    events[s].reserve(shards_[s].engine->log().size());
-    shards_[s].engine->log().for_each_event(
-        [&](const eval::Event& e) { events[s].push_back(e); });
+    const eval::EventLog& slog = shards_[s].engine->log();
+    events[s].reserve(slog.size());
+    slog.for_each_event([&](const eval::Event& e) {
+      const auto causes = slog.causes_of(e);
+      events[s].push_back(
+          MergeEvent{e, {causes.begin(), causes.end()}});
+    });
   }
+
+  // Handle remap across pools: every shard has its own TuplePool (and
+  // rule interner), so shard-local TupleRefs/RuleIds are re-interned into
+  // the merged log's private pool once per distinct handle, then every
+  // event append is a pure handle store.
+  eval::EventLog out;
+  std::vector<std::vector<eval::TupleRef>> tuple_map(n);
+  std::vector<std::vector<eval::RuleId>> rule_map(n);
+  auto map_tuple = [&](size_t s, eval::TupleRef ref) {
+    auto& m = tuple_map[s];
+    if (ref >= m.size()) m.resize(ref + 1, eval::kNoTupleRef);
+    if (m[ref] == eval::kNoTupleRef) {
+      const eval::EventLog& slog = shards_[s].engine->log();
+      m[ref] = out.intern_tuple(slog.table_name(ref), slog.row_of(ref));
+    }
+    return m[ref];
+  };
+  auto map_rule = [&](size_t s, eval::RuleId rule) {
+    if (rule == eval::kNoRule) return eval::kNoRule;
+    auto& m = rule_map[s];
+    if (rule >= m.size()) m.resize(rule + 1, eval::kNoRule);
+    if (m[rule] == eval::kNoRule) {
+      m[rule] = out.intern_rule(shards_[s].engine->log().rule_name(rule));
+    }
+    return m[rule];
+  };
 
   // Global span order: (round, stream position, shard); spans were
   // appended per shard with non-decreasing rounds and begins.
@@ -269,12 +305,12 @@ eval::EventLog ShardedEngine::merged_log() const {
     for (const CrossLink& l : shards_[s].links) links[s][l.recv] = &l;
   }
 
-  // Pass 2: append in canonical order, remapping causal links.
-  eval::EventLog out;
+  // Pass 2: append in canonical order, remapping causal links and handles.
   std::vector<eval::EventId> causes;
   for (const GlobalSpan& sp : spans) {
     for (uint64_t i = sp.begin; i < sp.end; ++i) {
-      const eval::Event& ev = events[sp.shard][i];
+      const MergeEvent& me = events[sp.shard][i];
+      const eval::Event& ev = me.ev;
       causes.clear();
       if (ev.kind == eval::EventKind::Receive) {
         auto it = links[sp.shard].find(ev.id);
@@ -286,35 +322,55 @@ eval::EventLog ShardedEngine::merged_log() const {
         }
       }
       if (causes.empty()) {
-        for (eval::EventId c : ev.causes) {
+        for (eval::EventId c : me.causes) {
           if (c < canon[sp.shard].size() &&
               canon[sp.shard][c] != eval::kNoEvent) {
             causes.push_back(canon[sp.shard][c]);
           }
         }
       }
-      out.append(ev.kind, ev.node, ev.tuple, ev.tags, causes, ev.rule);
+      out.append(ev.kind, ev.node, map_tuple(sp.shard, ev.tuple), ev.tags,
+                 causes, map_rule(sp.shard, ev.rule));
     }
   }
 
   // Derivation records, in canonical derive-event order (== the serial
-  // log's derivation order when the multisets agree).
-  std::vector<eval::DerivRecord> recs;
+  // log's derivation order when the multisets agree). Head/body handles
+  // are remapped into the merged pool.
+  struct MergeRec {
+    eval::EventId derive_event;
+    eval::RuleId rule;
+    eval::TupleRef head;
+    std::vector<eval::TupleRef> body;
+    bool live;
+  };
+  std::vector<MergeRec> recs;
   for (size_t s = 0; s < n; ++s) {
-    for (const eval::DerivRecord& r : shards_[s].engine->log().derivations()) {
-      eval::DerivRecord copy = r;
+    const eval::EventLog& slog = shards_[s].engine->log();
+    for (const eval::DerivRecord& r : slog.derivations()) {
+      MergeRec copy;
+      copy.derive_event = r.derive_event;
       if (copy.derive_event != eval::kNoEvent &&
           copy.derive_event < canon[s].size()) {
         copy.derive_event = canon[s][copy.derive_event];
       }
+      copy.rule = map_rule(s, r.rule);
+      copy.head = map_tuple(s, r.head);
+      for (eval::TupleRef b : slog.body_of(r)) {
+        copy.body.push_back(b == eval::kNoTupleRef ? eval::kNoTupleRef
+                                                   : map_tuple(s, b));
+      }
+      copy.live = r.live;
       recs.push_back(std::move(copy));
     }
   }
   std::stable_sort(recs.begin(), recs.end(),
-                   [](const eval::DerivRecord& a, const eval::DerivRecord& b) {
+                   [](const MergeRec& a, const MergeRec& b) {
                      return a.derive_event < b.derive_event;
                    });
-  for (eval::DerivRecord& r : recs) out.add_derivation(std::move(r));
+  for (const MergeRec& r : recs) {
+    out.add_derivation(r.rule, r.head, r.body, r.derive_event, r.live);
+  }
   return out;
 }
 

@@ -58,9 +58,11 @@ std::multiset<std::string> table_snapshot(const Engine& e) {
 
 std::multiset<std::string> derivation_snapshot(const Engine& e) {
   std::multiset<std::string> out;
-  for (const DerivRecord& rec : e.log().derivations()) {
-    std::string s = rec.rule + " " + rec.head.to_string() + " :-";
-    for (const Tuple& b : rec.body) s += " " + b.to_string();
+  const EventLog& log = e.log();
+  for (const DerivRecord& rec : log.derivations()) {
+    std::string s =
+        log.rule_name(rec.rule) + " " + log.head_of(rec).to_string() + " :-";
+    for (TupleRef b : log.body_of(rec)) s += " " + log.materialize(b).to_string();
     out.insert((rec.live ? "live " : "dead ") + s);
   }
   return out;
@@ -70,7 +72,8 @@ std::vector<std::string> event_sequence(const Engine& e) {
   std::vector<std::string> out;
   out.reserve(e.log().size());
   for (const Event& ev : e.log().events()) {
-    out.push_back(std::string(to_string(ev.kind)) + " " + ev.tuple.to_string());
+    out.push_back(std::string(to_string(ev.kind)) + " " +
+                  e.log().tuple_of(ev).to_string());
   }
   return out;
 }

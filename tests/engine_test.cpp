@@ -141,8 +141,8 @@ TEST(Engine, HistoryRecordsEventTuples) {
   pat.table = "B";
   pat.fields = {{1, ndlog::CmpOp::Eq, Value(5)}};
   std::vector<Tuple> got;
-  e.history().probe(pat, [&](const Tuple& tup) {
-    got.push_back(tup);
+  e.history().probe(pat, [&](TupleRef ref) {
+    got.push_back(e.history().materialize(ref));
     return true;
   });
   ASSERT_EQ(got.size(), 1u);
@@ -207,7 +207,7 @@ TEST(EventLog, ByteEstimateAndDerivationIndex) {
   EXPECT_GT(e.log().byte_estimate(), 0u);
   auto derivs = e.log().derivations_of(t("A", {Value(1), Value(5)}));
   ASSERT_EQ(derivs.size(), 1u);
-  EXPECT_EQ(e.log().derivations()[derivs[0]].rule, "r1");
+  EXPECT_EQ(e.log().rule_name(e.log().derivations()[derivs[0]].rule), "r1");
   auto using_b = e.log().derivations_using(t("B", {Value(1), Value(5)}));
   EXPECT_EQ(using_b.size(), 1u);
 }
@@ -253,9 +253,11 @@ std::multiset<std::string> table_snapshot(const Engine& e) {
 
 std::multiset<std::string> derivation_snapshot(const Engine& e) {
   std::multiset<std::string> out;
-  for (const DerivRecord& rec : e.log().derivations()) {
-    std::string s = rec.rule + " " + rec.head.to_string() + " :-";
-    for (const Tuple& b : rec.body) s += " " + b.to_string();
+  const EventLog& log = e.log();
+  for (const DerivRecord& rec : log.derivations()) {
+    std::string s =
+        log.rule_name(rec.rule) + " " + log.head_of(rec).to_string() + " :-";
+    for (TupleRef b : log.body_of(rec)) s += " " + log.materialize(b).to_string();
     out.insert((rec.live ? "live " : "dead ") + s);
   }
   return out;
@@ -264,7 +266,8 @@ std::multiset<std::string> derivation_snapshot(const Engine& e) {
 std::vector<std::string> event_sequence(const Engine& e) {
   std::vector<std::string> out;
   for (const Event& ev : e.log().events()) {
-    out.push_back(std::string(to_string(ev.kind)) + " " + ev.tuple.to_string());
+    out.push_back(std::string(to_string(ev.kind)) + " " +
+                  e.log().tuple_of(ev).to_string());
   }
   return out;
 }

@@ -31,8 +31,8 @@ namespace {
 std::vector<std::string> probe_result(const HistoryStore& h,
                                       const TuplePattern& pat) {
   std::vector<std::string> out;
-  h.probe(pat, [&](const Tuple& t) {
-    out.push_back(t.to_string());
+  h.probe(pat, [&](TupleRef ref) {
+    out.push_back(h.materialize(ref).to_string());
     return true;
   });
   return out;
@@ -42,8 +42,10 @@ std::vector<std::string> probe_result(const HistoryStore& h,
 std::vector<std::string> linear_result(const HistoryStore& h,
                                        const TuplePattern& pat) {
   std::vector<std::string> out;
-  for (const Tuple& t : h.rows(pat.table)) {
-    if (pat.matches(t.row)) out.push_back(t.to_string());
+  for (TupleRef ref : h.rows(pat.table)) {
+    if (pat.matches(h.row_of(ref))) {
+      out.push_back(h.materialize(ref).to_string());
+    }
   }
   return out;
 }
@@ -72,7 +74,8 @@ TEST(HistoryProbe, MatchesLinearScanOnAllScenarios) {
           fc.op = ops[rng.below(ops.size())];
           if (!hist.empty()) {
             // Draw column/value from a real row so patterns actually hit.
-            const Row& row = hist[rng.below(hist.size())].row;
+            const Row& row =
+                engine.history().row_of(hist[rng.below(hist.size())]);
             if (row.empty()) continue;
             fc.col = rng.below(row.size() + 1);  // may exceed arity
             fc.value = fc.col < row.size() && rng.chance(0.8)
@@ -88,10 +91,10 @@ TEST(HistoryProbe, MatchesLinearScanOnAllScenarios) {
         EXPECT_EQ(probe_result(engine.history(), pat), want)
             << "pattern " << pat.to_string();
         // Forced-scan mode must agree too (it IS the linear filter).
-        engine.history().attach(&engine.catalog(), false);
+        engine.history().attach(&engine.catalog(), &engine.log().pool(), false);
         EXPECT_EQ(probe_result(engine.history(), pat), want)
             << "scan-mode pattern " << pat.to_string();
-        engine.history().attach(&engine.catalog(), true);
+        engine.history().attach(&engine.catalog(), &engine.log().pool(), true);
         nonempty += want.empty() ? 0 : 1;
       }
     }
@@ -109,7 +112,7 @@ TEST(HistoryProbe, IndexHitVisitsOnlyTheBucket) {
   pat.table = "T";
   pat.fields = {{1, ndlog::CmpOp::Eq, Value(3)}};
   size_t matches = 0;
-  const size_t scanned = e.history().probe(pat, [&](const Tuple&) {
+  const size_t scanned = e.history().probe(pat, [&](TupleRef) {
     ++matches;
     return true;
   });
@@ -162,10 +165,13 @@ TEST(EventLogCheckpoint, RoundTripReplayReproducesTablesAndHash) {
   EXPECT_EQ(event_sequence_hash(original.log()), want_hash)
       << "checkpoint decode must reproduce the event sequence";
 
-  // Storage accounting: within 2x of the paper's ~120 B/entry.
+  // Storage accounting: the interned format stores 16-bit table/rule ids
+  // per entry (names once, in the checkpoint string table), so entries
+  // land below the paper's ~120 B/entry — but must stay in the same
+  // order of magnitude (32 B header + node + row values + causes).
   const double per_entry =
       static_cast<double>(want_bytes) / static_cast<double>(want_events);
-  EXPECT_GE(per_entry, 60.0);
+  EXPECT_GE(per_entry, 40.0);
   EXPECT_LE(per_entry, 240.0);
 
   // Replay checkpoint + live suffix into a fresh engine through the
@@ -183,11 +189,14 @@ TEST(EventLogCheckpoint, SerializedBytesMatchesWhatCompactionWrites) {
       "table A/2.\nevent B/2.\nr1 A(@X,Q) :- B(@X,Q), Q > 0."));
   e.insert(Tuple{"B", {Value(1), Value(5)}});
   e.insert(Tuple{"B", {Value::str("node-seven"), Value(6)}});
-  size_t want = 0;
+  // byte_estimate = per-entry bytes plus the string-table records the
+  // checkpoint writes once per distinct table/rule name.
+  size_t entry_bytes = 0;
   for (const Event& ev : e.log().events()) {
-    want += EventLog::serialized_bytes(ev);
+    entry_bytes += e.log().serialized_bytes(ev);
   }
-  EXPECT_EQ(e.log().byte_estimate(), want);
+  const size_t want = e.log().byte_estimate();
+  EXPECT_GT(want, entry_bytes) << "names section must be accounted";
   e.log().compact();
   EXPECT_EQ(e.log().live_size(), 0u);
   EXPECT_EQ(e.log().checkpoint_bytes(), want)
@@ -285,9 +294,9 @@ TEST(RepairRegression, ExplorerOutputIdenticalIndexedVsScan) {
     full_scans += engine.history().full_scans();
     // Forced-scan history is exactly the legacy linear filtering the
     // refactor replaced; the explorer must not be able to tell.
-    engine.history().attach(&engine.catalog(), false);
+    engine.history().attach(&engine.catalog(), &engine.log().pool(), false);
     const auto scanned = explore_all(s, engine);
-    engine.history().attach(&engine.catalog(), true);
+    engine.history().attach(&engine.catalog(), &engine.log().pool(), true);
     EXPECT_EQ(indexed, scanned);
   }
   // In aggregate the five scenarios exercise both access paths (a

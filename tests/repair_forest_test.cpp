@@ -39,9 +39,10 @@ TEST(ForestRegression, DerivRecordBodyIsInRuleBodyOrder) {
       e.log().derivations_of(t("Bad", {Value(1), Value(4), Value(9)}));
   ASSERT_EQ(derivs.size(), 1u);
   const eval::DerivRecord& rec = e.log().derivations()[derivs[0]];
-  ASSERT_EQ(rec.body.size(), 2u);
-  EXPECT_EQ(rec.body[0].table, "Base");
-  EXPECT_EQ(rec.body[1].table, "Mid");
+  const auto body = e.log().body_of(rec);
+  ASSERT_EQ(body.size(), 2u);
+  EXPECT_EQ(e.log().table_name(body[0]), "Base");
+  EXPECT_EQ(e.log().table_name(body[1]), "Mid");
 }
 
 // With a correctly aligned record the explorer can re-execute the rule

@@ -40,8 +40,12 @@ inline uint64_t fnv1a(uint64_t h, const std::string& line) {
   return h;
 }
 
-inline std::string event_line(const eval::Event& ev) {
-  return std::string(eval::to_string(ev.kind)) + " " + ev.tuple.to_string();
+// Events carry interned TupleRefs; the canonical line materializes the
+// tuple through the owning log.
+inline std::string event_line(const eval::EventLog& log,
+                              const eval::Event& ev) {
+  return std::string(eval::to_string(ev.kind)) + " " +
+         log.tuple_of(ev).to_string();
 }
 
 // FNV-1a over the (kind, tuple) event sequence of the full log,
@@ -50,7 +54,7 @@ inline std::string event_line(const eval::Event& ev) {
 inline uint64_t event_sequence_hash(const eval::EventLog& log) {
   uint64_t h = 1469598103934665603ull;
   log.for_each_event(
-      [&](const eval::Event& ev) { h = fnv1a(h, event_line(ev)); });
+      [&](const eval::Event& ev) { h = fnv1a(h, event_line(log, ev)); });
   return h;
 }
 
@@ -63,7 +67,7 @@ inline uint64_t event_multiset_hash(const eval::EventLog& log) {
   std::vector<std::string> lines;
   lines.reserve(log.size());
   log.for_each_event(
-      [&](const eval::Event& ev) { lines.push_back(event_line(ev)); });
+      [&](const eval::Event& ev) { lines.push_back(event_line(log, ev)); });
   std::sort(lines.begin(), lines.end());
   uint64_t h = 1469598103934665603ull;
   for (const std::string& line : lines) h = fnv1a(h, line + "\n");

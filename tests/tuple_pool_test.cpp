@@ -1,0 +1,161 @@
+// TuplePool unit coverage (the interned-tuple provenance fast path):
+//   - intern/find dedup semantics and precomputed hashes,
+//   - handle stability: refs (and the Rows they resolve to) survive pool
+//     growth and EventLog compaction (the pool is never truncated),
+//   - cross-shard handle remap: ShardedEngine::merged_log re-interns every
+//     shard-local handle into the merged log's private pool, so handle
+//     round trips (materialize -> find_ref) are identities there,
+//   - interning-on/off cross-check: replaying a log's materialized events
+//     through the legacy string-based append into a standalone EventLog
+//     (its own catalog + pool) reproduces the exact event sequence on all
+//     five scenarios — the handle representation is observationally
+//     equivalent to the string representation it replaced.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "eval/engine.h"
+#include "eval/tuple_pool.h"
+#include "ndlog/parser.h"
+#include "runtime/sharded_engine.h"
+#include "scenarios/scenario.h"
+#include "sdn/topology.h"
+#include "test_util.h"
+
+namespace mp::eval {
+namespace {
+
+TEST(TuplePool, InternDedupsAndFindsWithoutInserting) {
+  TuplePool pool;
+  const Row r1 = {Value(1), Value(2)};
+  const Row r2 = {Value(1), Value::str("x")};
+  const TupleRef a = pool.intern(0, r1);
+  const TupleRef b = pool.intern(0, r2);
+  const TupleRef c = pool.intern(1, r1);  // same row, different table
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(pool.intern(0, r1), a) << "re-intern must dedup to the handle";
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.find(0, r1), a);
+  EXPECT_EQ(pool.find(0, {Value(9)}), kNoTupleRef);
+  EXPECT_EQ(pool.size(), 3u) << "find must not insert";
+  EXPECT_EQ(pool.table(a), 0u);
+  EXPECT_EQ(pool.row(b), r2);
+  EXPECT_EQ(pool.hash(a), pool.hash(pool.intern(0, r1)));
+}
+
+TEST(TuplePool, HandlesAndRowsStableAcrossGrowth) {
+  TuplePool pool;
+  const TupleRef first = pool.intern(0, {Value(-1), Value(-2)});
+  const Row* first_row = &pool.row(first);
+  for (int64_t i = 0; i < 20000; ++i) {
+    pool.intern(0, {Value(i), Value(i * 3)});
+  }
+  // The dedup index rehashed many times; slots must not have moved.
+  EXPECT_EQ(&pool.row(first), first_row);
+  EXPECT_EQ(pool.row(first)[0], Value(-1));
+  EXPECT_EQ(pool.find(0, {Value(-1), Value(-2)}), first);
+}
+
+TEST(TuplePool, HandlesSurviveEventLogCompaction) {
+  const scenario::Scenario s = scenario::q1_copy_paste({});
+  Engine e(s.program);
+  e.insert_batch(scenario::engine_trace(s, 600));
+  ASSERT_GT(e.log().size(), 100u);
+
+  // Snapshot every live event's handle resolution before compacting.
+  std::vector<std::string> before;
+  for (const Event& ev : e.log().events()) {
+    before.push_back(e.log().tuple_of(ev).to_string());
+  }
+  const size_t pool_size = e.log().pool().size();
+  const uint64_t want_hash = testutil::event_sequence_hash(e.log());
+
+  e.log().compact(e.log().live_size() / 4);
+  EXPECT_EQ(e.log().pool().size(), pool_size)
+      << "compaction must never truncate the pool";
+  // History handles recorded before compaction still resolve.
+  for (ndlog::Catalog::TableId id = 0; id < e.catalog().size(); ++id) {
+    for (TupleRef ref : e.history().rows(id)) {
+      EXPECT_EQ(e.log().table_of(ref), id);
+      EXPECT_FALSE(e.log().materialize(ref).to_string().empty());
+    }
+  }
+  // Decoded checkpoint entries resolve to the same tuples as the live
+  // events they replaced.
+  std::vector<std::string> after;
+  e.log().for_each_event([&](const Event& ev) {
+    after.push_back(e.log().tuple_of(ev).to_string());
+  });
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(testutil::event_sequence_hash(e.log()), want_hash);
+}
+
+TEST(TuplePool, MergedLogRemapsHandlesAcrossShardPools) {
+  const ndlog::Program program =
+      ndlog::parse_program(testutil::ring_program(16));
+  runtime::ShardedEngine se(program, runtime::ShardPlan(4));
+  se.insert_batch(testutil::ring_trace(6, 4));
+  ASSERT_FALSE(se.diverged());
+  const EventLog merged = se.merged_log();
+  ASSERT_GT(merged.size(), 0u);
+
+  // Every merged handle is a member of the merged pool (round-trip
+  // identity), even though it originated in one of four disjoint pools.
+  merged.for_each_event([&](const Event& ev) {
+    ASSERT_NE(ev.tuple, kNoTupleRef);
+    EXPECT_EQ(merged.find_ref(merged.tuple_of(ev)), ev.tuple);
+  });
+  for (const DerivRecord& rec : merged.derivations()) {
+    EXPECT_EQ(merged.find_ref(merged.head_of(rec)), rec.head);
+    for (TupleRef b : merged.body_of(rec)) {
+      EXPECT_NE(b, kNoTupleRef);
+      EXPECT_EQ(merged.find_ref(merged.materialize(b)), b);
+    }
+  }
+  // The merged pool holds at most the union of distinct shard tuples.
+  size_t shard_total = 0;
+  for (size_t sh = 0; sh < se.shards(); ++sh) {
+    shard_total += se.shard(sh).log().pool().size();
+  }
+  EXPECT_LE(merged.pool().size(), shard_total);
+}
+
+// Interning-on/off cross-check: rebuild each scenario log through the
+// legacy string-materializing append (a standalone EventLog with its own
+// catalog and pool, i.e. "interning off" from the producer's point of
+// view) and require the exact event sequence, causal links and rule names
+// to survive the round trip.
+TEST(TuplePool, StringRoundTripReproducesEventSequenceOnAllScenarios) {
+  for (const scenario::Scenario& s : scenario::all_scenarios()) {
+    SCOPED_TRACE("scenario " + s.id);
+    Engine e(s.program);
+    e.insert_batch(scenario::engine_trace(s, 1200));
+    ASSERT_GT(e.log().size(), 0u);
+
+    EventLog rebuilt;
+    e.log().for_each_event([&](const Event& ev) {
+      const auto causes = e.log().causes_of(ev);
+      rebuilt.append(ev.kind, ev.node, e.log().tuple_of(ev), ev.tags,
+                     {causes.begin(), causes.end()},
+                     e.log().rule_name(ev.rule));
+    });
+    ASSERT_EQ(rebuilt.size(), e.log().size());
+    EXPECT_EQ(testutil::event_sequence_hash(rebuilt),
+              testutil::event_sequence_hash(e.log()));
+    for (size_t i = 0; i < rebuilt.size(); ++i) {
+      const Event& a = e.log().event(i);
+      const Event& b = rebuilt.event(i);
+      ASSERT_EQ(e.log().to_string(a), rebuilt.to_string(b)) << "event " << i;
+      const auto ca = e.log().causes_of(a);
+      const auto cb = rebuilt.causes_of(b);
+      ASSERT_TRUE(std::equal(ca.begin(), ca.end(), cb.begin(), cb.end()))
+          << "event " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mp::eval

@@ -1,7 +1,15 @@
 #!/usr/bin/env bash
 # The tier-1 gate in one command: configure, build, run the labelled ctest
-# suites and the smoke tool (ROADMAP "Tier-1 verify"). Usage:
+# suites, the smoke tool and a Release-mode bench smoke guarding the
+# provenance-recording fast path (ROADMAP "Tier-1 verify"). Usage:
 #   tools/check.sh [build-dir]
+# The bench smoke runs a short BM_PacketInProcessing (provenance on) and
+# fails if throughput drops below CHECK_BENCH_FLOOR tuples/sec (default
+# 600000 — the pre-interning recording path ran at ~279k, the interned
+# fast path at >1.3M on the 1-CPU reference box, so the floor catches a
+# regression that reintroduces per-event allocations while tolerating
+# slower machines). Skip it with CHECK_BENCH=0; it is skipped
+# automatically when google-benchmark was not found at configure time.
 # With CHECK_TSAN=1 the script additionally configures a side build
 # directory with -fsanitize=thread (CMake option MP_TSAN) and runs the
 # `concurrency`-labelled suites (the sharded runtime) under
@@ -23,6 +31,31 @@ cmake --build "$BUILD_DIR" -j
 
 echo "--- smoke (Q1 pipeline) ---"
 "$BUILD_DIR/smoke" Q1
+
+# Release-mode bench smoke: the provenance-recording fast path must stay
+# above the floor (the default build type is Release, so the main build's
+# bench binary is the right artifact).
+if [[ "${CHECK_BENCH:-1}" == "1" && -x "$BUILD_DIR/bench_overhead" ]]; then
+  echo "--- bench smoke (provenance recording floor) ---"
+  FLOOR="${CHECK_BENCH_FLOOR:-600000}"
+  RAW="$(mktemp)"
+  trap 'rm -f "$RAW"' EXIT
+  "$BUILD_DIR/bench_overhead" \
+    --benchmark_filter='BM_PacketInProcessing/1' \
+    --benchmark_min_time=0.2 \
+    --benchmark_out_format=json --benchmark_out="$RAW" >/dev/null
+  python3 - "$RAW" "$FLOOR" <<'EOF'
+import json, sys
+raw, floor = json.load(open(sys.argv[1])), float(sys.argv[2])
+rows = [b for b in raw["benchmarks"] if b["name"] == "BM_PacketInProcessing/1"]
+assert rows, "bench smoke: BM_PacketInProcessing/1 missing from output"
+rate = rows[0]["items_per_second"]
+print(f"provenance_on: {rate:,.0f} tuples/s (floor {floor:,.0f})")
+if rate < floor:
+    sys.exit(f"bench smoke FAILED: provenance-on throughput {rate:,.0f} "
+             f"below floor {floor:,.0f} tuples/s")
+EOF
+fi
 
 if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
   echo "--- ThreadSanitizer (concurrency suites) ---"

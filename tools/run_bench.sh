@@ -82,6 +82,38 @@ for arg, key in ((0, "provenance_off"), (1, "provenance_on")):
     b = results.get(f"BM_PacketInProcessing/{arg}")
     if b:
         packetin[key] = {"tuples_per_sec": rate(b)}
+        if b.get("bytes_per_event") is not None:
+            packetin[key]["bytes_per_event"] = b["bytes_per_event"]
+
+# Provenance-recording overhead trajectory: `before` pins the last
+# pre-interning measurement (commit cc2d1c4: full Tuple/string/vector
+# copies per event, ~30x recording tax; its bytes/event is recomputed
+# exactly over this run's workload from the old string-carrying entry
+# layout — see bytes_per_event_stringly in BM_PacketInProcessing).
+# `after` is this run on the interned-handle record layout (TupleRef +
+# RuleId + cause arena, names once per checkpoint).
+on_bench = results.get("BM_PacketInProcessing/1", {})
+overhead = {
+    "before": {
+        "commit": "cc2d1c4",
+        "provenance_on_tuples_per_sec": 279110.33156083024,
+        "provenance_off_tuples_per_sec": 8428444.258561634,
+        "recording_tax": 8428444.258561634 / 279110.33156083024,
+        "bytes_per_event": on_bench.get("bytes_per_event_stringly"),
+    },
+}
+on = packetin.get("provenance_on", {})
+off = packetin.get("provenance_off", {})
+if on.get("tuples_per_sec") and off.get("tuples_per_sec"):
+    overhead["after"] = {
+        "provenance_on_tuples_per_sec": on["tuples_per_sec"],
+        "provenance_off_tuples_per_sec": off["tuples_per_sec"],
+        "recording_tax": off["tuples_per_sec"] / on["tuples_per_sec"],
+        "bytes_per_event": on.get("bytes_per_event"),
+        "speedup_vs_before":
+            on["tuples_per_sec"]
+            / overhead["before"]["provenance_on_tuples_per_sec"],
+    }
 
 # Sharded end-to-end scaling: Arg(0) is the serial Engine baseline, the
 # other args are ShardedEngine worker counts over the identical workload.
@@ -114,6 +146,7 @@ out = {
     "batch_insert": batch,
     "history_probe": history,
     "packet_in": packetin,
+    "provenance_overhead": overhead,
     "sharded_eval": sharded,
 }
 with open(out_path, "w") as f:
@@ -136,4 +169,10 @@ for workers, srow in sharded.items():
     sp = srow["speedup_vs_serial"]
     print(f"  sharded eval({workers} workers): {srow['tuples_per_sec']:,.0f} tuples/s "
           + (f"({sp:.2f}x vs serial)" if sp else "(no serial baseline)"))
+if "after" in overhead:
+    a, b = overhead["after"], overhead["before"]
+    bpe = f", {a['bytes_per_event']:.0f} B/event" if a.get("bytes_per_event") else ""
+    print(f"  provenance overhead: {a['provenance_on_tuples_per_sec']:,.0f} tuples/s recording on "
+          f"({a['speedup_vs_before']:.1f}x vs pre-interning, "
+          f"tax {b['recording_tax']:.0f}x -> {a['recording_tax']:.1f}x{bpe})")
 EOF
