@@ -5,8 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <string>
 
 #include "ndlog/parser.h"
+#include "perf_counters.h"
 #include "runtime/sharded_engine.h"
 #include "scenarios/pipeline.h"
 
@@ -30,15 +32,32 @@ const char* kProgram =
 void BM_PacketInProcessing(benchmark::State& state) {
   eval::EngineOptions opt;
   opt.record_provenance = state.range(0) != 0;
+  opt.max_steps = ~size_t{0} >> 1;  // steps accumulate across iterations
   eval::Engine engine(ndlog::parse_program(kProgram), opt);
   int64_t src = 0;
+  mp::bench::PerfCounters perf;
+  perf.start();
   for (auto _ : state) {
     eval::Tuple t{"PacketIn",
                   {Value::str("C"), Value(1), Value(80), Value(src++ % 4096)}};
     engine.insert(t);
     benchmark::DoNotOptimize(engine.rule_firings());
   }
+  const auto sample = perf.stop();
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (sample.valid && state.iterations() > 0) {
+    // Hardware counters over the whole measured region, per inserted
+    // tuple; absent when perf_event_open is denied (see perf_counters.h).
+    const double n = static_cast<double>(state.iterations());
+    state.counters["cycles_per_tuple"] =
+        static_cast<double>(sample.cycles) / n;
+    state.counters["instructions_per_tuple"] =
+        static_cast<double>(sample.instructions) / n;
+    state.counters["cache_misses_per_tuple"] =
+        static_cast<double>(sample.cache_misses) / n;
+    state.counters["branch_misses_per_tuple"] =
+        static_cast<double>(sample.branch_misses) / n;
+  }
   if (opt.record_provenance && engine.log().size() > 0) {
     const double nevents = static_cast<double>(engine.log().size());
     state.counters["bytes_per_event"] =
@@ -61,6 +80,68 @@ void BM_PacketInProcessing(benchmark::State& state) {
   state.SetLabel(opt.record_provenance ? "provenance ON" : "provenance OFF");
 }
 BENCHMARK(BM_PacketInProcessing)->Arg(0)->Arg(1);
+
+// Columnar batched rule firing over cascade fan-out: every PacketIn fires
+// eight stat rules whose heads all land in one table, so the derived
+// appearances form an 8-tuple lane at the front of the work queue — the
+// shape Engine::run_batch_lane accelerates. The Stat lane then meets
+// eight selective Tally rules (each keyed to one stat id), the columnar
+// sweet spot: the scalar path pays a frame reset + unification per
+// (tuple, plan) pair — 64 per lane — where the plan-major pass filters
+// each plan's match vector with one constant-compare sweep and the flat
+// finish builds the single surviving head row straight from the trigger
+// columns. range(0) toggles EngineOptions::batch_firing; both paths are
+// byte-identical on the event log (tests/differential_test.cpp), so the
+// delta is pure constant factor. range(1) toggles provenance recording
+// (ON is the paper's operating point; OFF isolates the evaluation path
+// from log-append cost). tools/run_bench.sh records the rows in
+// BENCH_engine.json (columnar_firing).
+void BM_CascadeFanout(benchmark::State& state) {
+  std::string prog = "table Stat/3.\ntable Tally/3.\nevent PacketIn/3.\n";
+  for (int k = 1; k <= 8; ++k) {
+    prog += "s" + std::to_string(k) + " Stat(@S,H," + std::to_string(k) +
+            ") :- PacketIn(@S,H,P), P == 80.\n";
+    prog += "t" + std::to_string(k) + " Tally(@S," + std::to_string(k) +
+            ",H) :- Stat(@S,H,K), K == " + std::to_string(k) + ".\n";
+  }
+  eval::EngineOptions opt;
+  opt.batch_firing = state.range(0) != 0;
+  opt.record_provenance = state.range(1) != 0;
+  opt.max_steps = ~size_t{0} >> 1;
+  eval::Engine engine(ndlog::parse_program(prog), opt);
+  int64_t h = 0;
+  mp::bench::PerfCounters perf;
+  perf.start();
+  for (auto _ : state) {
+    engine.insert(
+        eval::Tuple{"PacketIn", {Value(1), Value(h++ % 8192), Value(80)}});
+    benchmark::DoNotOptimize(engine.rule_firings());
+  }
+  const auto sample = perf.stop();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (sample.valid && state.iterations() > 0) {
+    const double n = static_cast<double>(state.iterations());
+    state.counters["cycles_per_tuple"] =
+        static_cast<double>(sample.cycles) / n;
+    state.counters["instructions_per_tuple"] =
+        static_cast<double>(sample.instructions) / n;
+    state.counters["cache_misses_per_tuple"] =
+        static_cast<double>(sample.cache_misses) / n;
+    state.counters["branch_misses_per_tuple"] =
+        static_cast<double>(sample.branch_misses) / n;
+  }
+  state.counters["batched_lanes"] =
+      static_cast<double>(engine.batched_lanes());
+  state.SetLabel(std::string(opt.batch_firing ? "columnar batched firing"
+                                              : "tuple-at-a-time") +
+                 (opt.record_provenance ? ", provenance ON"
+                                        : ", provenance OFF"));
+}
+BENCHMARK(BM_CascadeFanout)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1});
 
 // Join-heavy rule firing: a trigger event joined against two materialized
 // tables of `range(0)` rows each, with the join columns bound by the
@@ -290,6 +371,7 @@ BENCHMARK(BM_FlowTableLookup)->Arg(16)->Arg(128)->Arg(1024);
 void BM_EndToEndPacketIn(benchmark::State& state) {
   eval::EngineOptions opt;
   opt.record_provenance = state.range(0) != 0;
+  opt.max_steps = ~size_t{0} >> 1;  // steps accumulate across iterations
   sdn::Network net;
   net.add_switch(1);
   net.add_host({1, "H", 42, 0, 1, 2});

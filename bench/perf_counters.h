@@ -1,0 +1,111 @@
+// Minimal perf_event_open wrapper for the bench binaries: hardware
+// cache-miss / branch-miss / cycle / instruction counts around a measured
+// region, reported next to throughput in BENCH_engine.json.
+//
+// Containers and locked-down kernels routinely deny the syscall
+// (perf_event_paranoid, seccomp): every failure path degrades to
+// available() == false and the caller simply omits the counters — the
+// throughput rows must never depend on perf access.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace mp::bench {
+
+class PerfCounters {
+ public:
+  struct Sample {
+    bool valid = false;
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t cache_misses = 0;
+    uint64_t branch_misses = 0;
+  };
+
+#if defined(__linux__)
+  PerfCounters() {
+    fds_[0] = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    fds_[1] = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+    fds_[2] = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+    fds_[3] = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES);
+    // All-or-nothing: partial counter sets would skew derived ratios.
+    for (int fd : fds_) {
+      if (fd < 0) {
+        close_all();
+        return;
+      }
+    }
+    available_ = true;
+  }
+  ~PerfCounters() { close_all(); }
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  bool available() const { return available_; }
+
+  void start() {
+    if (!available_) return;
+    for (int fd : fds_) {
+      ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+      ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+  }
+
+  Sample stop() {
+    Sample s;
+    if (!available_) return s;
+    uint64_t vals[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+      ioctl(fds_[i], PERF_EVENT_IOC_DISABLE, 0);
+      if (::read(fds_[i], &vals[i], sizeof(vals[i])) !=
+          static_cast<ssize_t>(sizeof(vals[i]))) {
+        return s;  // valid stays false
+      }
+    }
+    s.valid = true;
+    s.cycles = vals[0];
+    s.instructions = vals[1];
+    s.cache_misses = vals[2];
+    s.branch_misses = vals[3];
+    return s;
+  }
+
+ private:
+  static int open_counter(uint32_t type, uint64_t config) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = type;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    return static_cast<int>(
+        syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+  }
+  void close_all() {
+    for (int& fd : fds_) {
+      if (fd >= 0) close(fd);
+      fd = -1;
+    }
+    available_ = false;
+  }
+  int fds_[4] = {-1, -1, -1, -1};
+  bool available_ = false;
+#else
+  bool available() const { return false; }
+  void start() {}
+  Sample stop() { return {}; }
+#endif
+};
+
+}  // namespace mp::bench

@@ -4,38 +4,101 @@
 
 namespace mp::eval {
 
-Entry* TableStore::find(const Row& row) {
-  auto it = rows_.find(row);
-  return it == rows_.end() ? nullptr : &it->second;
+uint32_t TableStore::lookup_slot(TupleRef ref) const {
+  if (map_count_ == 0 || ref == kNoTupleRef) return kNoSlot;
+  size_t b = ref_bucket(ref, map_mask_);
+  while (map_[b].first != 0) {
+    if (map_[b].first == ref + 1) return map_[b].second;
+    b = (b + 1) & map_mask_;
+  }
+  return kNoSlot;
 }
 
-const Entry* TableStore::find(const Row& row) const {
-  auto it = rows_.find(row);
-  return it == rows_.end() ? nullptr : &it->second;
+void TableStore::map_grow() {
+  const size_t cap = map_.empty() ? 16 : map_.size() * 2;
+  std::vector<std::pair<uint32_t, uint32_t>> old = std::move(map_);
+  map_.assign(cap, {0, 0});
+  map_mask_ = cap - 1;
+  for (const auto& [key, slot] : old) {
+    if (key == 0) continue;
+    size_t b = ref_bucket(key - 1, map_mask_);
+    while (map_[b].first != 0) b = (b + 1) & map_mask_;
+    map_[b] = {key, slot};
+  }
 }
 
-Entry& TableStore::insert(const Row& row) {
-  auto [it, inserted] = rows_.try_emplace(row);
-  if (inserted && index_specs_ != nullptr) {
+void TableStore::map_put(TupleRef ref, uint32_t slot) {
+  if ((map_count_ + 1) * 2 > map_.size()) map_grow();
+  size_t b = ref_bucket(ref, map_mask_);
+  while (map_[b].first != 0) b = (b + 1) & map_mask_;
+  map_[b] = {ref + 1, slot};
+  ++map_count_;
+}
+
+void TableStore::map_erase(TupleRef ref) {
+  size_t b = ref_bucket(ref, map_mask_);
+  while (map_[b].first != ref + 1) {
+    if (map_[b].first == 0) return;  // absent
+    b = (b + 1) & map_mask_;
+  }
+  // Backward-shift deletion: pull every displaced follower of the probe
+  // chain into the hole so lookups never need tombstones.
+  size_t hole = b;
+  size_t i = (b + 1) & map_mask_;
+  while (map_[i].first != 0) {
+    const size_t home = ref_bucket(map_[i].first - 1, map_mask_);
+    if (((i - home) & map_mask_) >= ((i - hole) & map_mask_)) {
+      map_[hole] = map_[i];
+      hole = i;
+    }
+    i = (i + 1) & map_mask_;
+  }
+  map_[hole] = {0, 0};
+  --map_count_;
+}
+
+Entry& TableStore::insert_ref(TupleRef ref) {
+  assert(ref != kNoTupleRef);
+  const uint32_t existing = lookup_slot(ref);
+  if (existing != kNoSlot) return entries_[existing];
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    entries_[slot] = Entry{};
+    slot_refs_[slot] = ref;
+  } else {
+    slot = static_cast<uint32_t>(entries_.size());
+    entries_.emplace_back();
+    slot_refs_.push_back(ref);
+  }
+  entries_[slot].ref = ref;
+  map_put(ref, slot);
+  ++live_;
+  if (index_specs_ != nullptr) {
     if (deferred_) {
-      index_backlog_.push_back(&*it);  // Items are node-stable
+      index_backlog_.push_back(slot);
     } else {
-      add_to_indexes(*it);
+      add_to_indexes(slot);
     }
   }
-  return it->second;
+  return entries_[slot];
 }
 
-void TableStore::erase(const Row& row) {
-  auto it = rows_.find(row);
-  if (it == rows_.end()) return;
+void TableStore::erase_ref(TupleRef ref) {
+  const uint32_t slot = lookup_slot(ref);
+  if (slot == kNoSlot) return;
   if (index_specs_ != nullptr) {
     // Flush before unindexing: the victim may still sit in the backlog,
-    // and a backlog entry must never dangle past the row's lifetime.
+    // and a backlog slot must never dangle past the entry's lifetime
+    // (the slot id is reused by the next insert).
     if (!index_backlog_.empty()) flush_index_backlog();
-    remove_from_indexes(*it);
+    remove_from_indexes(slot);
   }
-  rows_.erase(it);
+  map_erase(ref);
+  slot_refs_[slot] = kNoTupleRef;
+  free_slots_.push_back(slot);
+  --live_;
 }
 
 void TableStore::set_deferred_indexing(bool on) {
@@ -47,27 +110,29 @@ void TableStore::flush_index_backlog() const {
   // No pre-reserve: repeated flushes on a growing index would force a
   // full rehash per flush (the bucket count is already grown geometrically
   // by the inserts themselves).
-  for (const Item* item : index_backlog_) add_to_indexes(*item);
+  for (uint32_t slot : index_backlog_) add_to_indexes(slot);
   index_backlog_.clear();
 }
 
-void TableStore::add_to_indexes(const Item& item) const {
+void TableStore::add_to_indexes(uint32_t slot) const {
+  const Row& row = pool_->row(slot_refs_[slot]);
   Row key;
   for (size_t i = 0; i < index_specs_->size(); ++i) {
-    if (!project_key(item.first, (*index_specs_)[i], key)) continue;
-    indexes_[i][std::move(key)].push_back(&item);
+    if (!project_key(row, (*index_specs_)[i], key)) continue;
+    indexes_[i][std::move(key)].push_back(slot);
     key = Row();  // moved-from: make reuse explicit
   }
 }
 
-void TableStore::remove_from_indexes(const Item& item) {
+void TableStore::remove_from_indexes(uint32_t slot) {
+  const Row& row = pool_->row(slot_refs_[slot]);
   Row key;
   for (size_t i = 0; i < index_specs_->size(); ++i) {
-    if (!project_key(item.first, (*index_specs_)[i], key)) continue;
+    if (!project_key(row, (*index_specs_)[i], key)) continue;
     auto bit = indexes_[i].find(key);
     if (bit == indexes_[i].end()) continue;
     Bucket& bucket = bit->second;
-    auto pos = std::find(bucket.begin(), bucket.end(), &item);
+    auto pos = std::find(bucket.begin(), bucket.end(), slot);
     if (pos != bucket.end()) {
       *pos = bucket.back();
       bucket.pop_back();
@@ -76,23 +141,12 @@ void TableStore::remove_from_indexes(const Item& item) {
   }
 }
 
-std::optional<Row> TableStore::row_with_key(const Row& key) const {
-  auto it = key_index_.find(key);
-  if (it == key_index_.end()) return std::nullopt;
-  return it->second;
-}
-
-void TableStore::index_key(const Row& key, const Row& row) {
-  key_index_[key] = row;
-}
-
-void TableStore::unindex_key(const Row& key) { key_index_.erase(key); }
-
 TableStore& Database::store(TableId id) {
   if (id >= stores_.size()) stores_.resize(id + 1);
   auto& slot = stores_[id];
   if (slot == nullptr) {
     slot = std::make_unique<TableStore>();
+    slot->attach(pool_, id);
     if (specs_ != nullptr) slot->configure_indexes(specs_->for_table(id));
   }
   return *slot;
@@ -109,8 +163,9 @@ std::vector<Row> Database::rows(TableId id) const {
   std::vector<Row> out;
   const TableStore* t = store_if(id);
   if (t == nullptr) return out;
-  for (const auto& [row, entry] : t->rows()) {
-    if (entry.support > 0) out.push_back(row);
+  for (uint32_t slot = 0; slot < t->slot_count(); ++slot) {
+    if (t->ref_at(slot) == kNoTupleRef) continue;
+    if (t->entry_at(slot).support > 0) out.push_back(t->row_at(slot));
   }
   return out;
 }
@@ -119,8 +174,9 @@ size_t Database::tuple_count() const {
   size_t n = 0;
   for (const auto& t : stores_) {
     if (t == nullptr) continue;
-    for (const auto& [row, entry] : t->rows()) {
-      if (entry.support > 0) ++n;
+    for (uint32_t slot = 0; slot < t->slot_count(); ++slot) {
+      if (t->ref_at(slot) == kNoTupleRef) continue;
+      if (t->entry_at(slot).support > 0) ++n;
     }
   }
   return n;

@@ -2,12 +2,25 @@
 // counts, candidate-tag masks, primary-key replacement semantics, and
 // secondary hash indexes on the column sets that compiled rule plans
 // probe at join time.
+//
+// Storage is keyed by TupleRef, not by Row: every stored row is interned
+// in the engine's TuplePool (unconditionally — provenance on or off), so
+// the appearance hot path replaces a Row hash + unordered_map probe with
+// the pool's once-per-distinct-tuple hash and a u32 open-addressed ref ->
+// slot lookup. Entries live in a contiguous slot vector (struct-of-slots
+// layout: the Entry columns the join loop reads are one array load apart,
+// and the per-slot TupleRef doubles as the tombstone mark), so full scans
+// and index buckets walk dense u32 slots instead of chasing
+// unordered_map nodes. Rows materialize through the pool (row_at), whose
+// slots are stable forever — a Row reference obtained from a store
+// survives erase() of the entry that produced it.
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <memory>
-#include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "eval/plan.h"
@@ -21,17 +34,25 @@ struct Entry {
   int support = 0;        // number of live derivations (base insert counts 1)
   TagMask tags = 0;       // candidate worlds in which the row exists
   uint64_t appear_event = 0;  // event id of the most recent appearance
-  // Interned handle for this (table, row) in the engine's TuplePool; set on
-  // appearance when provenance recording is on (kNoTupleRef otherwise).
-  // Lets the join path record body provenance without re-hashing the row.
+  // Interned handle for this (table, row) in the engine's TuplePool; the
+  // slot's identity. Always set (interning is unconditional), so the join
+  // path records body provenance and the retract path cascades without
+  // ever re-hashing a row.
   TupleRef ref = kNoTupleRef;
 };
 
 class TableStore {
  public:
-  using RowMap = std::unordered_map<Row, Entry, RowHash>;
-  using Item = RowMap::value_type;  // pair<const Row, Entry>: node-stable
-  using Bucket = std::vector<const Item*>;
+  using Bucket = std::vector<uint32_t>;  // slot indices into the store
+
+  static constexpr uint32_t kNoSlot = ~uint32_t{0};
+
+  // Wires the store to the engine's pool and its own dense table id; must
+  // be called before the first insert. Both outlive the store.
+  void attach(TuplePool* pool, TableId table) {
+    pool_ = pool;
+    table_ = table;
+  }
 
   // Wires up the secondary indexes this table maintains; `specs` (owned by
   // the engine, same lifetime) lists one sorted column set per index. Must
@@ -41,15 +62,52 @@ class TableStore {
     if (specs != nullptr) indexes_.resize(specs->size());
   }
 
-  Entry* find(const Row& row);
-  const Entry* find(const Row& row) const;
-  Entry& insert(const Row& row);  // creates entry with support 0 if absent
-  void erase(const Row& row);
-  const RowMap& rows() const { return rows_; }
-  size_t size() const { return rows_.size(); }
+  // --- ref-keyed hot path ----------------------------------------------
+  Entry* find_ref(TupleRef ref) {
+    const uint32_t slot = lookup_slot(ref);
+    return slot == kNoSlot ? nullptr : &entries_[slot];
+  }
+  const Entry* find_ref(TupleRef ref) const {
+    const uint32_t slot = lookup_slot(ref);
+    return slot == kNoSlot ? nullptr : &entries_[slot];
+  }
+  // Creates the entry (support 0, ref filled in) if absent. The returned
+  // reference is invalidated by the next insert into this store — hold it
+  // only across entry mutation, never across dispatch.
+  Entry& insert_ref(TupleRef ref);
+  void erase_ref(TupleRef ref);
+
+  // --- row-keyed convenience (cold callers; resolve through the pool) ---
+  Entry* find(const Row& row) {
+    return find_ref(pool_->find(table_, row));
+  }
+  const Entry* find(const Row& row) const {
+    return find_ref(pool_->find(table_, row));
+  }
+  Entry& insert(const Row& row) { return insert_ref(pool_->intern(table_, row)); }
+  void erase(const Row& row) {
+    const TupleRef ref = pool_->find(table_, row);
+    if (ref != kNoTupleRef) erase_ref(ref);
+  }
+
+  // --- slot iteration ---------------------------------------------------
+  // Slots are assigned in insertion order and reused after erase;
+  // ref_at() == kNoTupleRef marks a free slot (skip it).
+  uint32_t slot_count() const { return static_cast<uint32_t>(slot_refs_.size()); }
+  TupleRef ref_at(uint32_t slot) const { return slot_refs_[slot]; }
+  const Row& row_at(uint32_t slot) const { return pool_->row(slot_refs_[slot]); }
+  const Entry& entry_at(uint32_t slot) const { return entries_[slot]; }
+  Entry& entry_at(uint32_t slot) { return entries_[slot]; }
+  // Slot of an entry reference obtained from insert_ref()/find_ref(); valid
+  // until that entry is erased (slots survive entries_ reallocation, the
+  // reference itself does not).
+  uint32_t slot_of(const Entry& e) const {
+    return static_cast<uint32_t>(&e - entries_.data());
+  }
+  size_t size() const { return live_; }
 
   // Deferred index maintenance (Engine::insert_batch): while on, insert()
-  // queues newly created rows in a backlog instead of updating every
+  // queues newly created slots in a backlog instead of updating every
   // secondary index per row; the backlog is applied in one bulk pass by
   // flush_index_backlog(), which runs automatically on the first
   // probe/erase (so index consumers can never observe a stale index) and
@@ -59,8 +117,8 @@ class TableStore {
   bool has_index_backlog() const { return !index_backlog_.empty(); }
   void flush_index_backlog() const;
 
-  // Rows whose projection onto index `index_id`'s columns equals `key`;
-  // nullptr when the bucket is empty.
+  // Slots whose row's projection onto index `index_id`'s columns equals
+  // `key`; nullptr when the bucket is empty.
   const Bucket* probe(size_t index_id, const Row& key) const {
     if (!index_backlog_.empty()) flush_index_backlog();
     const auto& ix = indexes_[index_id];
@@ -68,24 +126,47 @@ class TableStore {
     return it == ix.end() ? nullptr : &it->second;
   }
 
-  // Key index support: returns the currently stored row with the given
-  // primary key, if any (used for key-replacement updates).
-  std::optional<Row> row_with_key(const Row& key) const;
-  void index_key(const Row& key, const Row& row);
-  void unindex_key(const Row& key);
+  // Key index support: handle of the currently stored row with the given
+  // primary key, kNoTupleRef if none (used for key-replacement updates).
+  TupleRef ref_with_key(const Row& key) const {
+    auto it = key_index_.find(key);
+    return it == key_index_.end() ? kNoTupleRef : it->second;
+  }
+  void index_key(const Row& key, TupleRef ref) { key_index_[key] = ref; }
+  void unindex_key(const Row& key) { key_index_.erase(key); }
 
  private:
-  void add_to_indexes(const Item& item) const;
-  void remove_from_indexes(const Item& item);
+  void add_to_indexes(uint32_t slot) const;
+  void remove_from_indexes(uint32_t slot);
 
-  RowMap rows_;
+  // Open-addressed ref -> slot map, following the TuplePool bucket idiom:
+  // buckets hold (ref + 1, slot) with 0 = empty, power-of-two capacity,
+  // linear probing, backward-shift deletion (no tombstones).
+  static size_t ref_bucket(TupleRef ref, size_t mask) {
+    return (ref * size_t{2654435761u}) & mask;
+  }
+  uint32_t lookup_slot(TupleRef ref) const;
+  void map_put(TupleRef ref, uint32_t slot);
+  void map_erase(TupleRef ref);
+  void map_grow();
+
+  TuplePool* pool_ = nullptr;
+  TableId table_ = 0;
+  std::vector<Entry> entries_;       // slot -> entry, contiguous
+  std::vector<TupleRef> slot_refs_;  // slot -> ref; kNoTupleRef = free slot
+  std::vector<uint32_t> free_slots_;
+  size_t live_ = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> map_;  // (ref + 1, slot)
+  size_t map_mask_ = 0;  // map_.size() - 1 (power of two), 0 when empty
+  size_t map_count_ = 0;
+
   const std::vector<std::vector<uint32_t>>* index_specs_ = nullptr;
-  // The secondary indexes are a cache over rows_: mutable so the lazy
+  // The secondary indexes are a cache over the slots: mutable so the lazy
   // backlog flush can run from const probes.
   mutable std::vector<std::unordered_map<Row, Bucket, RowHash>> indexes_;
-  mutable std::vector<const Item*> index_backlog_;
+  mutable std::vector<uint32_t> index_backlog_;  // slots
   bool deferred_ = false;
-  std::unordered_map<Row, Row, RowHash> key_index_;
+  std::unordered_map<Row, TupleRef, RowHash> key_index_;
 };
 
 // All materialized state of one simulated node. Stores are keyed by the
@@ -96,13 +177,16 @@ class Database {
  public:
   // Called by the engine when the node first appears. The catalog maps
   // names to ids; the specs say which secondary indexes each new store
-  // must maintain. Both outlive the database.
-  void init(const ndlog::Catalog* catalog, const IndexSpecs* specs) {
+  // must maintain; the pool interns every stored row. All outlive the
+  // database.
+  void init(const ndlog::Catalog* catalog, const IndexSpecs* specs,
+            TuplePool* pool) {
     catalog_ = catalog;
     specs_ = specs;
+    pool_ = pool;
   }
 
-  // Store for `id`, created (and its indexes configured) on first use.
+  // Store for `id`, created (attached and indexes configured) on first use.
   TableStore& store(TableId id);
   // Existing store or nullptr; never creates.
   TableStore* store_if(TableId id) {
@@ -130,6 +214,7 @@ class Database {
  private:
   const ndlog::Catalog* catalog_ = nullptr;
   const IndexSpecs* specs_ = nullptr;
+  TuplePool* pool_ = nullptr;
   std::vector<std::unique_ptr<TableStore>> stores_;
 };
 

@@ -54,9 +54,26 @@ Engine::Engine(ndlog::Program program, EngineOptions opt)
 }
 
 Database& Engine::node_db(const Value& node) {
+  if (node_cache_key_ != nullptr && *node_cache_key_ == node) {
+    return *node_cache_db_;
+  }
   auto [it, inserted] = nodes_.try_emplace(node);
-  if (inserted) it->second.init(&catalog_, &index_specs_);
+  if (inserted) it->second.init(&catalog_, &index_specs_, &log_.pool());
+  // Safe to cache: nodes_ is a std::map (node-stable) and never erased.
+  node_cache_key_ = &it->first;
+  node_cache_db_ = &it->second;
   return it->second;
+}
+
+Database* Engine::find_node_db(const Value& node) {
+  if (node_cache_key_ != nullptr && *node_cache_key_ == node) {
+    return node_cache_db_;
+  }
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return nullptr;
+  node_cache_key_ = &it->first;
+  node_cache_db_ = &it->second;
+  return &it->second;
 }
 
 TableId Engine::intern_extern_table(const std::string& name) {
@@ -144,7 +161,7 @@ void Engine::receive_unsupport(const Tuple& head) {
   Entry* e = store->find(head.row);
   if (e == nullptr || e->support <= 0) return;
   e->support -= 1;
-  if (e->support <= 0) retract(head.location(), tid, head.row);
+  if (e->support <= 0) retract(head.location(), tid, e->ref);
 }
 
 void Engine::stage_insert(const Tuple& t, TagMask tags,
@@ -205,12 +222,11 @@ void Engine::remove_one(const Tuple& t) {
   Entry* e = store->find(t.row);
   if (e == nullptr || e->support <= 0) return;
   if (opt_.record_provenance) {
-    log_.append(EventKind::Delete, t.location(),
-                e->ref != kNoTupleRef ? e->ref : log_.pool().intern(tid, t.row),
-                e->tags);
+    // e->ref is always set: the store keys entries by their pool handle.
+    log_.append(EventKind::Delete, t.location(), e->ref, e->tags);
   }
   e->support -= 1;
-  if (e->support <= 0) retract(t.location(), tid, t.row);
+  if (e->support <= 0) retract(t.location(), tid, e->ref);
 }
 
 void Engine::maybe_autocompact() {
@@ -272,8 +288,10 @@ size_t Engine::match_tuples(
   for (const auto& [node, db] : nodes_) {
     const TableStore* store = db.store_if(tid);
     if (store == nullptr) continue;
-    for (const auto& [row, entry] : store->rows()) {
-      if (entry.support <= 0 || !pattern.matches(row)) continue;
+    for (uint32_t slot = 0; slot < store->slot_count(); ++slot) {
+      if (store->ref_at(slot) == kNoTupleRef) continue;
+      const Row& row = store->row_at(slot);
+      if (store->entry_at(slot).support <= 0 || !pattern.matches(row)) continue;
       ++matched;
       if (!fn(node, row)) return matched;
     }
@@ -301,6 +319,9 @@ void Engine::on_appear(const std::string& table,
   const TableId tid = catalog_.intern(table);
   if (tid >= callbacks_.size()) callbacks_.resize(tid + 1);
   callbacks_[tid].push_back(std::move(cb));
+  // A callback makes the table ineligible for columnar batched firing
+  // (the callback must observe each appearance mid-lane).
+  if (tid < batch_eligible_.size()) batch_eligible_[tid] = BatchEligible::No;
 }
 
 void Engine::run_callbacks(TableId tid, const Tuple& t, TagMask tags) {
@@ -325,6 +346,13 @@ void Engine::run_queue() {
   if (running_) return;  // re-entrant insert from a callback: outer loop drains
   running_ = true;
   while (!queue_.empty()) {
+    // Columnar lane: two or more consecutive same-table entries at the
+    // front (a cascade fan-out). The two-compare guard keeps the singleton
+    // case — by far the common one — on the scalar path with no analysis.
+    if (opt_.batch_firing && queue_.size() > 1 &&
+        queue_[1].table_id == queue_.front().table_id && run_batch_lane()) {
+      continue;
+    }
     if (++steps_ > opt_.max_steps) {
       diverged_ = true;
       queue_.clear();
@@ -338,12 +366,328 @@ void Engine::run_queue() {
   running_ = false;
 }
 
+// --- columnar batched firing --------------------------------------------
+//
+// A lane — consecutive queue entries for one table — is executed in three
+// phases instead of tuple-at-a-time:
+//   1. store pass:    support/tag bookkeeping for every lane tuple, in
+//                     order, deciding which tuples actually appear;
+//   2. columnar fire: each trigger plan runs ONCE over the lane. The
+//                     plan's flattened row-local predicates filter a match
+//                     vector column-major (plan constants, ops and
+//                     branch-history stay hot across the whole lane);
+//                     survivors evaluate assignments / selections / head
+//                     args into a staging buffer of head rows;
+//   3. emission:      a tuple-major walk in the exact scalar order —
+//                     Appear event, then that tuple's staged firings in
+//                     plan order (Derive/Send/Receive events, derivation
+//                     records, head enqueue). Event bytes, derivation
+//                     records, step counts and queue order are identical
+//                     to the tuple-at-a-time path, which the differential
+//                     harness pins.
+// Anything the fast path cannot prove equivalent falls back to scalar:
+// impure plans (a join step reads stores phase 1 is still mutating), key
+// replacement (retracts mid-lane interleave events), registered callbacks
+// (they observe appearances mid-lane and may insert re-entrantly), and
+// lanes that could exhaust the step budget mid-batch.
+bool Engine::run_batch_lane() {
+  const TableId tid = queue_.front().table_id;
+  if (tid >= batch_eligible_.size()) {
+    batch_eligible_.resize(tid + 1, BatchEligible::Unknown);
+    batch_step_cost_.resize(tid + 1, 0);
+  }
+  if (batch_eligible_[tid] == BatchEligible::No) return false;
+  if (batch_eligible_[tid] == BatchEligible::Unknown) {
+    batch_eligible_[tid] = BatchEligible::No;  // until proven otherwise
+    if (tid < callbacks_.size() && !callbacks_[tid].empty()) return false;
+    const ndlog::TableDecl& decl = catalog_.decl(tid);
+    if (!catalog_.is_event(tid) && !decl.keys.empty() &&
+        decl.keys.size() < decl.arity) {
+      return false;
+    }
+    size_t per_tuple = 1;  // the queue pop
+    if (tid < triggers_by_table_.size()) {
+      for (const auto& [rule_idx, body_idx] : triggers_by_table_[tid]) {
+        const TriggerPlan& tp = compiled_[rule_idx].triggers[body_idx];
+        if (tp.dead) continue;
+        if (!tp.columnar.pure) return false;
+        per_tuple += 1 + tp.steps.size();
+      }
+    }
+    batch_step_cost_[tid] = per_tuple;
+    batch_eligible_[tid] = BatchEligible::Yes;
+  }
+
+  size_t lane = 2;  // caller verified the first two entries share tid
+  while (lane < queue_.size() && queue_[lane].table_id == tid) ++lane;
+  // Step headroom: with the worst case pre-charged, no divergence can hit
+  // mid-batch (the scalar path charges at most the same, so it would not
+  // have diverged on this lane either).
+  if (steps_ + lane * batch_step_cost_[tid] > opt_.max_steps) return false;
+
+  lane_.clear();
+  for (size_t i = 0; i < lane; ++i) {
+    lane_.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  steps_ += lane;  // the scalar loop's per-pop charge
+  ++batched_lanes_;
+  batched_tuples_ += lane;
+
+  // Phase 1: store pass. Sequential per tuple — a duplicate row later in
+  // the lane must see the support its predecessor added.
+  const bool is_event = catalog_.is_event(tid);
+  lane_appears_.assign(lane, 1);
+  lane_tags_.assign(lane, 0);
+  lane_slots_.assign(lane, 0);
+  for (size_t i = 0; i < lane; ++i) {
+    PendingAppear& p = lane_[i];
+    if (p.ref == kNoTupleRef && (!is_event || opt_.record_provenance)) {
+      p.ref = log_.pool().intern(tid, p.tuple.row);
+    }
+    if (is_event) {
+      lane_tags_[i] = p.tags;
+      continue;
+    }
+    TableStore& store = node_db(p.tuple.location()).store(tid);
+    if (bulk_depth_ > 0 && !store.deferred_indexing()) {
+      store.set_deferred_indexing(true);
+      bulk_stores_.push_back(&store);
+    }
+    Entry& e = store.insert_ref(p.ref);
+    lane_slots_[i] = store.slot_of(e);
+    const bool was_present = e.support > 0;
+    const TagMask new_tags = opt_.tag_mode ? (e.tags | p.tags) : kAllTags;
+    e.support += 1;
+    const TagMask added = opt_.tag_mode ? (new_tags & ~e.tags) : kAllTags;
+    e.tags = new_tags;
+    if (was_present && (!opt_.tag_mode || added == 0)) lane_appears_[i] = 0;
+    lane_tags_[i] = new_tags;
+  }
+
+  // Phase 2: plan-major columnar firing into the staging buffer.
+  const size_t nplans =
+      tid < triggers_by_table_.size() ? triggers_by_table_[tid].size() : 0;
+  if (lane_firings_.size() < nplans) lane_firings_.resize(nplans);
+  size_t ord = 0;
+  for (size_t p = 0; p < nplans; ++p) lane_firings_[p].clear();
+  if (nplans > 0) {
+    for (const auto& [rule_idx, body_idx] : triggers_by_table_[tid]) {
+      const size_t my_ord = ord++;
+      const CompiledRule& cr = compiled_[rule_idx];
+      const TriggerPlan& tp = cr.triggers[body_idx];
+      if (tp.dead) continue;
+      const ColumnarPlan& cp = tp.columnar;
+      const bool pushdown = opt_.pushdown_selections;
+      // Rebuilds the frame for one lane row: every slot a pure plan binds
+      // comes from the trigger row. The col guard mirrors the scalar
+      // path: a step whose arity check has not yet passed for this row
+      // cannot have bound its slots either, and no selection evaluated
+      // before that point may read them.
+      auto bind_frame = [&](const Row& row) {
+        frame_.reset(cr.nslots);
+        for (const auto& [slot, col] : cp.slot_cols) {
+          if (col < row.size()) frame_.bind(slot, row[col]);
+        }
+      };
+      auto filter_sels = [&](const std::vector<uint32_t>& sels) {
+        size_t w = 0;
+        for (uint32_t i : match_) {
+          bind_frame(lane_[i].tuple.row);
+          if (eval_pushed_sels(cr, sels)) match_[w++] = i;
+        }
+        match_.resize(w);
+      };
+      // Group 0 — the trigger atom. Failures here are charge-free, exactly
+      // like fire_rules' pre-exec_step filtering.
+      match_.clear();
+      for (size_t i = 0; i < lane; ++i) {
+        if (!lane_appears_[i]) continue;
+        if (opt_.tag_mode &&
+            (lane_[i].tags & rule_restrict_[rule_idx]) == 0) {
+          continue;
+        }
+        if (lane_[i].tuple.row.size() != tp.arity) continue;
+        match_.push_back(static_cast<uint32_t>(i));
+      }
+      for (const ColumnarPred& pr : cp.groups[0].preds) {
+        size_t w = 0;
+        for (uint32_t i : match_) {
+          const Row& row = lane_[i].tuple.row;
+          const bool ok = pr.kind == ColumnarPred::Kind::ConstEq
+                              ? pr.cval == row[pr.col]
+                              : row[pr.col] == row[pr.col2];
+          if (ok) match_[w++] = i;
+        }
+        match_.resize(w);
+      }
+      if (pushdown && !cp.groups[0].sels.empty()) {
+        filter_sels(cp.groups[0].sels);
+      }
+      // Groups 1..n — the TriggerSelf steps, one step charge per surviving
+      // row at each boundary (the exec_step calls the scalar path makes).
+      for (size_t g = 0;; ++g) {
+        steps_ += match_.size();
+        if (g + 1 == cp.groups.size()) break;
+        const ColumnarGroup& grp = cp.groups[g + 1];
+        size_t w = 0;
+        for (uint32_t i : match_) {
+          if (lane_[i].tuple.row.size() == grp.arity) match_[w++] = i;
+        }
+        match_.resize(w);
+        for (const ColumnarPred& pr : grp.preds) {
+          w = 0;
+          for (uint32_t i : match_) {
+            const Row& row = lane_[i].tuple.row;
+            const bool ok = pr.kind == ColumnarPred::Kind::ConstEq
+                                ? pr.cval == row[pr.col]
+                                : row[pr.col] == row[pr.col2];
+            if (ok) match_[w++] = i;
+          }
+          match_.resize(w);
+        }
+        if (pushdown && !grp.sels.empty()) filter_sels(grp.sels);
+      }
+      // Finish the survivors. Flat plans (no assignments, all selections
+      // pushed, bare-variable/constant head args) build head rows straight
+      // from the trigger columns — no Frame anywhere on the columnar path.
+      if (pushdown && cp.flat_finish) {
+        for (uint32_t i : match_) {
+          const Row& row = lane_[i].tuple.row;
+          StagedFiring sf;
+          sf.row = i;
+          sf.mask = opt_.tag_mode ? (lane_[i].tags & rule_restrict_[rule_idx])
+                                  : lane_[i].tags;
+          sf.head = acquire_row();
+          sf.head.reserve(cp.head_cols.size());
+          for (const ColumnarPlan::HeadCol& hc : cp.head_cols) {
+            sf.head.push_back(hc.is_const ? hc.cval : row[hc.col]);
+          }
+          ++firings_;
+          lane_firings_[my_ord].push_back(std::move(sf));
+        }
+        continue;
+      }
+      // General finish: assignments, unpushed selections, head args —
+      // finish_rule's body over the rebuilt frame.
+      const uint64_t pushed = pushdown ? tp.pushed_mask : 0;
+      for (uint32_t i : match_) {
+        bind_frame(lane_[i].tuple.row);
+        bool ok = true;
+        for (const CompiledAssign& asg : cr.assigns) {
+          Value v;
+          if (!asg.expr.eval(frame_, v)) {
+            ok = false;
+            break;
+          }
+          frame_.rebind(asg.slot, std::move(v));
+        }
+        for (size_t si = 0; ok && si < cr.sels.size(); ++si) {
+          if (si < 64 && ((pushed >> si) & 1)) continue;
+          const CompiledSelection& sel = cr.sels[si];
+          Value sa, sb;
+          const Value* a = sel.lhs.eval_ref(frame_, sa);
+          const Value* b = sel.rhs.eval_ref(frame_, sb);
+          if (a == nullptr || b == nullptr || !ndlog::cmp_eval(sel.op, *a, *b)) {
+            ok = false;
+          }
+        }
+        if (!ok) continue;
+        StagedFiring sf;
+        sf.row = i;
+        sf.mask = opt_.tag_mode ? (lane_[i].tags & rule_restrict_[rule_idx])
+                                : lane_[i].tags;
+        sf.head = acquire_row();
+        sf.head.reserve(cr.head_args.size());
+        for (const SlotExpr& arg : cr.head_args) {
+          Value v;
+          if (!arg.eval(frame_, v)) {
+            ok = false;
+            break;
+          }
+          sf.head.push_back(std::move(v));
+        }
+        if (!ok) {
+          release_row(std::move(sf.head));
+          continue;
+        }
+        ++firings_;
+        lane_firings_[my_ord].push_back(std::move(sf));
+      }
+    }
+  }
+
+  // Phase 3: tuple-major emission in the scalar order.
+  lane_cursor_.assign(nplans, 0);
+  for (size_t i = 0; i < lane; ++i) {
+    PendingAppear& p = lane_[i];
+    if (!lane_appears_[i]) {
+      release_row(std::move(p.tuple.row));
+      continue;
+    }
+    const Value& node = p.tuple.location();
+    EventId appear_ev = p.cause;
+    if (opt_.record_provenance) {
+      appear_ev = log_.append(EventKind::Appear, node, p.ref, lane_tags_[i],
+                              p.cause == kNoEvent
+                                  ? std::span<const EventId>{}
+                                  : std::span<const EventId>{&p.cause, 1});
+      history_.record(tid, p.ref);
+    }
+    if (!is_event) {
+      // Via the slot recorded in phase 1: Entry pointers were invalidated
+      // by the later inserts, but slots are stable (nothing is erased
+      // between the phases), so this skips the ref->slot hash probe.
+      node_db(node).store(tid).entry_at(lane_slots_[i]).appear_event =
+          appear_ev;
+    }
+    size_t ord3 = 0;
+    if (nplans > 0) {
+      for (const auto& [rule_idx, body_idx] : triggers_by_table_[tid]) {
+        const size_t my_ord = ord3++;
+        std::vector<StagedFiring>& staged = lane_firings_[my_ord];
+        size_t& cur = lane_cursor_[my_ord];
+        while (cur < staged.size() && staged[cur].row == i) {
+          const CompiledRule& cr = compiled_[rule_idx];
+          const TriggerPlan& tp = cr.triggers[body_idx];
+          const ndlog::Rule& rule = program_.rules[rule_idx];
+          if (opt_.record_provenance) {
+            cause_scratch_.assign(rule.body.size(), kNoEvent);
+            body_scratch_.assign(rule.body.size(), kNoTupleRef);
+            for (uint32_t pos : tp.columnar.body_positions) {
+              cause_scratch_[pos] = appear_ev;
+              body_scratch_[pos] = p.ref;
+            }
+          }
+          Tuple head;
+          head.table = rule.head.table;
+          head.row = std::move(staged[cur].head);
+          if (opt_.record_provenance) {
+            derive(cr, rule, node, std::move(head), staged[cur].mask,
+                   cause_scratch_, body_scratch_);
+          } else {
+            derive(cr, rule, node, std::move(head), staged[cur].mask, {}, {});
+          }
+          ++cur;
+        }
+      }
+    }
+    release_row(std::move(p.tuple.row));
+  }
+  return true;
+}
+
 void Engine::handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
                            EventId cause, TupleRef ref) {
   const Value& node = tuple.location();
   const bool is_event = catalog_.is_event(table_id);
   EventId appear_ev = cause;
-  if (opt_.record_provenance && ref == kNoTupleRef) {
+  // Stored tables always intern (provenance on or off): the stores key
+  // their entries by pool handle, so the appearance pays the pool's
+  // once-per-distinct-tuple hash instead of a Row hash per insert.
+  // Transient event tables are never stored, so they only need a handle
+  // when the appearance is logged.
+  if (ref == kNoTupleRef && (!is_event || opt_.record_provenance)) {
     ref = log_.pool().intern(table_id, tuple.row);
   }
 
@@ -358,16 +702,17 @@ void Engine::handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
     const ndlog::TableDecl& decl = catalog_.decl(table_id);
     if (!decl.keys.empty() && decl.keys.size() < decl.arity) {
       const Row key = catalog_.key_of(table_id, tuple.row);
-      if (auto old = store.row_with_key(key); old && *old != tuple.row) {
-        const Entry* oe = store.find(*old);
+      const TupleRef old = store.ref_with_key(key);
+      if (old != kNoTupleRef && old != ref) {  // same key, different row
+        const Entry* oe = store.find_ref(old);
         if (oe != nullptr && oe->support > 0) {
-          retract(node, table_id, *old);
+          retract(node, table_id, old);
         }
       }
-      store.index_key(key, tuple.row);
+      store.index_key(key, ref);
     }
 
-    Entry& e = store.insert(tuple.row);
+    Entry& e = store.insert_ref(ref);
     const bool was_present = e.support > 0;
     const TagMask new_tags = opt_.tag_mode ? (e.tags | tags) : kAllTags;
     e.support += 1;
@@ -384,8 +729,7 @@ void Engine::handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
                                   : std::span<const EventId>{&cause, 1});
       history_.record(table_id, ref);
     }
-    e.appear_event = appear_ev;
-    e.ref = ref;
+    e.appear_event = appear_ev;  // e.ref was set by insert_ref
   } else {
     if (opt_.record_provenance) {
       appear_ev = log_.append(EventKind::Appear, node, ref, tags,
@@ -405,8 +749,7 @@ void Engine::fire_rules(const Value& node, const Tuple& trigger, TableId tid,
                         TagMask mask, EventId trigger_event,
                         TupleRef trigger_ref) {
   if (tid >= triggers_by_table_.size()) return;  // interned after construction
-  auto node_it = nodes_.find(node);
-  const Database* db = node_it == nodes_.end() ? nullptr : &node_it->second;
+  const Database* db = find_node_db(node);
   for (const auto& [rule_idx, body_idx] : triggers_by_table_[tid]) {
     const CompiledRule& cr = compiled_[rule_idx];
     const TriggerPlan& tp = cr.triggers[body_idx];
@@ -499,14 +842,15 @@ void Engine::exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
     const TableStore::Bucket* bucket =
         store->probe(static_cast<size_t>(st.index_id), probe_key_);
     if (bucket == nullptr) return;
-    for (const TableStore::Item* item : *bucket) {
-      const Entry& entry = item->second;
+    for (uint32_t slot : *bucket) {
+      const Entry& entry = store->entry_at(slot);
       if (entry.support <= 0) continue;
       const TagMask m2 = opt_.tag_mode ? (mask & entry.tags) : mask;
       if (opt_.tag_mode && m2 == 0) continue;
-      if (item->first.size() != st.arity) continue;
+      const Row& row = store->row_at(slot);
+      if (row.size() != st.arity) continue;
       const size_t m = frame_.mark();
-      if (unify_ops(st.residual_ops, item->first, frame_) &&
+      if (unify_ops(st.residual_ops, row, frame_) &&
           (!pushdown || eval_pushed_sels(cr, st.sels))) {
         if (opt_.record_provenance) {
           cause_scratch_[st.body_pos] = entry.appear_event;
@@ -523,14 +867,16 @@ void Engine::exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
 
   // Full scan: atoms with zero bound columns, or use_indexes disabled.
   ++full_scans_;
-  for (const auto& item : store->rows()) {
-    const Entry& entry = item.second;
+  for (uint32_t slot = 0; slot < store->slot_count(); ++slot) {
+    if (store->ref_at(slot) == kNoTupleRef) continue;
+    const Entry& entry = store->entry_at(slot);
     if (entry.support <= 0) continue;
     const TagMask m2 = opt_.tag_mode ? (mask & entry.tags) : mask;
     if (opt_.tag_mode && m2 == 0) continue;
-    if (item.first.size() != st.arity) continue;
+    const Row& row = store->row_at(slot);
+    if (row.size() != st.arity) continue;
     const size_t m = frame_.mark();
-    if (unify_ops(st.full_ops, item.first, frame_) &&
+    if (unify_ops(st.full_ops, row, frame_) &&
         (!pushdown || eval_pushed_sels(cr, st.sels))) {
       if (opt_.record_provenance) {
         cause_scratch_[st.body_pos] = entry.appear_event;
@@ -636,29 +982,27 @@ void Engine::derive(const CompiledRule& cr, const ndlog::Rule& rule,
   enqueue_appear(std::move(head), cr.head_table, mask, cause, href);
 }
 
-void Engine::retract(const Value& node, TableId tid, const Row& row) {
-  auto node_it = nodes_.find(node);
-  if (node_it == nodes_.end()) return;
-  TableStore* store = node_it->second.store_if(tid);
+void Engine::retract(const Value& node, TableId tid, TupleRef ref) {
+  Database* ndb = find_node_db(node);
+  if (ndb == nullptr) return;
+  TableStore* store = ndb->store_if(tid);
   if (store == nullptr) return;
-  Entry* e = store->find(row);
+  Entry* e = store->find_ref(ref);
   if (e == nullptr) return;
   e->support = 0;
   const TagMask tags = e->tags;
-  const TupleRef ref = e->ref;
   e->tags = 0;
   if (opt_.record_provenance) {
-    log_.append(EventKind::Disappear, node,
-                ref != kNoTupleRef ? ref : log_.pool().intern(tid, row), tags);
+    log_.append(EventKind::Disappear, node, ref, tags);
   }
+  // The pool row is stable forever — safe to reference across the erase.
+  const Row& row = log_.row_of(ref);
   const ndlog::TableDecl& decl = catalog_.decl(tid);
   if (!decl.keys.empty() && decl.keys.size() < decl.arity) {
     const Row key = catalog_.key_of(tid, row);
-    if (auto cur = store->row_with_key(key); cur && *cur == row) {
-      store->unindex_key(key);
-    }
+    if (store->ref_with_key(key) == ref) store->unindex_key(key);
   }
-  store->erase(row);  // nothing below touches `row` (it may alias the entry)
+  store->erase_ref(ref);
 
   // Cascade: every live derivation that consumed the tuple loses support.
   // The callback walk visits the index bucket directly (no snapshot
@@ -666,14 +1010,13 @@ void Engine::retract(const Value& node, TableId tid, const Row& row) {
   // by the recursion below are skipped exactly as the old re-check did.
   // All of it runs on handles — heads materialize only when shipped to a
   // peer shard.
-  if (!opt_.record_provenance || ref == kNoTupleRef) return;
+  if (!opt_.record_provenance) return;
   log_.for_each_derivation_using(ref, [&](size_t idx) {
     DerivRecord& rec = log_.derivation(idx);
     rec.live = false;
     const TupleRef href = rec.head;
     const TableId htid = log_.table_of(href);
-    const Row& hrow = log_.row_of(href);
-    const Value& hloc = hrow[0];
+    const Value& hloc = log_.row_of(href)[0];
     log_.append(EventKind::Underive, hloc, href, kAllTags, {}, rec.rule);
     if (catalog_.is_event(htid)) return true;  // nothing stored
     if (hooks_.is_local && !hooks_.is_local(hloc)) {
@@ -682,14 +1025,14 @@ void Engine::retract(const Value& node, TableId tid, const Row& row) {
       hooks_.forward_retract(log_.materialize(href));
       return true;
     }
-    auto dst_it = nodes_.find(hloc);
-    if (dst_it == nodes_.end()) return true;
-    TableStore* hstore = dst_it->second.store_if(htid);
+    Database* hdb = find_node_db(hloc);
+    if (hdb == nullptr) return true;
+    TableStore* hstore = hdb->store_if(htid);
     if (hstore == nullptr) return true;
-    Entry* he = hstore->find(hrow);
+    Entry* he = hstore->find_ref(href);
     if (he == nullptr || he->support <= 0) return true;
     he->support -= 1;
-    if (he->support <= 0) retract(hloc, htid, hrow);
+    if (he->support <= 0) retract(hloc, htid, href);
     return true;
   });
 }

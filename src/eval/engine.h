@@ -64,6 +64,15 @@ struct EngineOptions {
   // fixpoint, event log and derivations are identical either way (pinned
   // by tests/differential_test.cpp).
   bool pushdown_selections = true;
+  // Columnar batched firing: when consecutive work-queue entries target
+  // the same table (a cascade fan-out) and every trigger plan for that
+  // table is pure (TriggerSelf-only), the lane is executed in three
+  // phases — store pass, plan-major columnar matching into a staging
+  // buffer, then tuple-major emission in the exact scalar order. Off:
+  // tuple-at-a-time dispatch (differential cross-check mode); the event
+  // log, derivations, step counts and fixpoint are identical either way
+  // (pinned by tests/differential_test.cpp).
+  bool batch_firing = true;
   size_t max_steps = 1'000'000;   // guard against runaway candidate programs
   // Auto-compaction policy (the ROADMAP's "mechanism only, no policy"
   // item): after a top-level insert/remove reaches fixpoint, if the log's
@@ -193,6 +202,10 @@ class Engine {
   // scans executed by atom steps (the trigger atom itself is neither).
   size_t index_probes() const { return index_probes_; }
   size_t full_scans() const { return full_scans_; }
+  // Columnar batched-firing statistics: lanes taken and tuples they
+  // absorbed (tests assert the fast path actually engaged).
+  size_t batched_lanes() const { return batched_lanes_; }
+  size_t batched_tuples() const { return batched_tuples_; }
 
  private:
   struct PendingAppear {
@@ -230,6 +243,10 @@ class Engine {
   // top-level mutation (never a nested or mid-fixpoint one) completes.
   void maybe_autocompact();
   void run_queue();
+  // Columnar batched firing over a lane of consecutive same-table queue
+  // entries (see the comment at the definition). Returns true when it
+  // consumed the lane; false = not eligible, caller runs the scalar pop.
+  bool run_batch_lane();
   void handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
                      EventId cause, TupleRef ref);
   void fire_rules(const Value& node, const Tuple& trigger, TableId tid,
@@ -249,10 +266,15 @@ class Engine {
               const Value& src_node, Tuple head, TagMask mask,
               std::span<const EventId> cause_events,
               std::span<const TupleRef> body_refs);
-  void retract(const Value& node, TableId tid, const Row& row);
+  void retract(const Value& node, TableId tid, TupleRef ref);
 
   static bool unify_ops(const std::vector<ArgOp>& ops, const Row& row,
                         Frame& f);
+
+  // Cached result of the last nodes_ lookup (key points at the map node,
+  // which is stable — nodes are never erased). A homogeneous stream pays
+  // one Value compare instead of a tree walk per dispatch.
+  Database* find_node_db(const Value& node);
 
   ndlog::Program program_;
   ndlog::Catalog catalog_;
@@ -264,6 +286,8 @@ class Engine {
   std::vector<TagMask> rule_restrict_;  // per rule idx, default kAllTags
   ShardHooks hooks_;  // empty functions = single-engine (serial) mode
   std::map<Value, Database> nodes_;
+  const Value* node_cache_key_ = nullptr;  // into nodes_; see find_node_db
+  Database* node_cache_db_ = nullptr;
   EventLog log_;
   HistoryStore history_;
   std::deque<PendingAppear> queue_;
@@ -292,11 +316,33 @@ class Engine {
   // insert_batch (flushed when the outermost batch finishes).
   int bulk_depth_ = 0;
   std::vector<TableStore*> bulk_stores_;
+  // Columnar batched-firing state (run_batch_lane). The eligibility of a
+  // table is static apart from callback registration, so it is computed
+  // once per table and cached; on_appear() invalidates the slot.
+  enum class BatchEligible : uint8_t { Unknown, No, Yes };
+  std::vector<BatchEligible> batch_eligible_;
+  std::vector<size_t> batch_step_cost_;  // worst-case step charge per tuple
+  struct StagedFiring {
+    uint32_t row = 0;  // index into lane_
+    TagMask mask = 0;
+    Row head;
+  };
+  // Lane scratch, reused across lanes (the batched path is not re-entrant:
+  // eligible lanes have no callbacks, and derivations only enqueue).
+  std::vector<PendingAppear> lane_;
+  std::vector<uint8_t> lane_appears_;
+  std::vector<TagMask> lane_tags_;
+  std::vector<uint32_t> lane_slots_;  // store slot per stored lane tuple  // tags the Appear event records
+  std::vector<uint32_t> match_;     // surviving lane indices, per plan
+  std::vector<std::vector<StagedFiring>> lane_firings_;  // per plan
+  std::vector<size_t> lane_cursor_;  // per-plan emission cursor
   bool diverged_ = false;
   size_t steps_ = 0;
   size_t firings_ = 0;
   size_t index_probes_ = 0;
   size_t full_scans_ = 0;
+  size_t batched_lanes_ = 0;
+  size_t batched_tuples_ = 0;
   bool running_ = false;
 };
 

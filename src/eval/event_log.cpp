@@ -21,8 +21,8 @@ const char* to_string(EventKind k) {
 
 std::string EventLog::to_string(const Event& e) const {
   std::string out = mp::eval::to_string(e.kind);
-  out += "(t=" + std::to_string(e.time) + ", @" + e.node.to_string() + ", " +
-         tuple_of(e).to_string();
+  out += "(t=" + std::to_string(e.id + 1) + ", @" +
+         node_value(e.node).to_string() + ", " + tuple_of(e).to_string();
   if (e.rule != kNoRule) out += ", rule=" + rule_name(e.rule);
   out += ")";
   return out;
@@ -50,16 +50,19 @@ EventId EventLog::append(EventKind kind, const Value& node, TupleRef tuple,
   assert(causes.size() <= 0xffff);
   if (causes.size() > 0xffff) causes = causes.first(0xffff);
   const EventId id = size();
-  Event& e = events_.emplace_back();
+  // Build the record in registers and push it in one store: emplace_back()
+  // followed by field-at-a-time writes costs a zero-init plus scattered
+  // stores into freshly grown heap memory on this 40%-of-profile path.
+  Event e;
   e.id = id;
   e.kind = kind;
-  e.time = tick();
-  e.node = node;
+  e.node = intern_node(node);
   e.tuple = tuple;
   e.rule = rule;
   e.causes_begin = cause_base_ + cause_arena_.size();
   e.ncauses = static_cast<uint16_t>(causes.size());
   e.tags = tags;
+  events_.push_back(e);
   // `causes` may alias this log's own arena (a span from causes_of(), the
   // natural way to duplicate an event): copy by index so push_back's
   // reallocation cannot invalidate the source mid-copy.
@@ -108,8 +111,34 @@ size_t EventLog::add_derivation(RuleId rule, TupleRef head,
   rec.body_begin = body_arena_.size();
   rec.nbody = static_cast<uint16_t>(body.size());
   rec.live = live;
-  head_index_[head].push_back(idx);
-  for (TupleRef b : body) body_index_[b].push_back(idx);
+  // kNoTupleRef positions (provenance-off merges) carry no provenance and
+  // are never looked up; indexing them would blow the dense arrays up to
+  // the sentinel.
+  constexpr uint32_t kNone = ~uint32_t{0};
+  const uint32_t idx32 = static_cast<uint32_t>(idx);
+  if (head != kNoTupleRef) {
+    if (head >= head_index_.size()) head_index_.resize(head + 1);
+    ChainHead& ch = head_index_[head];
+    if (ch.first == kNone) {
+      ch.first = idx32;
+    } else {
+      derivations_[ch.last].next_same_head = idx32;
+    }
+    ch.last = idx32;
+  }
+  for (TupleRef b : body) {
+    const uint32_t pos = static_cast<uint32_t>(body_links_.size());
+    body_links_.push_back(BodyLink{idx32, kNone});
+    if (b == kNoTupleRef) continue;
+    if (b >= body_index_.size()) body_index_.resize(b + 1);
+    ChainHead& ch = body_index_[b];
+    if (ch.first == kNone) {
+      ch.first = pos;
+    } else {
+      body_links_[ch.last].next = pos;
+    }
+    ch.last = pos;
+  }
   body_arena_.insert(body_arena_.end(), body.begin(), body.end());
   derivations_.push_back(rec);
   return idx;
@@ -131,26 +160,6 @@ std::vector<size_t> EventLog::derivations_using(TupleRef t) const {
     return true;
   });
   return out;
-}
-
-void EventLog::for_each_derivation_of(
-    TupleRef t, const std::function<bool(size_t)>& fn) const {
-  if (t == kNoTupleRef) return;
-  auto it = head_index_.find(t);
-  if (it == head_index_.end()) return;
-  for (size_t idx : it->second) {
-    if (derivations_[idx].live && !fn(idx)) return;
-  }
-}
-
-void EventLog::for_each_derivation_using(
-    TupleRef t, const std::function<bool(size_t)>& fn) const {
-  if (t == kNoTupleRef) return;
-  auto it = body_index_.find(t);
-  if (it == body_index_.end()) return;
-  for (size_t idx : it->second) {
-    if (derivations_[idx].live && !fn(idx)) return;
-  }
 }
 
 bool EventLog::has_derivation_of(TupleRef t) const {
@@ -228,7 +237,7 @@ Value get_value(const uint8_t*& p) {
 }  // namespace
 
 size_t EventLog::serialized_bytes(const Event& e) const {
-  size_t sz = kHeaderBytes + value_bytes(e.node) + 8 * e.ncauses;
+  size_t sz = kHeaderBytes + 8 * e.ncauses;
   for (const Value& v : pool_.row(e.tuple)) sz += value_bytes(v);
   return sz;
 }
@@ -241,10 +250,16 @@ void EventLog::write_name_record(uint8_t kind, uint16_t id,
   ckpt_names_.insert(ckpt_names_.end(), name.begin(), name.end());
 }
 
+void EventLog::write_node_record(uint16_t id, const Value& node) {
+  ckpt_names_.push_back(2);
+  put_u16(ckpt_names_, id);
+  put_value(ckpt_names_, node);
+}
+
 void EventLog::serialize(const Event& e, std::vector<uint8_t>& out) const {
   const TableId tid = pool_.table(e.tuple);
   const Row& row = pool_.row(e.tuple);
-  put_u64(out, e.time);
+  put_u64(out, e.id + 1);  // logical time (== id + 1, kept in the format)
   put_u64(out, e.tags);
   out.push_back(static_cast<uint8_t>(e.kind));
   out.push_back(0);
@@ -253,9 +268,8 @@ void EventLog::serialize(const Event& e, std::vector<uint8_t>& out) const {
                                  : static_cast<uint16_t>(e.rule));
   put_u16(out, static_cast<uint16_t>(row.size()));
   put_u16(out, e.ncauses);
-  put_u16(out, 0);
+  put_u16(out, static_cast<uint16_t>(e.node));
   put_u32(out, static_cast<uint32_t>(serialized_bytes(e) - kHeaderBytes));
-  put_value(out, e.node);
   for (const Value& v : row) put_value(out, v);
   for (EventId c : causes_of(e)) put_u64(out, c);
 }
@@ -264,15 +278,16 @@ Event EventLog::decode(size_t entry) const {
   const uint8_t* p = ckpt_.data() + ckpt_offsets_[entry];
   Event e;
   e.id = entry;
-  e.time = get_u64(p);
   e.tags = get_u64(p + 8);
   e.kind = static_cast<EventKind>(p[16]);
   const uint16_t table_id = get_u16(p + 18);
   const uint16_t rule_id = get_u16(p + 20);
   const uint16_t nvals = get_u16(p + 22);
   const uint16_t ncauses = get_u16(p + 24);
+  // The interner is never truncated, so the 16-bit checkpoint id IS the
+  // live NodeRef (compact() refuses ids that do not fit 16 bits).
+  e.node = get_u16(p + 26);
   p += kHeaderBytes;
-  e.node = get_value(p);
   Row row;
   row.reserve(nvals);
   for (uint16_t i = 0; i < nvals; ++i) row.push_back(get_value(p));
@@ -301,7 +316,9 @@ bool EventLog::fits_checkpoint_format(const Event& e) const {
     return false;
   }
   if (e.rule != kNoRule && e.rule >= kNoRuleSerialized) return false;
-  if (e.node.is_str() && e.node.as_str().size() > kMax) return false;
+  if (e.node >= kMax) return false;
+  const Value& node = node_value(e.node);
+  if (node.is_str() && node.as_str().size() > kMax) return false;
   for (const Value& v : row) {
     if (v.is_str() && v.as_str().size() > kMax) return false;
   }
@@ -330,6 +347,9 @@ size_t EventLog::compact(size_t keep_live) {
     if (e.rule != kNoRule && first_ref(rule_name_written_, e.rule)) {
       write_name_record(1, static_cast<uint16_t>(e.rule), rule_names_[e.rule]);
     }
+    if (first_ref(node_written_, e.node)) {
+      write_node_record(static_cast<uint16_t>(e.node), node_value(e.node));
+    }
     ckpt_offsets_.push_back(ckpt_.size());
     serialize(e, ckpt_);
   }
@@ -354,6 +374,7 @@ size_t EventLog::byte_estimate() const {
   // live events and not yet in the checkpoint string table).
   std::vector<uint8_t> tseen = table_name_written_;
   std::vector<uint8_t> rseen = rule_name_written_;
+  std::vector<uint8_t> nseen = node_written_;
   for (const Event& e : events_) {
     total += serialized_bytes(e);
     const TableId tid = pool_.table(e.tuple);
@@ -363,14 +384,11 @@ size_t EventLog::byte_estimate() const {
     if (e.rule != kNoRule && first_ref(rseen, e.rule)) {
       total += name_record_bytes(rule_names_[e.rule]);
     }
+    if (first_ref(nseen, e.node)) {
+      total += 1 + 2 + value_bytes(node_value(e.node));
+    }
   }
   return total;
-}
-
-Time EventLog::event_time(EventId id) const {
-  if (id >= base_id_) return events_[id - base_id_].time;
-  // `time` is the first header field of the serialized entry.
-  return get_u64(ckpt_.data() + ckpt_offsets_[id]);
 }
 
 void EventLog::for_each_event(const std::function<void(const Event&)>& fn) const {
@@ -386,13 +404,14 @@ void EventLog::clear() {
   body_arena_.clear();
   head_index_.clear();
   body_index_.clear();
+  body_links_.clear();
   ckpt_.clear();
   ckpt_offsets_.clear();
   ckpt_names_.clear();
   table_name_written_.clear();
   rule_name_written_.clear();
+  node_written_.clear();
   base_id_ = 0;
-  time_ = 0;
 }
 
 }  // namespace mp::eval

@@ -39,18 +39,23 @@
 //
 // Serialized entry layout (little-endian, 32-byte fixed header):
 //   u64 time | u64 tags | u8 kind | u8 reserved | u16 table_id |
-//   u16 rule_id | u16 nvals | u16 ncauses | u16 reserved | u32 payload_len
-// followed by payload: node value, nvals row values (u8 tag, then i64 or
-// u16 len + bytes), ncauses x u64 cause ids. String-table records (name
-// blob): u8 kind (0 = table, 1 = rule) | u16 id | u16 len | bytes.
+//   u16 rule_id | u16 nvals | u16 ncauses | u16 node_id | u32 payload_len
+// followed by payload: nvals row values (u8 tag, then i64 or u16 len +
+// bytes), ncauses x u64 cause ids. The event's node is an interned 16-bit
+// id; its Value is written once per checkpoint into the string-table
+// section, exactly like table and rule names. String-table records (name
+// blob): u8 kind (0 = table, 1 = rule) | u16 id | u16 len | bytes, or for
+// nodes: u8 kind (2) | u16 id | serialized Value.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -67,6 +72,13 @@ inline constexpr EventId kNoEvent = ~0ULL;
 // Interned rule name (EventLog::intern_rule / rule_name).
 using RuleId = uint32_t;
 inline constexpr RuleId kNoRule = ~RuleId{0};
+
+// Interned event-location Value (EventLog::intern_node / node_value).
+// Fixed-width handle so Event stays trivially copyable: the old
+// `Value node` member made every Event carry (and every log-vector
+// growth copy) a 48-byte Value with a live std::string.
+using NodeRef = uint32_t;
+inline constexpr NodeRef kNoNode = ~NodeRef{0};
 
 enum class EventKind : uint8_t {
   Insert,     // base tuple inserted externally
@@ -86,17 +98,23 @@ const char* to_string(EventKind k);
 // real offset: the arena would have to hold 2^64 ids).
 inline constexpr uint64_t kDecodedCauses = ~0ULL;
 
+// Events carry no timestamp field: append assigns logical times 1, 2, 3,
+// ... in id order, so an event's time is always id + 1 (event_time()).
+// Dropping the redundant u64 shrinks the live record from 48 to 40 bytes;
+// the checkpoint format still stores the explicit u64 time per entry.
 struct Event {
   EventId id = kNoEvent;
-  Time time = 0;
   uint64_t causes_begin = 0;     // absolute offset into the cause arena
-  Value node;                    // where the event happened
+  TagMask tags = kAllTags;
+  NodeRef node = kNoNode;        // where it happened (EventLog::node_value)
   TupleRef tuple = kNoTupleRef;  // into the owning log's TuplePool
   RuleId rule = kNoRule;         // rule for Derive/Underive
   uint16_t ncauses = 0;          // direct causal predecessors
   EventKind kind = EventKind::Insert;
-  TagMask tags = kAllTags;
 };
+// The live suffix is a vector<Event> appended to on every recorded step;
+// trivial copyability keeps its geometric growth a memmove.
+static_assert(std::is_trivially_copyable_v<Event>);
 
 // A derivation record links a derived head tuple to the concrete body
 // tuples that produced it; used for positive provenance trees and for
@@ -107,6 +125,10 @@ struct DerivRecord {
   uint64_t body_begin = 0;      // offset into the body-ref arena
   TupleRef head = kNoTupleRef;
   RuleId rule = kNoRule;
+  // Next record with the same head, in insertion order (the head index is
+  // an intrusive FIFO chain, not a per-ref vector: appending a derivation
+  // allocates nothing).
+  uint32_t next_same_head = ~uint32_t{0};
   uint16_t nbody = 0;
   bool live = true;  // false once the derivation has been retracted
 };
@@ -138,6 +160,32 @@ class EventLog {
   const std::string& rule_name(RuleId id) const {
     static const std::string kEmpty;
     return id == kNoRule ? kEmpty : rule_names_[id];
+  }
+  // Interns an event-location Value to a dense handle. Two-entry cache:
+  // the append hot path alternates between at most two nodes for long
+  // external runs (a homogeneous stream's source location and the rule
+  // head's destination), so the common case is a Value equality compare,
+  // not a hash. Two entries, not one — a single entry thrashes on every
+  // source -> destination transition within one insert's cascade.
+  NodeRef intern_node(const Value& node) {
+    if (node_cache_ref_ != kNoNode && node_values_[node_cache_ref_] == node) {
+      return node_cache_ref_;
+    }
+    if (node_cache_ref2_ != kNoNode &&
+        node_values_[node_cache_ref2_] == node) {
+      std::swap(node_cache_ref_, node_cache_ref2_);  // keep MRU first
+      return node_cache_ref_;
+    }
+    auto [it, inserted] =
+        node_ids_.try_emplace(node, static_cast<NodeRef>(node_values_.size()));
+    if (inserted) node_values_.push_back(node);
+    node_cache_ref2_ = node_cache_ref_;
+    node_cache_ref_ = it->second;
+    return it->second;
+  }
+  const Value& node_value(NodeRef id) const {
+    static const Value kNone;
+    return id == kNoNode ? kNone : node_values_[id];
   }
   TupleRef intern_tuple(const std::string& table, const Row& row) {
     return pool_.intern(names().intern(table), row);
@@ -214,18 +262,35 @@ class EventLog {
     return derivations_using(find_ref(t));
   }
   // Allocation-light variants: visit indices of live records in insertion
-  // order; `fn` returns false to stop.
-  void for_each_derivation_of(TupleRef t,
-                              const std::function<bool(size_t)>& fn) const;
-  void for_each_derivation_using(TupleRef t,
-                                 const std::function<bool(size_t)>& fn) const;
+  // order; `fn` returns false to stop. Templated so hot callers (retract
+  // cascades) pay no std::function wrapping per call.
+  template <typename Fn>
+  void for_each_derivation_of(TupleRef t, Fn&& fn) const {
+    constexpr uint32_t kNone = ~uint32_t{0};
+    if (t == kNoTupleRef || t >= head_index_.size()) return;
+    for (uint32_t idx = head_index_[t].first; idx != kNone;
+         idx = derivations_[idx].next_same_head) {
+      if (derivations_[idx].live && !fn(static_cast<size_t>(idx))) return;
+    }
+  }
+  template <typename Fn>
+  void for_each_derivation_using(TupleRef t, Fn&& fn) const {
+    constexpr uint32_t kNone = ~uint32_t{0};
+    if (t == kNoTupleRef || t >= body_index_.size()) return;
+    for (uint32_t pos = body_index_[t].first; pos != kNone;
+         pos = body_links_[pos].next) {
+      const uint32_t idx = body_links_[pos].record;
+      if (derivations_[idx].live && !fn(static_cast<size_t>(idx))) return;
+    }
+  }
   bool has_derivation_of(TupleRef t) const;
   bool has_derivation_of(const Tuple& t) const {
     return has_derivation_of(find_ref(t));
   }
 
-  Time now() const { return time_; }
-  Time tick() { return ++time_; }
+  // Logical clock: times are assigned densely in append order, so the
+  // current time is simply the event count.
+  Time now() const { return size(); }
 
   // --- checkpoint + truncate (event-log compaction, Section 5.4) -------
   // Serializes all but the newest `keep_live` live events into the
@@ -242,16 +307,18 @@ class EventLog {
   // Serialized checkpoint footprint: entry bytes plus the string-table
   // (names) section.
   size_t checkpoint_bytes() const { return ckpt_.size() + ckpt_names_.size(); }
-  // Timestamp of any event, live or checkpointed.
-  Time event_time(EventId id) const;
+  // Timestamp of any event, live or checkpointed: times are assigned
+  // densely in append order, so this is id + 1 (the checkpoint stores the
+  // explicit u64 too, for the on-disk format's sake).
+  Time event_time(EventId id) const { return id + 1; }
   // Walks the full event sequence in id order: each checkpointed entry is
   // decoded into a scratch Event (valid only for the duration of the
   // call), then the live suffix is visited in place.
   void for_each_event(const std::function<void(const Event&)>& fn) const;
   // Exact size of `e`'s entry in the serialized checkpoint format (header
-  // + node + row values + cause ids; names are accounted separately, once
-  // per distinct name). byte_estimate() sums this over all events plus the
-  // name records.
+  // + row values + cause ids; names and node values are accounted
+  // separately, once per distinct id). byte_estimate() sums this over all
+  // events plus the name records.
   size_t serialized_bytes(const Event& e) const;
 
   // On-disk footprint of the log in the serialized format above: bytes
@@ -271,6 +338,7 @@ class EventLog {
     return 1 + 2 + 2 + name.size();
   }
   void write_name_record(uint8_t kind, uint16_t id, const std::string& name);
+  void write_node_record(uint16_t id, const Value& node);
   bool fits_checkpoint_format(const Event& e) const;
   void serialize(const Event& e, std::vector<uint8_t>& out) const;
   Event decode(size_t entry) const;  // entry index into ckpt_offsets_
@@ -280,6 +348,14 @@ class EventLog {
   TuplePool pool_;
   std::vector<std::string> rule_names_;
   std::unordered_map<std::string, RuleId> rule_ids_;
+  // Node interner (intern_node / node_value). A deque: node_value() hands
+  // out references that must survive later interns. Like the pool and the
+  // rule interner, never truncated — NodeRefs inside checkpointed entries
+  // stay resolvable forever.
+  std::deque<Value> node_values_;
+  std::unordered_map<Value, NodeRef, ValueHash> node_ids_;
+  NodeRef node_cache_ref_ = kNoNode;
+  NodeRef node_cache_ref2_ = kNoNode;
 
   std::vector<Event> events_;  // live suffix; events_[i].id == base_id_ + i
   // Cause arena: every event's causes are one contiguous run; compaction
@@ -288,19 +364,31 @@ class EventLog {
   uint64_t cause_base_ = 0;
   std::vector<DerivRecord> derivations_;
   std::vector<TupleRef> body_arena_;  // DerivRecord body refs
-  // Derivation indexes keyed by handle (interning makes lookup a 32-bit
-  // hash, dedup a handle compare).
-  std::unordered_map<TupleRef, std::vector<size_t>> head_index_;
-  std::unordered_map<TupleRef, std::vector<size_t>> body_index_;
+  // Derivation indexes addressed directly by the dense TupleRef (the pool
+  // hands out ids contiguously): lookup is an array load, not a hash.
+  // Both are intrusive FIFO chains — (first, last) record per ref, links
+  // in next_same_head / body_links_ — so appending a derivation is a few
+  // integer stores, never a per-ref vector allocation.
+  struct ChainHead {
+    uint32_t first = ~uint32_t{0};
+    uint32_t last = ~uint32_t{0};
+  };
+  struct BodyLink {
+    uint32_t record = ~uint32_t{0};  // derivation index of this occurrence
+    uint32_t next = ~uint32_t{0};    // next body_links_ pos with same ref
+  };
+  std::vector<ChainHead> head_index_;      // by head TupleRef
+  std::vector<ChainHead> body_index_;      // by body TupleRef
+  std::vector<BodyLink> body_links_;       // parallel to body_arena_
 
   std::vector<uint8_t> ckpt_;          // serialized compacted entries
   std::vector<size_t> ckpt_offsets_;   // entry i starts at ckpt_[offsets[i]]
   std::vector<uint8_t> ckpt_names_;    // string-table section (names, once)
   std::vector<uint8_t> table_name_written_;  // by TableId
   std::vector<uint8_t> rule_name_written_;   // by RuleId
+  std::vector<uint8_t> node_written_;        // by NodeRef
   mutable std::vector<EventId> decode_causes_;  // scratch for decode()
   EventId base_id_ = 0;
-  Time time_ = 0;
 };
 
 }  // namespace mp::eval

@@ -248,6 +248,148 @@ bool all_bound(const std::vector<uint32_t>& slots,
   return true;
 }
 
+// Single-node expression accessors for the const-fold below.
+const SlotExpr::Node* single_node(const SlotExpr& e) {
+  return e.nodes.size() == 1 ? &e.nodes[0] : nullptr;
+}
+
+// Folds trigger selections of the form `Var == Const` (either side) into
+// a constant arg check on a trigger column that binds the variable:
+// `cmp_eval(Eq, a, b)` is exactly `a == b`, so prepending
+// ArgOp{Const, col, cval} to the trigger ops rejects a mismatching
+// trigger tuple with one Value compare instead of running the selection
+// machinery per firing. The folded selection is removed from
+// trigger_sels; its pushed_mask bit stays set, so finish_rule skips it
+// exactly as it would any pushed selection.
+void fold_const_trigger_sels(const CompiledRule& cr, TriggerPlan& tp) {
+  auto it = tp.trigger_sels.begin();
+  while (it != tp.trigger_sels.end()) {
+    const CompiledSelection& sel = cr.sels[*it];
+    const SlotExpr::Node* l = single_node(sel.lhs);
+    const SlotExpr::Node* r = single_node(sel.rhs);
+    const SlotExpr::Node* var = nullptr;
+    const SlotExpr::Node* cst = nullptr;
+    if (sel.op == ndlog::CmpOp::Eq && l != nullptr && r != nullptr) {
+      if (l->kind == ndlog::Expr::Kind::Var &&
+          r->kind == ndlog::Expr::Kind::Const) {
+        var = l;
+        cst = r;
+      } else if (r->kind == ndlog::Expr::Kind::Var &&
+                 l->kind == ndlog::Expr::Kind::Const) {
+        var = r;
+        cst = l;
+      }
+    }
+    uint32_t col = 0;
+    bool found = false;
+    if (var != nullptr) {
+      // The selection was pushed to the trigger, so its variable is bound
+      // by a Bind op in the trigger itself.
+      for (const ArgOp& op : tp.trigger_ops) {
+        if (op.kind == ArgOp::Kind::Bind && op.slot == var->slot) {
+          col = op.col;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      ++it;
+      continue;
+    }
+    ArgOp chk;
+    chk.kind = ArgOp::Kind::Const;
+    chk.col = col;
+    chk.cval = cst->cval;
+    tp.trigger_ops.insert(tp.trigger_ops.begin(), std::move(chk));
+    it = tp.trigger_sels.erase(it);
+  }
+}
+
+// Flattens a pure plan (every step TriggerSelf) into the row-local
+// predicate groups the engine's columnar batched-firing path consumes.
+// Leaves columnar.pure false — scalar fallback — on anything surprising
+// (a Check against a slot no trigger column bound, a re-bind).
+void build_columnar_plan(const CompiledRule& cr, TriggerPlan& tp,
+                         uint32_t trigger_body_pos) {
+  tp.columnar = ColumnarPlan{};
+  if (tp.dead) return;
+  for (const AtomStep& st : tp.steps) {
+    if (st.access != AtomStep::Access::TriggerSelf) return;
+  }
+  ColumnarPlan cp;
+  std::vector<int64_t> src;  // slot -> trigger column that bound it
+  auto flatten = [&](const std::vector<ArgOp>& ops, ColumnarGroup& g) {
+    for (const ArgOp& op : ops) {
+      switch (op.kind) {
+        case ArgOp::Kind::Const: {
+          ColumnarPred p;
+          p.kind = ColumnarPred::Kind::ConstEq;
+          p.col = op.col;
+          p.cval = op.cval;
+          g.preds.push_back(std::move(p));
+          break;
+        }
+        case ArgOp::Kind::Bind:
+          if (op.slot >= src.size()) src.resize(op.slot + 1, -1);
+          if (src[op.slot] >= 0) return false;
+          src[op.slot] = op.col;
+          cp.slot_cols.emplace_back(op.slot, op.col);
+          break;
+        case ArgOp::Kind::Check: {
+          if (op.slot >= src.size() || src[op.slot] < 0) return false;
+          ColumnarPred p;
+          p.kind = ColumnarPred::Kind::ColEq;
+          p.col = op.col;
+          p.col2 = static_cast<uint32_t>(src[op.slot]);
+          g.preds.push_back(std::move(p));
+          break;
+        }
+      }
+    }
+    return true;
+  };
+  cp.groups.resize(tp.steps.size() + 1);
+  cp.groups[0].arity = tp.arity;
+  cp.groups[0].sels = tp.trigger_sels;
+  if (!flatten(tp.trigger_ops, cp.groups[0])) return;
+  cp.body_positions.push_back(trigger_body_pos);
+  for (size_t j = 0; j < tp.steps.size(); ++j) {
+    ColumnarGroup& g = cp.groups[j + 1];
+    g.arity = tp.steps[j].arity;
+    g.sels = tp.steps[j].sels;
+    if (!flatten(tp.steps[j].full_ops, g)) return;
+    cp.body_positions.push_back(tp.steps[j].body_pos);
+  }
+  cp.pure = true;
+  // Flat finish: everything the finish evaluates must be expressible
+  // straight off the trigger row.
+  if (cr.assigns.empty() && cr.sels.size() <= 64 &&
+      (cr.sels.empty() ||
+       (tp.pushed_mask & ((~uint64_t{0}) >> (64 - cr.sels.size()))) ==
+           ((~uint64_t{0}) >> (64 - cr.sels.size())))) {
+    bool flat = true;
+    for (const SlotExpr& arg : cr.head_args) {
+      const SlotExpr::Node* n = single_node(arg);
+      ColumnarPlan::HeadCol hc;
+      if (n != nullptr && n->kind == ndlog::Expr::Kind::Const) {
+        hc.is_const = true;
+        hc.cval = n->cval;
+      } else if (n != nullptr && n->kind == ndlog::Expr::Kind::Var &&
+                 n->slot < src.size() && src[n->slot] >= 0) {
+        hc.col = static_cast<uint32_t>(src[n->slot]);
+      } else {
+        flat = false;
+        break;
+      }
+      cp.head_cols.push_back(std::move(hc));
+    }
+    cp.flat_finish = flat;
+    if (!flat) cp.head_cols.clear();
+  }
+  tp.columnar = std::move(cp);
+}
+
 }  // namespace
 
 CompiledRule compile_rule(const ndlog::Rule& rule, ndlog::Catalog& catalog,
@@ -297,6 +439,7 @@ CompiledRule compile_rule(const ndlog::Rule& rule, ndlog::Catalog& catalog,
       }
     };
     push_ready_sels(tp.trigger_sels);
+    fold_const_trigger_sels(cr, tp);
     std::vector<size_t> remaining;
     for (size_t b = 0; b < rule.body.size(); ++b) {
       if (b != t) remaining.push_back(b);
@@ -351,6 +494,7 @@ CompiledRule compile_rule(const ndlog::Rule& rule, ndlog::Catalog& catalog,
       push_ready_sels(st.sels);
       tp.steps.push_back(std::move(st));
     }
+    build_columnar_plan(cr, tp, static_cast<uint32_t>(t));
   }
   cr.nslots = sm.next;
   return cr;

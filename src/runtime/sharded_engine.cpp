@@ -308,6 +308,7 @@ eval::EventLog ShardedEngine::merged_log() const {
   // Pass 2: append in canonical order, remapping causal links and handles.
   std::vector<eval::EventId> causes;
   for (const GlobalSpan& sp : spans) {
+    const eval::EventLog& slog = shards_[sp.shard].engine->log();
     for (uint64_t i = sp.begin; i < sp.end; ++i) {
       const MergeEvent& me = events[sp.shard][i];
       const eval::Event& ev = me.ev;
@@ -329,8 +330,11 @@ eval::EventLog ShardedEngine::merged_log() const {
           }
         }
       }
-      out.append(ev.kind, ev.node, map_tuple(sp.shard, ev.tuple), ev.tags,
-                 causes, map_rule(sp.shard, ev.rule));
+      // ev.node is a handle into the source shard's interner; the append
+      // re-interns its Value into the merged log's private node space.
+      out.append(ev.kind, slog.node_value(ev.node),
+                 map_tuple(sp.shard, ev.tuple), ev.tags, causes,
+                 map_rule(sp.shard, ev.rule));
     }
   }
 

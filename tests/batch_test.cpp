@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <span>
 #include <string>
@@ -164,7 +165,9 @@ TEST(BatchInsert, DivergenceGuardStillTrips) {
 
 TEST(TableStore, DuplicateInsertIsIndexedExactlyOnce) {
   std::vector<std::vector<uint32_t>> specs{{0}};
+  TuplePool pool;
   TableStore s;
+  s.attach(&pool, 0);
   s.configure_indexes(&specs);
   Row row{Value(1), Value(2)};
   s.insert(row).support += 1;
@@ -197,7 +200,9 @@ TEST(Engine, DuplicateInsertDoesNotDuplicateJoinMatches) {
 
 TEST(TableStore, DeferredIndexingFlushesOnProbe) {
   std::vector<std::vector<uint32_t>> specs{{0}};
+  TuplePool pool;
   TableStore s;
+  s.attach(&pool, 0);
   s.configure_indexes(&specs);
   s.set_deferred_indexing(true);
   s.insert({Value(1), Value(10)}).support += 1;
@@ -212,7 +217,9 @@ TEST(TableStore, DeferredIndexingFlushesOnProbe) {
 
 TEST(TableStore, DeferredIndexingFlushesBeforeErase) {
   std::vector<std::vector<uint32_t>> specs{{0}};
+  TuplePool pool;
   TableStore s;
+  s.attach(&pool, 0);
   s.configure_indexes(&specs);
   s.set_deferred_indexing(true);
   s.insert({Value(1), Value(10)}).support += 1;
@@ -344,6 +351,116 @@ TEST(ReplayBaseStream, RebuildsTablesFromRecordedLog) {
   EXPECT_EQ(table_snapshot(rebuilt), table_snapshot(original));
   EXPECT_EQ(rebuilt.rule_firings(), original.rule_firings());
   EXPECT_EQ(rebuilt.log().size(), original.log().size());
+}
+
+// --- columnar batched firing edge cases ---------------------------------
+// Engine::run_batch_lane batches a same-table run at the queue front; the
+// tests below pin the fallback seams: tables with appearance callbacks and
+// keyed tables must stay on the scalar path, singleton queues can never
+// form a lane, and every configuration must stay byte-identical to the
+// batch_firing=false engine.
+
+// Fan-out program whose every In insert creates a 3-tuple Mid lane, and
+// whose Mid lane fires into Out — two lane opportunities per insert.
+const char* kLaneProgram =
+    "table Mid/3.\ntable Out/3.\nevent In/2.\n"
+    "c1 Mid(@X,V,1) :- In(@X,V).\n"
+    "c2 Mid(@X,V,2) :- In(@X,V).\n"
+    "c3 Mid(@X,V,3) :- In(@X,V).\n"
+    "o1 Out(@X,K,V) :- Mid(@X,V,K), K < 3.\n";
+
+TEST(BatchFiring, CallbackTableFallsBackAndReentrantInsertsAgree) {
+  // A callback on Out (re-entrantly inserting into In on every third
+  // appearance) makes Out lanes ineligible — callbacks must interleave
+  // with appearances exactly as the scalar engine interleaves them — but
+  // the Mid lanes still batch around it.
+  auto drive = [](bool batch_firing, size_t& callbacks) {
+    EngineOptions opt;
+    opt.batch_firing = batch_firing;
+    auto engine = std::make_unique<Engine>(ndlog::parse_program(kLaneProgram),
+                                           std::move(opt));
+    Engine* raw = engine.get();
+    callbacks = 0;
+    engine->on_appear("Out", [raw, &callbacks](const Tuple& tup, TagMask) {
+      ++callbacks;
+      if (callbacks % 3 == 0 && callbacks < 30) {
+        raw->insert(Tuple{
+            "In", {tup.row[0], Value(1000 + static_cast<int64_t>(callbacks))}});
+      }
+    });
+    for (int i = 0; i < 10; ++i) {
+      raw->insert(Tuple{"In", {Value(1), Value(i)}});
+    }
+    return engine;
+  };
+  size_t cb_lane = 0, cb_scalar = 0;
+  auto lanes = drive(true, cb_lane);
+  auto scalar = drive(false, cb_scalar);
+  EXPECT_GT(cb_lane, 0u);
+  EXPECT_EQ(cb_lane, cb_scalar);
+  EXPECT_GT(lanes->batched_lanes(), 0u) << "Mid lanes must still batch";
+  EXPECT_EQ(scalar->batched_lanes(), 0u);
+  expect_equivalent(*lanes, *scalar, "re-entrant callback inserts");
+}
+
+TEST(BatchFiring, KeyedLaneTargetRetractionCascadesAgree) {
+  // Keyed head table: every duplicate-key derivation displaces the prior
+  // row, retracting its downstream derivations mid-cascade. Key
+  // replacement is order-sensitive, so keyed tables are excluded from
+  // lanes — the displacement cascade must agree with the scalar engine
+  // even while the sibling unkeyed lanes still batch.
+  const char* prog =
+      "table Slot/3 keys(0,1).\ntable Shadow/3.\nevent In/2.\n"
+      "k1 Slot(@X,1,V) :- In(@X,V).\n"
+      "k2 Slot(@X,2,V) :- In(@X,V).\n"
+      "k3 Shadow(@X,V,1) :- In(@X,V).\n"
+      "k4 Shadow(@X,V,2) :- In(@X,V).\n"
+      "d1 Shadow(@X,K,V) :- Slot(@X,K,V), K == 1.\n";
+  EngineOptions scalar_opt;
+  scalar_opt.batch_firing = false;
+  Engine lanes(ndlog::parse_program(prog));
+  Engine scalar(ndlog::parse_program(prog), scalar_opt);
+  for (int i = 0; i < 12; ++i) {
+    // Same key (X=1, 1/2) every round: each insert displaces both Slot
+    // rows and underives d1's Shadow row while the Shadow lane batches.
+    lanes.insert(Tuple{"In", {Value(1), Value(i)}});
+    scalar.insert(Tuple{"In", {Value(1), Value(i)}});
+  }
+  EXPECT_GT(lanes.batched_lanes(), 0u) << "Shadow lanes must engage";
+  expect_equivalent(lanes, scalar, "keyed displacement cascade");
+}
+
+TEST(BatchFiring, SingletonQueuesNeverFormLanes) {
+  // One derived appearance per insert: the queue never holds two
+  // same-table entries, so the columnar path must never trigger and the
+  // scalar path must carry every firing.
+  const char* prog =
+      "table Only/2.\nevent In/2.\n"
+      "s1 Only(@X,V) :- In(@X,V).\n";
+  Engine engine(ndlog::parse_program(prog));
+  for (int i = 0; i < 20; ++i) {
+    engine.insert(Tuple{"In", {Value(1), Value(i)}});
+  }
+  EXPECT_EQ(engine.batched_lanes(), 0u);
+  EXPECT_EQ(engine.batched_tuples(), 0u);
+  EXPECT_EQ(engine.rule_firings(), 20u);
+}
+
+TEST(BatchFiring, LaneCountersTrackWholeLanes) {
+  Engine engine(ndlog::parse_program(kLaneProgram));
+  for (int i = 0; i < 10; ++i) {
+    engine.insert(Tuple{"In", {Value(1), Value(i)}});
+  }
+  // Each insert makes one 3-wide Mid lane and one 2-wide Out lane.
+  EXPECT_EQ(engine.batched_lanes(), 20u);
+  EXPECT_EQ(engine.batched_tuples(), 50u);
+  EngineOptions off;
+  off.batch_firing = false;
+  Engine scalar(ndlog::parse_program(kLaneProgram), off);
+  for (int i = 0; i < 10; ++i) {
+    scalar.insert(Tuple{"In", {Value(1), Value(i)}});
+  }
+  expect_equivalent(engine, scalar, "lane counter program");
 }
 
 }  // namespace

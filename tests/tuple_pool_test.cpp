@@ -138,7 +138,8 @@ TEST(TuplePool, StringRoundTripReproducesEventSequenceOnAllScenarios) {
     EventLog rebuilt;
     e.log().for_each_event([&](const Event& ev) {
       const auto causes = e.log().causes_of(ev);
-      rebuilt.append(ev.kind, ev.node, e.log().tuple_of(ev), ev.tags,
+      rebuilt.append(ev.kind, e.log().node_value(ev.node),
+                     e.log().tuple_of(ev), ev.tags,
                      {causes.begin(), causes.end()},
                      e.log().rule_name(ev.rule));
     });

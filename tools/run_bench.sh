@@ -22,7 +22,8 @@ trap 'rm -f "$RAW"' EXIT
 # --benchmark_out: bench_overhead prints a storage-accounting preamble to
 # stdout, so the JSON must go to a file.
 "$BENCH" \
-  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_JoinHeavyBatchInsert|BM_PacketInProcessing|BM_RepairHistoryProbe|BM_ShardedEval' \
+  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_JoinHeavyBatchInsert|BM_PacketInProcessing|BM_RepairHistoryProbe|BM_ShardedEval|BM_CascadeFanout' \
+  --benchmark_min_time=1 \
   --benchmark_out_format=json --benchmark_out="$RAW" >/dev/null
 
 REPO_ROOT="$REPO_ROOT" python3 - "$RAW" "$OUT" <<'EOF'
@@ -85,21 +86,32 @@ for arg, key in ((0, "provenance_off"), (1, "provenance_on")):
         if b.get("bytes_per_event") is not None:
             packetin[key]["bytes_per_event"] = b["bytes_per_event"]
 
-# Provenance-recording overhead trajectory: `before` pins the last
-# pre-interning measurement (commit cc2d1c4: full Tuple/string/vector
-# copies per event, ~30x recording tax; its bytes/event is recomputed
-# exactly over this run's workload from the old string-carrying entry
-# layout — see bytes_per_event_stringly in BM_PacketInProcessing).
-# `after` is this run on the interned-handle record layout (TupleRef +
-# RuleId + cause arena, names once per checkpoint).
+# Provenance-recording overhead trajectory. `pre_interning` pins the
+# last string-carrying measurement (commit cc2d1c4: full
+# Tuple/string/vector copies per event, ~30x recording tax; its
+# bytes/event is recomputed exactly over this run's workload from the old
+# entry layout — see bytes_per_event_stringly in BM_PacketInProcessing).
+# `before` pins the interned-tuple fast path as of PR 5 (commit fc62743,
+# re-measured at the growth seed 86e81ed with the benchmark's max_steps
+# fix — the earlier recorded 1.43M/s row predates that fix and measured a
+# step-capped engine). `after` is this run: NodeRef-interned event
+# records, TupleRef-keyed slot stores, const-folded trigger selections
+# and columnar batched firing.
 on_bench = results.get("BM_PacketInProcessing/1", {})
 overhead = {
-    "before": {
+    "pre_interning": {
         "commit": "cc2d1c4",
         "provenance_on_tuples_per_sec": 279110.33156083024,
         "provenance_off_tuples_per_sec": 8428444.258561634,
         "recording_tax": 8428444.258561634 / 279110.33156083024,
         "bytes_per_event": on_bench.get("bytes_per_event_stringly"),
+    },
+    "before": {
+        "commit": "fc62743",
+        "provenance_on_tuples_per_sec": 565667.0,
+        "provenance_off_tuples_per_sec": 2781780.0,
+        "recording_tax": 2781780.0 / 565667.0,
+        "bytes_per_event": 77.41,
     },
 }
 on = packetin.get("provenance_on", {})
@@ -113,7 +125,41 @@ if on.get("tuples_per_sec") and off.get("tuples_per_sec"):
         "speedup_vs_before":
             on["tuples_per_sec"]
             / overhead["before"]["provenance_on_tuples_per_sec"],
+        "speedup_vs_pre_interning":
+            on["tuples_per_sec"]
+            / overhead["pre_interning"]["provenance_on_tuples_per_sec"],
     }
+
+# Columnar batched firing (BM_CascadeFanout): same cascade workload with
+# Engine::run_batch_lane on vs off. Provenance off isolates the
+# evaluation path (lane matching + flat head construction) — neutral to
+# ~1.15x on the 1-CPU box depending on its clock-drift window; with
+# provenance on the log append dominates and the two paths converge.
+columnar = {}
+for prov, pkey in ((0, "provenance_off"), (1, "provenance_on")):
+    scalar = results.get(f"BM_CascadeFanout/0/{prov}")
+    lanes = results.get(f"BM_CascadeFanout/1/{prov}")
+    if not scalar or not lanes:
+        continue
+    columnar[pkey] = {
+        "tuple_at_a_time_packets_per_sec": rate(scalar),
+        "columnar_packets_per_sec": rate(lanes),
+        "speedup": rate(lanes) / rate(scalar) if rate(scalar) else None,
+    }
+
+# Hardware counters (bench/perf_counters.h): present only when the kernel
+# grants perf_event_open; containers commonly deny it, in which case the
+# throughput rows above stand alone.
+perf = {}
+for name, key in (("BM_PacketInProcessing/1", "packet_in_provenance_on"),
+                  ("BM_CascadeFanout/1/1", "cascade_columnar_provenance_on")):
+    b = results.get(name, {})
+    row = {k: b[k] for k in ("cycles_per_tuple", "instructions_per_tuple",
+                             "cache_misses_per_tuple",
+                             "branch_misses_per_tuple") if b.get(k) is not None}
+    if row:
+        perf[key] = row
+perf_counters = perf if perf else {"available": False}
 
 # Sharded end-to-end scaling: Arg(0) is the serial Engine baseline, the
 # other args are ShardedEngine worker counts over the identical workload.
@@ -147,6 +193,8 @@ out = {
     "history_probe": history,
     "packet_in": packetin,
     "provenance_overhead": overhead,
+    "columnar_firing": columnar,
+    "perf_counters": perf_counters,
     "sharded_eval": sharded,
 }
 with open(out_path, "w") as f:
@@ -171,8 +219,19 @@ for workers, srow in sharded.items():
           + (f"({sp:.2f}x vs serial)" if sp else "(no serial baseline)"))
 if "after" in overhead:
     a, b = overhead["after"], overhead["before"]
-    bpe = f", {a['bytes_per_event']:.0f} B/event" if a.get("bytes_per_event") else ""
+    bpe = f", {a['bytes_per_event']:.1f} B/event" if a.get("bytes_per_event") else ""
     print(f"  provenance overhead: {a['provenance_on_tuples_per_sec']:,.0f} tuples/s recording on "
-          f"({a['speedup_vs_before']:.1f}x vs pre-interning, "
-          f"tax {b['recording_tax']:.0f}x -> {a['recording_tax']:.1f}x{bpe})")
+          f"({a['speedup_vs_before']:.2f}x vs PR 5, "
+          f"{a['speedup_vs_pre_interning']:.1f}x vs pre-interning{bpe})")
+for pkey, c in columnar.items():
+    print(f"  columnar firing ({pkey}): {c['columnar_packets_per_sec']:,.0f} packets/s "
+          f"vs {c['tuple_at_a_time_packets_per_sec']:,.0f} scalar "
+          f"({c['speedup']:.2f}x)")
+if perf:
+    for key, row in perf.items():
+        parts = ", ".join(f"{k.replace('_per_tuple','')}={v:,.0f}"
+                          for k, v in row.items())
+        print(f"  perf counters ({key}): {parts}/tuple")
+else:
+    print("  perf counters: unavailable (perf_event_open denied)")
 EOF
