@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <filesystem>
 #include <string>
 
 #include "ndlog/parser.h"
@@ -404,6 +405,77 @@ void BM_EndToEndPacketIn(benchmark::State& state) {
   state.SetLabel(opt.record_provenance ? "recording ON" : "recording OFF");
 }
 BENCHMARK(BM_EndToEndPacketIn)->Arg(0)->Arg(1);
+
+// Durable segment store, write side (src/storage): PacketIn stream with
+// provenance recording on and auto-compaction spilling every checkpoint
+// section into rotating segment files through the group-commit buffer.
+// bytes_per_second is sequential segment-write bandwidth (serialized
+// sections, headers included); items_per_second is end-to-end inserts/s
+// with durability in the loop. tools/run_bench.sh records both in the
+// `durable_log` section of BENCH_engine.json.
+void BM_SegmentWrite(benchmark::State& state) {
+  const std::string dir = "/tmp/mp_bench_segments_write";
+  std::filesystem::remove_all(dir);
+  eval::EngineOptions opt;
+  opt.max_steps = ~size_t{0} >> 1;  // steps accumulate across iterations
+  opt.compact_after_events = 4096;
+  opt.compact_keep_live = 0;
+  opt.segment_dir = dir;
+  eval::Engine engine(ndlog::parse_program(kProgram), opt);
+  int64_t src = 0;
+  for (auto _ : state) {
+    eval::Tuple t{"PacketIn",
+                  {Value::str("C"), Value(1), Value(80), Value(src++ % 4096)}};
+    engine.insert(t);
+    benchmark::DoNotOptimize(engine.rule_firings());
+  }
+  engine.log().compact(0);  // seal the tail so bytes() covers every event
+  engine.segments()->flush(false);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<int64_t>(engine.segments()->bytes()));
+  state.counters["segment_files"] =
+      static_cast<double>(engine.segments()->segment_count());
+  state.counters["events"] = static_cast<double>(engine.segments()->events());
+}
+BENCHMARK(BM_SegmentWrite);
+
+// Durable segment store, read side: each iteration is a cold reload — a
+// recovery scan (header + CRC validation of every chunk) followed by a
+// full mmap-backed standalone decode of every event, no live engine or
+// catalog. items_per_second is events decoded per second, the rate that
+// bounds crash-recovery time.
+void BM_SegmentReload(benchmark::State& state) {
+  const std::string dir = "/tmp/mp_bench_segments_reload";
+  std::filesystem::remove_all(dir);
+  size_t total_events = 0;
+  {
+    eval::EngineOptions opt;
+    opt.max_steps = ~size_t{0} >> 1;
+    opt.segment_dir = dir;
+    eval::Engine engine(ndlog::parse_program(kProgram), opt);
+    int64_t src = 0;
+    for (int i = 0; i < 20000; ++i) {
+      engine.insert(eval::Tuple{"PacketIn",
+                                {Value::str("C"), Value(1), Value(80),
+                                 Value(src++ % 4096)}});
+    }
+    engine.log().compact(0);
+    total_events = engine.segments()->events();
+  }  // engine destruction flushes the store
+  size_t sink = 0;
+  for (auto _ : state) {
+    storage::SegmentStore store(dir);
+    store.replay_raw([&](const eval::RawEvent& re) {
+      sink += re.causes.size() + re.row->size();
+      return true;
+    });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * total_events));
+  state.counters["events"] = static_cast<double>(total_events);
+}
+BENCHMARK(BM_SegmentReload);
 
 // Mini-solver throughput on repair-sized constraint pools.
 void BM_MiniSolver(benchmark::State& state) {

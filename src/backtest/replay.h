@@ -22,6 +22,17 @@ namespace mp::backtest {
 // log events applied.
 size_t replay_base_stream(const eval::EventLog& log, eval::Engine& into);
 
+// Same, streaming straight from durable segment files (mmap-backed, see
+// src/storage): events are decoded one at a time from the store's own
+// string tables, so a backtest can rebuild base state from a history
+// larger than RAM — no EventLog, pool or catalog is materialized for the
+// recorded run. This is also the crash-recovery path: construct a
+// SegmentStore over the directory (recovery runs in its constructor),
+// replay it here, then attach it to the engine's log with set_spill() to
+// continue appending where the durable prefix ends.
+size_t replay_base_stream(const storage::SegmentStore& store,
+                          eval::Engine& into);
+
 class ReplayHarness {
  public:
   virtual ~ReplayHarness() = default;

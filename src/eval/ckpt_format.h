@@ -1,0 +1,103 @@
+// Serialized checkpoint format primitives, shared by the EventLog's
+// in-RAM checkpoint (eval/event_log.cpp) and the durable segment store
+// (src/storage), whose SegmentReader must decode the exact same bytes
+// with no live engine attached. One definition of the layout so the two
+// decoders cannot drift.
+//
+// Entry layout (little-endian, 32-byte fixed header):
+//   u64 time | u64 tags | u8 kind | u8 reserved | u16 table_id |
+//   u16 rule_id | u16 nvals | u16 ncauses | u16 node_id | u32 payload_len
+// followed by payload: nvals row values (u8 tag, then i64 or u16 len +
+// bytes), ncauses x u64 cause ids.
+//
+// String-table records (name blob): u8 kind (0 = table, 1 = rule) |
+// u16 id | u16 len | bytes, or for nodes: u8 kind (2) | u16 id |
+// serialized Value.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/value.h"
+
+namespace mp::eval::ckpt {
+
+inline constexpr size_t kHeaderBytes = 32;
+inline constexpr uint16_t kNoRuleSerialized = 0xffff;
+
+// Fixed byte offsets of the u16 id fields inside an entry header (the
+// load path patches these in place when translating a foreign checkpoint
+// into the loading log's id space).
+inline constexpr size_t kTableIdOffset = 18;
+inline constexpr size_t kRuleIdOffset = 20;
+inline constexpr size_t kNValsOffset = 22;
+inline constexpr size_t kNCausesOffset = 24;
+inline constexpr size_t kNodeIdOffset = 26;
+inline constexpr size_t kPayloadLenOffset = 28;
+
+// String-table record kinds.
+inline constexpr uint8_t kNameTable = 0;
+inline constexpr uint8_t kNameRule = 1;
+inline constexpr uint8_t kNameNode = 2;
+
+inline void put_u16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+inline void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+inline void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+inline void put_value(std::vector<uint8_t>& out, const Value& v) {
+  out.push_back(v.is_int() ? 0 : 1);
+  if (v.is_int()) {
+    put_u64(out, static_cast<uint64_t>(v.as_int()));
+  } else {
+    put_u16(out, static_cast<uint16_t>(v.as_str().size()));
+    out.insert(out.end(), v.as_str().begin(), v.as_str().end());
+  }
+}
+inline size_t value_bytes(const Value& v) {
+  return v.is_int() ? 1 + 8 : 1 + 2 + v.as_str().size();
+}
+
+inline uint16_t get_u16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+inline void set_u16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+inline uint32_t get_u32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+inline uint64_t get_u64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+inline Value get_value(const uint8_t*& p) {
+  const uint8_t tag = *p++;
+  if (tag == 0) {
+    const uint64_t v = get_u64(p);
+    p += 8;
+    return Value(static_cast<int64_t>(v));
+  }
+  const uint16_t len = get_u16(p);
+  p += 2;
+  Value v = Value::str(std::string_view(reinterpret_cast<const char*>(p), len));
+  p += len;
+  return v;
+}
+
+// Size of one string-table record for a table/rule name.
+inline size_t name_record_bytes(std::string_view name) {
+  return 1 + 2 + 2 + name.size();
+}
+
+}  // namespace mp::eval::ckpt

@@ -36,6 +36,11 @@ bool eval_expr(const ndlog::Expr& e, const Env& env, Value& out) {
 Engine::Engine(ndlog::Program program, EngineOptions opt)
     : program_(std::move(program)), catalog_(program_), opt_(opt) {
   log_.attach(&catalog_);  // pool TableIds == catalog TableIds
+  if (!opt_.segment_dir.empty()) {
+    segments_ = std::make_unique<storage::SegmentStore>(opt_.segment_dir,
+                                                        opt_.segment_store);
+    log_.set_spill(segments_.get());
+  }
   compiled_.reserve(program_.rules.size());
   for (const auto& rule : program_.rules) {
     compiled_.push_back(compile_rule(rule, catalog_, index_specs_));

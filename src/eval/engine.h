@@ -42,6 +42,7 @@
 #include "eval/plan.h"
 #include "ndlog/ast.h"
 #include "ndlog/schema.h"
+#include "storage/segment_store.h"
 
 namespace mp::eval {
 
@@ -85,6 +86,17 @@ struct EngineOptions {
   size_t compact_after_events = 0;
   size_t compact_after_bytes = 0;
   size_t compact_keep_live = 256;
+  // Durable event-log segments (src/storage). Non-empty: the engine owns
+  // a SegmentStore rooted here and attaches it as the log's checkpoint
+  // sink, so compact() sections rotate into append-only segment files
+  // instead of accumulating in RAM; segment_store carries the rotation /
+  // group-commit / fsync policy knobs. The directory must not already
+  // hold events for a fresh engine (ids would collide) — to continue from
+  // an existing directory, recover the store yourself, replay it into the
+  // engine, then attach it via log().set_spill() (the wiring is pinned by
+  // storage_test's RecoveryContinuation).
+  std::string segment_dir;
+  storage::SegmentStoreOptions segment_store;
 };
 
 class Engine {
@@ -185,6 +197,10 @@ class Engine {
 
   EventLog& log() { return log_; }
   const EventLog& log() const { return log_; }
+  // The durable segment store when EngineOptions::segment_dir is set
+  // (nullptr otherwise).
+  storage::SegmentStore* segments() { return segments_.get(); }
+  const storage::SegmentStore* segments() const { return segments_.get(); }
   // Indexed historical-tuple store (every Appear is recorded here when
   // provenance recording is on); the repair and provenance layers' history
   // lookups probe it instead of scanning the log. The non-const accessor
@@ -288,6 +304,9 @@ class Engine {
   std::map<Value, Database> nodes_;
   const Value* node_cache_key_ = nullptr;  // into nodes_; see find_node_db
   Database* node_cache_db_ = nullptr;
+  // Durable checkpoint sink (EngineOptions::segment_dir); declared before
+  // log_ so it outlives the log that spills into it.
+  std::unique_ptr<storage::SegmentStore> segments_;
   EventLog log_;
   HistoryStore history_;
   std::deque<PendingAppear> queue_;

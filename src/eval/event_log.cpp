@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <string_view>
 
+#include "eval/ckpt_format.h"
+
 namespace mp::eval {
 
 const char* to_string(EventKind k) {
@@ -88,9 +90,12 @@ EventId EventLog::append(EventKind kind, const Value& node, const Tuple& tuple,
 
 std::span<const EventId> EventLog::causes_of(const Event& e) const {
   if (e.ncauses == 0) return {};
-  if (e.causes_begin == kDecodedCauses) {
-    // Checkpoint-decoded scratch event: causes live in the decode buffer.
-    return {decode_causes_.data(), e.ncauses};
+  if (e.causes_begin & kDecodedCauseTag) {
+    // Checkpoint-decoded event: causes live in the producing cursor's (or
+    // segment reader's) own buffer, addressed by the low bits.
+    const auto* buf =
+        reinterpret_cast<const EventId*>(e.causes_begin & ~kDecodedCauseTag);
+    return {buf, e.ncauses};
   }
   if (e.causes_begin < cause_base_) {
     // A copy of a live event whose arena prefix has since been compacted
@@ -172,34 +177,10 @@ bool EventLog::has_derivation_of(TupleRef t) const {
 }
 
 // --- serialization ------------------------------------------------------
+// Byte layout lives in eval/ckpt_format.h, shared with the standalone
+// segment reader (src/storage) so the two decoders cannot drift.
 
 namespace {
-
-constexpr size_t kHeaderBytes = 32;
-constexpr uint16_t kNoRuleSerialized = 0xffff;
-
-void put_u16(std::vector<uint8_t>& out, uint16_t v) {
-  out.push_back(static_cast<uint8_t>(v));
-  out.push_back(static_cast<uint8_t>(v >> 8));
-}
-void put_u32(std::vector<uint8_t>& out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
-}
-void put_u64(std::vector<uint8_t>& out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
-}
-void put_value(std::vector<uint8_t>& out, const Value& v) {
-  out.push_back(v.is_int() ? 0 : 1);
-  if (v.is_int()) {
-    put_u64(out, static_cast<uint64_t>(v.as_int()));
-  } else {
-    put_u16(out, static_cast<uint16_t>(v.as_str().size()));
-    out.insert(out.end(), v.as_str().begin(), v.as_str().end());
-  }
-}
-size_t value_bytes(const Value& v) {
-  return v.is_int() ? 1 + 8 : 1 + 2 + v.as_str().size();
-}
 
 // True exactly once per id: grows `seen` on demand and records the id.
 // Shared by compact() (write the name record) and byte_estimate()
@@ -212,98 +193,83 @@ bool first_ref(std::vector<uint8_t>& seen, uint32_t id) {
   return true;
 }
 
-uint16_t get_u16(const uint8_t* p) {
-  return static_cast<uint16_t>(p[0] | (p[1] << 8));
-}
-uint64_t get_u64(const uint8_t* p) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
-  return v;
-}
-Value get_value(const uint8_t*& p) {
-  const uint8_t tag = *p++;
-  if (tag == 0) {
-    const uint64_t v = get_u64(p);
-    p += 8;
-    return Value(static_cast<int64_t>(v));
-  }
-  const uint16_t len = get_u16(p);
-  p += 2;
-  Value v = Value::str(std::string_view(reinterpret_cast<const char*>(p), len));
-  p += len;
-  return v;
-}
-
 }  // namespace
 
 size_t EventLog::serialized_bytes(const Event& e) const {
-  size_t sz = kHeaderBytes + 8 * e.ncauses;
-  for (const Value& v : pool_.row(e.tuple)) sz += value_bytes(v);
+  size_t sz = ckpt::kHeaderBytes + 8 * e.ncauses;
+  for (const Value& v : pool_.row(e.tuple)) sz += ckpt::value_bytes(v);
   return sz;
 }
 
-void EventLog::write_name_record(uint8_t kind, uint16_t id,
-                                 const std::string& name) {
-  ckpt_names_.push_back(kind);
-  put_u16(ckpt_names_, id);
-  put_u16(ckpt_names_, static_cast<uint16_t>(name.size()));
-  ckpt_names_.insert(ckpt_names_.end(), name.begin(), name.end());
+void EventLog::write_name_record(std::vector<uint8_t>& out, uint8_t kind,
+                                 uint16_t id, const std::string& name) {
+  out.push_back(kind);
+  ckpt::put_u16(out, id);
+  ckpt::put_u16(out, static_cast<uint16_t>(name.size()));
+  out.insert(out.end(), name.begin(), name.end());
 }
 
-void EventLog::write_node_record(uint16_t id, const Value& node) {
-  ckpt_names_.push_back(2);
-  put_u16(ckpt_names_, id);
-  put_value(ckpt_names_, node);
+void EventLog::write_node_record(std::vector<uint8_t>& out, uint16_t id,
+                                 const Value& node) {
+  out.push_back(ckpt::kNameNode);
+  ckpt::put_u16(out, id);
+  ckpt::put_value(out, node);
 }
 
 void EventLog::serialize(const Event& e, std::vector<uint8_t>& out) const {
   const TableId tid = pool_.table(e.tuple);
   const Row& row = pool_.row(e.tuple);
-  put_u64(out, e.id + 1);  // logical time (== id + 1, kept in the format)
-  put_u64(out, e.tags);
+  ckpt::put_u64(out, e.id + 1);  // logical time (== id + 1, kept on disk)
+  ckpt::put_u64(out, e.tags);
   out.push_back(static_cast<uint8_t>(e.kind));
   out.push_back(0);
-  put_u16(out, static_cast<uint16_t>(tid));
-  put_u16(out, e.rule == kNoRule ? kNoRuleSerialized
-                                 : static_cast<uint16_t>(e.rule));
-  put_u16(out, static_cast<uint16_t>(row.size()));
-  put_u16(out, e.ncauses);
-  put_u16(out, static_cast<uint16_t>(e.node));
-  put_u32(out, static_cast<uint32_t>(serialized_bytes(e) - kHeaderBytes));
-  for (const Value& v : row) put_value(out, v);
-  for (EventId c : causes_of(e)) put_u64(out, c);
+  ckpt::put_u16(out, static_cast<uint16_t>(tid));
+  ckpt::put_u16(out, e.rule == kNoRule ? ckpt::kNoRuleSerialized
+                                       : static_cast<uint16_t>(e.rule));
+  ckpt::put_u16(out, static_cast<uint16_t>(row.size()));
+  ckpt::put_u16(out, e.ncauses);
+  ckpt::put_u16(out, static_cast<uint16_t>(e.node));
+  ckpt::put_u32(out,
+                static_cast<uint32_t>(serialized_bytes(e) - ckpt::kHeaderBytes));
+  for (const Value& v : row) ckpt::put_value(out, v);
+  for (EventId c : causes_of(e)) ckpt::put_u64(out, c);
 }
 
-Event EventLog::decode(size_t entry) const {
+Event EventLog::decode(size_t entry, DecodeCursor& cur) const {
   const uint8_t* p = ckpt_.data() + ckpt_offsets_[entry];
   Event e;
-  e.id = entry;
-  e.tags = get_u64(p + 8);
+  // The RAM checkpoint covers the ids immediately below base_id_ (the
+  // whole compacted range when the log never spilled or loaded).
+  e.id = base_id_ - ckpt_offsets_.size() + entry;
+  e.tags = ckpt::get_u64(p + 8);
   e.kind = static_cast<EventKind>(p[16]);
-  const uint16_t table_id = get_u16(p + 18);
-  const uint16_t rule_id = get_u16(p + 20);
-  const uint16_t nvals = get_u16(p + 22);
-  const uint16_t ncauses = get_u16(p + 24);
-  // The interner is never truncated, so the 16-bit checkpoint id IS the
-  // live NodeRef (compact() refuses ids that do not fit 16 bits).
-  e.node = get_u16(p + 26);
-  p += kHeaderBytes;
+  const uint16_t table_id = ckpt::get_u16(p + ckpt::kTableIdOffset);
+  const uint16_t rule_id = ckpt::get_u16(p + ckpt::kRuleIdOffset);
+  const uint16_t nvals = ckpt::get_u16(p + ckpt::kNValsOffset);
+  const uint16_t ncauses = ckpt::get_u16(p + ckpt::kNCausesOffset);
+  // Entry ids are live ids here: compact() wrote this log's own ids, and
+  // load_checkpoint() patched a foreign checkpoint's ids to live ones
+  // through its string table before installing the bytes. The interners
+  // and the pool are never truncated, so every lookup below hits.
+  e.node = ckpt::get_u16(p + ckpt::kNodeIdOffset);
+  p += ckpt::kHeaderBytes;
   Row row;
   row.reserve(nvals);
-  for (uint16_t i = 0; i < nvals; ++i) row.push_back(get_value(p));
-  // The tuple was interned when the event was appended and the pool is
-  // never truncated, so the lookup always hits.
+  for (uint16_t i = 0; i < nvals; ++i) row.push_back(ckpt::get_value(p));
   e.tuple = pool_.find(table_id, row);
   assert(e.tuple != kNoTupleRef);
-  e.rule = rule_id == kNoRuleSerialized ? kNoRule : rule_id;
+  e.rule = rule_id == ckpt::kNoRuleSerialized ? kNoRule : rule_id;
   e.ncauses = ncauses;
-  e.causes_begin = kDecodedCauses;  // causes_of: read the decode buffer
-  decode_causes_.clear();
-  decode_causes_.reserve(ncauses);
+  cur.causes_.clear();
+  cur.causes_.reserve(ncauses);
   for (uint16_t i = 0; i < ncauses; ++i) {
-    decode_causes_.push_back(get_u64(p));
+    cur.causes_.push_back(ckpt::get_u64(p));
     p += 8;
   }
+  // Tag the event with the cursor's own buffer so causes_of() spans stay
+  // valid across decodes through other cursors.
+  e.causes_begin =
+      kDecodedCauseTag | reinterpret_cast<uint64_t>(cur.causes_.data());
   return e;
 }
 
@@ -315,7 +281,7 @@ bool EventLog::fits_checkpoint_format(const Event& e) const {
   if (pool_.table(e.tuple) >= kMax || row.size() > kMax || e.ncauses > kMax) {
     return false;
   }
-  if (e.rule != kNoRule && e.rule >= kNoRuleSerialized) return false;
+  if (e.rule != kNoRule && e.rule >= ckpt::kNoRuleSerialized) return false;
   if (e.node >= kMax) return false;
   const Value& node = node_value(e.node);
   if (node.is_str() && node.as_str().size() > kMax) return false;
@@ -335,24 +301,51 @@ size_t EventLog::compact(size_t keep_live) {
     }
   }
   if (n == 0) return 0;
-  ckpt_offsets_.reserve(ckpt_offsets_.size() + n);
-  for (size_t i = 0; i < n; ++i) {
-    const Event& e = events_[i];
-    // Names are written to the string-table section once, on first
-    // reference by any checkpointed entry.
+  // Names are written to the string-table section once, on first reference
+  // by any entry of the dedup unit (whole log for the RAM checkpoint, one
+  // section when spilling — each spilled section must decode standalone so
+  // the sink may rotate segment files between any two sections).
+  auto write_names_for = [&](const Event& e, std::vector<uint8_t>& out) {
     const TableId tid = pool_.table(e.tuple);
     if (first_ref(table_name_written_, tid)) {
-      write_name_record(0, static_cast<uint16_t>(tid), names().name_of(tid));
+      write_name_record(out, ckpt::kNameTable, static_cast<uint16_t>(tid),
+                        names().name_of(tid));
     }
     if (e.rule != kNoRule && first_ref(rule_name_written_, e.rule)) {
-      write_name_record(1, static_cast<uint16_t>(e.rule), rule_names_[e.rule]);
+      write_name_record(out, ckpt::kNameRule, static_cast<uint16_t>(e.rule),
+                        rule_names_[e.rule]);
     }
     if (first_ref(node_written_, e.node)) {
-      write_node_record(static_cast<uint16_t>(e.node), node_value(e.node));
+      write_node_record(out, static_cast<uint16_t>(e.node),
+                        node_value(e.node));
     }
-    ckpt_offsets_.push_back(ckpt_.size());
-    serialize(e, ckpt_);
+  };
+  if (spill_ != nullptr) {
+    table_name_written_.clear();
+    rule_name_written_.clear();
+    node_written_.clear();
+    std::vector<uint8_t> entries;
+    std::vector<uint8_t> names;
+    for (size_t i = 0; i < n; ++i) {
+      const Event& e = events_[i];
+      write_names_for(e, names);
+      serialize(e, entries);
+    }
+    spill_->append_section(base_id_, n, entries, names);
+  } else {
+    ckpt_offsets_.reserve(ckpt_offsets_.size() + n);
+    for (size_t i = 0; i < n; ++i) {
+      const Event& e = events_[i];
+      write_names_for(e, ckpt_names_);
+      ckpt_offsets_.push_back(ckpt_.size());
+      serialize(e, ckpt_);
+    }
   }
+  drop_live_prefix(n);
+  return n;
+}
+
+void EventLog::drop_live_prefix(size_t n) {
   events_.erase(events_.begin(), events_.begin() + static_cast<ptrdiff_t>(n));
   base_id_ += n;
   // Drop the cause-arena prefix the erased events owned.
@@ -365,35 +358,207 @@ size_t EventLog::compact(size_t keep_live) {
                            static_cast<ptrdiff_t>(new_base - cause_base_));
     cause_base_ = new_base;
   }
-  return n;
 }
 
 size_t EventLog::byte_estimate() const {
-  size_t total = ckpt_.size() + ckpt_names_.size();
-  // Name records compacting the live suffix would add (names referenced by
-  // live events and not yet in the checkpoint string table).
-  std::vector<uint8_t> tseen = table_name_written_;
-  std::vector<uint8_t> rseen = rule_name_written_;
-  std::vector<uint8_t> nseen = node_written_;
+  size_t total = spilled_bytes() + ckpt_.size() + ckpt_names_.size();
+  // Name records compacting the live suffix would add. With a sink
+  // attached the next compact starts a fresh self-contained section, so
+  // every referenced name counts; otherwise only names not yet in the RAM
+  // checkpoint's string table do.
+  std::vector<uint8_t> tseen;
+  std::vector<uint8_t> rseen;
+  std::vector<uint8_t> nseen;
+  if (spill_ == nullptr) {
+    tseen = table_name_written_;
+    rseen = rule_name_written_;
+    nseen = node_written_;
+  }
   for (const Event& e : events_) {
     total += serialized_bytes(e);
     const TableId tid = pool_.table(e.tuple);
     if (first_ref(tseen, tid)) {
-      total += name_record_bytes(names().name_of(tid));
+      total += ckpt::name_record_bytes(names().name_of(tid));
     }
     if (e.rule != kNoRule && first_ref(rseen, e.rule)) {
-      total += name_record_bytes(rule_names_[e.rule]);
+      total += ckpt::name_record_bytes(rule_names_[e.rule]);
     }
     if (first_ref(nseen, e.node)) {
-      total += 1 + 2 + value_bytes(node_value(e.node));
+      total += 1 + 2 + ckpt::value_bytes(node_value(e.node));
     }
   }
   return total;
 }
 
-void EventLog::for_each_event(const std::function<void(const Event&)>& fn) const {
-  for (size_t i = 0; i < ckpt_offsets_.size(); ++i) fn(decode(i));
+void EventLog::replay_spilled(
+    const std::function<void(const Event&)>& fn) const {
+  // A self-spilled prefix references only names/nodes/rows this log
+  // interned before compacting them, and no interner is ever truncated —
+  // so reconstruction is pure const lookup, never an intern. One-entry
+  // caches absorb the long same-table / same-node runs typical of
+  // homogeneous streams without per-event string allocation.
+  std::string last_table;
+  TableId last_tid = ndlog::Catalog::kNoTable;
+  std::string last_rule;
+  RuleId last_rule_id = kNoRule;
+  Value last_node;
+  NodeRef last_node_ref = kNoNode;
+  spill_->replay_raw([&](const RawEvent& re) {
+    if (last_tid == ndlog::Catalog::kNoTable || last_table != re.table) {
+      last_table.assign(re.table);
+      last_tid = names().id_of(last_table);
+      assert(last_tid != ndlog::Catalog::kNoTable);
+    }
+    Event e;
+    e.id = re.id;
+    e.tags = re.tags;
+    e.kind = re.kind;
+    e.tuple = pool_.find(last_tid, *re.row);
+    assert(e.tuple != kNoTupleRef);
+    if (re.rule.empty()) {
+      e.rule = kNoRule;
+    } else {
+      if (last_rule_id == kNoRule || last_rule != re.rule) {
+        last_rule.assign(re.rule);
+        const auto it = rule_ids_.find(last_rule);
+        assert(it != rule_ids_.end());
+        last_rule_id = it->second;
+      }
+      e.rule = last_rule_id;
+    }
+    if (last_node_ref == kNoNode || !(last_node == *re.node)) {
+      last_node = *re.node;
+      const auto it = node_ids_.find(last_node);
+      assert(it != node_ids_.end());
+      last_node_ref = it->second;
+    }
+    e.node = last_node_ref;
+    e.ncauses = static_cast<uint16_t>(re.causes.size());
+    // The reader's cause buffer is stable until its next decode, which
+    // happens only after fn returns.
+    e.causes_begin =
+        kDecodedCauseTag | reinterpret_cast<uint64_t>(re.causes.data());
+    fn(e);
+    return true;
+  });
+}
+
+void EventLog::for_each_event(
+    const std::function<void(const Event&)>& fn) const {
+  if (spill_ != nullptr) replay_spilled(fn);
+  DecodeCursor cur;
+  for (size_t i = 0; i < ckpt_offsets_.size(); ++i) fn(decode(i, cur));
   for (const Event& e : events_) fn(e);
+}
+
+void EventLog::load_checkpoint(std::span<const uint8_t> entries,
+                               std::span<const uint8_t> names) {
+  assert(size() == 0 && ckpt_.empty() && spill_ == nullptr &&
+         "load_checkpoint requires an empty log");
+  // Foreign 16-bit id -> this log's id, built while re-interning the
+  // checkpoint's own string-table section. Decode never consults the
+  // writer's id space: a checkpoint from a differently-interned engine
+  // lands on whatever ids THIS log assigns.
+  std::vector<uint32_t> table_map;
+  std::vector<uint32_t> rule_map;
+  std::vector<uint32_t> node_map;
+  auto map_set = [](std::vector<uint32_t>& m, uint16_t from, uint32_t to) {
+    if (from >= m.size()) m.resize(from + 1, ~uint32_t{0});
+    m[from] = to;
+  };
+  ckpt_names_.assign(names.begin(), names.end());
+  for (size_t pos = 0; pos < ckpt_names_.size();) {
+    uint8_t* rec = ckpt_names_.data() + pos;
+    const uint8_t kind = rec[0];
+    const uint16_t foreign = ckpt::get_u16(rec + 1);
+    if (kind == ckpt::kNameNode) {
+      const uint8_t* vp = rec + 3;
+      const Value node = ckpt::get_value(vp);
+      const NodeRef live = intern_node(node);
+      map_set(node_map, foreign, live);
+      first_ref(node_written_, live);
+      ckpt::set_u16(rec + 1, static_cast<uint16_t>(live));
+      pos += static_cast<size_t>(vp - rec);
+    } else {
+      const uint16_t len = ckpt::get_u16(rec + 3);
+      const std::string name(reinterpret_cast<const char*>(rec + 5), len);
+      uint32_t live;
+      if (kind == ckpt::kNameTable) {
+        live = names_->intern(name);
+        map_set(table_map, foreign, live);
+        first_ref(table_name_written_, live);
+      } else {
+        live = intern_rule(name);
+        map_set(rule_map, foreign, live);
+        first_ref(rule_name_written_, live);
+      }
+      assert(live < 0xffff);
+      ckpt::set_u16(rec + 1, static_cast<uint16_t>(live));
+      pos += 1 + 2 + 2 + len;
+    }
+  }
+  // Install the entry bytes, patching each header's u16 ids in place and
+  // interning every row so decode()'s pool lookup hits.
+  ckpt_.assign(entries.begin(), entries.end());
+  for (size_t pos = 0; pos < ckpt_.size();) {
+    uint8_t* h = ckpt_.data() + pos;
+    const uint32_t payload_len = ckpt::get_u32(h + ckpt::kPayloadLenOffset);
+    const uint16_t foreign_tid = ckpt::get_u16(h + ckpt::kTableIdOffset);
+    assert(foreign_tid < table_map.size());
+    const uint32_t live_tid = table_map[foreign_tid];
+    ckpt::set_u16(h + ckpt::kTableIdOffset, static_cast<uint16_t>(live_tid));
+    const uint16_t foreign_rule = ckpt::get_u16(h + ckpt::kRuleIdOffset);
+    if (foreign_rule != ckpt::kNoRuleSerialized) {
+      assert(foreign_rule < rule_map.size());
+      ckpt::set_u16(h + ckpt::kRuleIdOffset,
+                    static_cast<uint16_t>(rule_map[foreign_rule]));
+    }
+    const uint16_t foreign_node = ckpt::get_u16(h + ckpt::kNodeIdOffset);
+    assert(foreign_node < node_map.size());
+    ckpt::set_u16(h + ckpt::kNodeIdOffset,
+                  static_cast<uint16_t>(node_map[foreign_node]));
+    const uint16_t nvals = ckpt::get_u16(h + ckpt::kNValsOffset);
+    const uint8_t* vp = h + ckpt::kHeaderBytes;
+    Row row;
+    row.reserve(nvals);
+    for (uint16_t i = 0; i < nvals; ++i) row.push_back(ckpt::get_value(vp));
+    pool_.intern(static_cast<TableId>(live_tid), row);
+    ckpt_offsets_.push_back(pos);
+    pos += ckpt::kHeaderBytes + payload_len;
+  }
+  base_id_ = ckpt_offsets_.size();
+}
+
+void EventLog::set_spill(CheckpointSink* sink) {
+  if (sink == spill_) return;
+  spill_ = sink;
+  // Dedup unit changes (whole-log for RAM, per-section for a sink): reset
+  // so the next compact re-emits every name it references.
+  table_name_written_.clear();
+  rule_name_written_.clear();
+  node_written_.clear();
+  if (sink == nullptr) return;
+  if (!ckpt_offsets_.empty()) {
+    // Drain the existing RAM checkpoint into the sink as one section.
+    assert(sink->events() == 0 && "cannot merge a RAM checkpoint into a "
+                                  "sink that already holds events");
+    spill_->append_section(base_id_ - ckpt_offsets_.size(),
+                           ckpt_offsets_.size(), ckpt_, ckpt_names_);
+    ckpt_.clear();
+    ckpt_offsets_.clear();
+    ckpt_names_.clear();
+  }
+  // Recovery continuation: the caller recovered `sink` from disk, replayed
+  // it into this engine (re-interning every tuple), and is now attaching
+  // it. Events the sink already holds durably are dropped from the live
+  // suffix here — the in-RAM equivalent of compacting them, minus the
+  // serialization that already happened in a previous life.
+  if (sink->events() > base_id_) {
+    const size_t durable = sink->events() - base_id_;
+    assert(durable <= events_.size() &&
+           "sink holds events this log never saw");
+    drop_live_prefix(durable <= events_.size() ? durable : events_.size());
+  }
 }
 
 void EventLog::clear() {
@@ -411,6 +576,7 @@ void EventLog::clear() {
   table_name_written_.clear();
   rule_name_written_.clear();
   node_written_.clear();
+  spill_ = nullptr;  // caller owns the sink (and its files)
   base_id_ = 0;
 }
 

@@ -26,26 +26,27 @@
 // (merged shard logs, tests) owns a private catalog and interns lazily.
 //
 // The log is checkpointable: compact() serializes the oldest events into a
-// fixed-header format (Section 5.4) and drops their in-memory Event
-// copies, so the record no longer grows without bound. Table and rule
-// names are written once per checkpoint into a string-table section
-// (ckpt names blob) the first time an id is referenced; entries store the
-// 16-bit ids. Ids stay stable across compaction — the id space is
-// [0, size()), of which [base_id(), size()) is held live — and replay
-// (backtest::replay_base_stream) walks checkpoint + live suffix through
-// for_each_event(). TupleRefs survive compaction: the pool is never
-// truncated, so handles held by the history store or table entries remain
-// valid (pinned by tests/tuple_pool_test.cpp).
+// fixed-header format (Section 5.4, layout in eval/ckpt_format.h) and
+// drops their in-memory Event copies, so the record no longer grows
+// without bound. Table and rule names are written once per checkpoint
+// section into a string-table section (ckpt names blob) the first time an
+// id is referenced; entries store the 16-bit ids. Ids stay stable across
+// compaction — the id space is [0, size()), of which [base_id(), size())
+// is held live — and replay (backtest::replay_base_stream) walks
+// checkpoint + live suffix through for_each_event(). TupleRefs survive
+// compaction: the pool is never truncated, so handles held by the history
+// store or table entries remain valid (pinned by
+// tests/tuple_pool_test.cpp).
 //
-// Serialized entry layout (little-endian, 32-byte fixed header):
-//   u64 time | u64 tags | u8 kind | u8 reserved | u16 table_id |
-//   u16 rule_id | u16 nvals | u16 ncauses | u16 node_id | u32 payload_len
-// followed by payload: nvals row values (u8 tag, then i64 or u16 len +
-// bytes), ncauses x u64 cause ids. The event's node is an interned 16-bit
-// id; its Value is written once per checkpoint into the string-table
-// section, exactly like table and rule names. String-table records (name
-// blob): u8 kind (0 = table, 1 = rule) | u16 id | u16 len | bytes, or for
-// nodes: u8 kind (2) | u16 id | serialized Value.
+// Checkpoints are recovery artifacts, not views of the live interners:
+// load_checkpoint() installs a serialized checkpoint written by ANOTHER
+// log as this log's compacted prefix, translating every 16-bit id through
+// the checkpoint's own string-table section (never by assuming the writer
+// shared this log's id space). A CheckpointSink (src/storage's durable
+// segment store) can be attached with set_spill(): compact() sections
+// then rotate into append-only segment files instead of accumulating in
+// RAM, and for_each_event() streams the spilled prefix back through the
+// sink's standalone decoder.
 #pragma once
 
 #include <cassert>
@@ -55,6 +56,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
@@ -93,10 +95,14 @@ enum class EventKind : uint8_t {
 
 const char* to_string(EventKind k);
 
-// causes_begin sentinel marking a checkpoint-decoded scratch Event whose
-// causes live in the log's decode buffer, not the arena (unreachable as a
-// real offset: the arena would have to hold 2^64 ids).
-inline constexpr uint64_t kDecodedCauses = ~0ULL;
+// Tag bit marking a checkpoint-decoded Event whose causes live outside
+// the arena: the low 63 bits of causes_begin then hold the address of the
+// decoding cursor's (or segment reader's) own cause buffer, so a span
+// taken from one decode survives decodes through other cursors. The bit
+// is unreachable as a real arena offset (the arena would have to hold
+// 2^60 ids) and never set in a user-space pointer on any supported
+// platform.
+inline constexpr uint64_t kDecodedCauseTag = 1ULL << 63;
 
 // Events carry no timestamp field: append assigns logical times 1, 2, 3,
 // ... in id order, so an event's time is always id + 1 (event_time()).
@@ -104,7 +110,8 @@ inline constexpr uint64_t kDecodedCauses = ~0ULL;
 // the checkpoint format still stores the explicit u64 time per entry.
 struct Event {
   EventId id = kNoEvent;
-  uint64_t causes_begin = 0;     // absolute offset into the cause arena
+  uint64_t causes_begin = 0;     // absolute offset into the cause arena,
+                                 // or kDecodedCauseTag | buffer address
   TagMask tags = kAllTags;
   NodeRef node = kNoNode;        // where it happened (EventLog::node_value)
   TupleRef tuple = kNoTupleRef;  // into the owning log's TuplePool
@@ -131,6 +138,48 @@ struct DerivRecord {
   uint32_t next_same_head = ~uint32_t{0};
   uint16_t nbody = 0;
   bool live = true;  // false once the derivation has been retracted
+};
+
+// A checkpoint entry decoded with no pool, catalog or engine attached:
+// names and location values are materialized from the checkpoint's own
+// string-table section. This is what the durable segment store's
+// standalone reader yields (storage::SegmentReader) and what the EventLog
+// re-interns into pool-backed Events when replaying its spilled prefix.
+// Views point into the producing reader's scratch and are valid only
+// until it decodes the next entry.
+struct RawEvent {
+  EventId id = kNoEvent;         // time - 1 (times are dense in id order)
+  TagMask tags = kAllTags;
+  EventKind kind = EventKind::Insert;
+  std::string_view table;
+  std::string_view rule;         // empty = no rule
+  const Value* node = nullptr;   // where it happened
+  const Row* row = nullptr;      // decoded row values
+  std::span<const EventId> causes;
+};
+
+// A durable home for compacted checkpoint sections. src/storage
+// implements this over append-only segment files; the log hands every
+// compact() section to the sink (dropping the RAM copy) and streams the
+// spilled prefix back through replay_raw() when walking the full record.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  // Appends one serialized checkpoint section: `entries` covers events
+  // [first_id, first_id + count) in the eval/ckpt_format.h entry layout,
+  // `names` holds the string-table records the section references (each
+  // section is self-contained: the log resets its name dedup per section
+  // so a sink may rotate to a new segment file at any section boundary).
+  virtual void append_section(EventId first_id, size_t count,
+                              std::span<const uint8_t> entries,
+                              std::span<const uint8_t> names) = 0;
+  // Streams events [0, events()) in id order; `fn` returns false to stop.
+  virtual void replay_raw(
+      const std::function<bool(const RawEvent&)>& fn) const = 0;
+  // Events held (contiguous id range [0, events())).
+  virtual size_t events() const = 0;
+  // On-disk footprint in bytes (file headers and chunk framing included).
+  virtual size_t bytes() const = 0;
 };
 
 class EventLog {
@@ -227,8 +276,10 @@ class EventLog {
   // may reallocate the arena) or compact (which may drop the prefix —
   // a copy of an event compacted since it was taken yields an empty
   // span; resolve through for_each_event instead). For checkpoint-decoded
-  // scratch events the span points into the decode scratch buffer and is
-  // valid only until the next decode.
+  // events the span points into the producing DecodeCursor's (or segment
+  // reader's) own buffer: valid until THAT cursor decodes its next entry,
+  // so nested iteration — holding one decode's causes while another
+  // cursor decodes — is safe (pinned by history_test).
   std::span<const EventId> causes_of(const Event& e) const;
 
   // Handle resolution.
@@ -294,37 +345,88 @@ class EventLog {
 
   // --- checkpoint + truncate (event-log compaction, Section 5.4) -------
   // Serializes all but the newest `keep_live` live events into the
-  // checkpoint buffer and erases their Event structs. Returns the number
-  // of events compacted. Compaction stops early at the first event that
-  // exceeds the format's u16 fields (a >64 KiB string, >65535 row values /
-  // causes, or a table/rule id >= 0xffff — nothing the runtime produces):
-  // such an event and everything after it stay live rather than corrupting
-  // the decode. Derivation records (and the TuplePool) are unaffected;
+  // checkpoint (the RAM buffer, or the attached CheckpointSink) and
+  // erases their Event structs. Returns the number of events compacted.
+  // Compaction stops early at the first event that exceeds the format's
+  // u16 fields (a >64 KiB string, >65535 row values / causes, or a
+  // table/rule id >= 0xffff — nothing the runtime produces): such an
+  // event and everything after it stay live rather than corrupting the
+  // decode. Derivation records (and the TuplePool) are unaffected;
   // derive_event ids remain resolvable via event_time().
   size_t compact(size_t keep_live = 0);
   EventId base_id() const { return base_id_; }
   size_t live_size() const { return events_.size(); }
-  // Serialized checkpoint footprint: entry bytes plus the string-table
-  // (names) section.
-  size_t checkpoint_bytes() const { return ckpt_.size() + ckpt_names_.size(); }
+  // Serialized checkpoint footprint: spilled segment bytes (if a sink is
+  // attached) plus RAM entry bytes plus the string-table (names) section.
+  size_t checkpoint_bytes() const {
+    return spilled_bytes() + ckpt_.size() + ckpt_names_.size();
+  }
   // Timestamp of any event, live or checkpointed: times are assigned
   // densely in append order, so this is id + 1 (the checkpoint stores the
   // explicit u64 too, for the on-disk format's sake).
   Time event_time(EventId id) const { return id + 1; }
-  // Walks the full event sequence in id order: each checkpointed entry is
-  // decoded into a scratch Event (valid only for the duration of the
-  // call), then the live suffix is visited in place.
+
+  // Per-cursor decode state: each cursor owns the cause storage for the
+  // checkpoint entries it decodes (the decoded Event's causes_begin
+  // carries kDecodedCauseTag plus the buffer address, which causes_of()
+  // resolves). A cursor's current event and causes stay valid until ITS
+  // next decode — never clobbered by another cursor, which the old shared
+  // mutable scratch silently did.
+  class DecodeCursor {
+   public:
+    std::span<const EventId> causes() const {
+      return {causes_.data(), causes_.size()};
+    }
+
+   private:
+    friend class EventLog;
+    std::vector<EventId> causes_;
+  };
+
+  // Walks the full event sequence in id order: the spilled prefix (sink
+  // replay, re-interned into this log's pool), then RAM-checkpointed
+  // entries decoded through a local cursor, then the live suffix in
+  // place. Each decoded Event is valid only for the duration of the call.
   void for_each_event(const std::function<void(const Event&)>& fn) const;
+
+  // Installs a serialized checkpoint — the exact bytes
+  // checkpoint_entries()/checkpoint_names() expose — as this log's
+  // compacted prefix. The log must be empty. Every 16-bit id in the
+  // entries is translated through the checkpoint's OWN string-table
+  // section (names re-interned into this log's catalog/interners, rows
+  // interned into its pool), so a checkpoint written by a
+  // differently-interned engine decodes identically here — decode never
+  // assumes the writer shared this log's id space (pinned by
+  // history_test's scrambled-catalog round trip).
+  void load_checkpoint(std::span<const uint8_t> entries,
+                       std::span<const uint8_t> names);
+  // The RAM checkpoint sections in serialized form (a sink-attached log
+  // keeps these empty; the bytes live in the segment files instead).
+  std::span<const uint8_t> checkpoint_entries() const { return ckpt_; }
+  std::span<const uint8_t> checkpoint_names() const { return ckpt_names_; }
+
+  // Attaches (or detaches, with nullptr) a durable checkpoint sink.
+  // Subsequent compact() sections go to the sink instead of RAM; an
+  // existing RAM checkpoint is drained into it first, and live events the
+  // sink already holds (recovery continuation: the caller replayed the
+  // sink into this engine, then attached it) are dropped from RAM as
+  // already-durable. Name dedup resets so every section is
+  // self-contained. The sink must outlive the log (or be detached first).
+  void set_spill(CheckpointSink* sink);
+  CheckpointSink* spill() const { return spill_; }
+
   // Exact size of `e`'s entry in the serialized checkpoint format (header
   // + row values + cause ids; names and node values are accounted
   // separately, once per distinct id). byte_estimate() sums this over all
   // events plus the name records.
   size_t serialized_bytes(const Event& e) const;
 
-  // On-disk footprint of the log in the serialized format above: bytes
-  // already written to the checkpoint (entries + names) plus what
-  // compacting the live suffix would write (computed on demand — it's a
-  // cold accessor, and append stays free of accounting work).
+  // On-disk footprint of the log in the serialized format: bytes already
+  // written durably (segment files when a sink is attached — exact,
+  // framing included — plus any RAM checkpoint sections) plus what
+  // compacting the live suffix would add in entry + name-record payload
+  // (computed on demand — it's a cold accessor, and append stays free of
+  // accounting work).
   size_t byte_estimate() const;
   // Total events ever appended (compacted + live); ids are dense in
   // [0, size()).
@@ -334,14 +436,25 @@ class EventLog {
  private:
   ndlog::Catalog& names() { return *names_; }
   const ndlog::Catalog& names() const { return *names_; }
-  static size_t name_record_bytes(const std::string& name) {
-    return 1 + 2 + 2 + name.size();
-  }
-  void write_name_record(uint8_t kind, uint16_t id, const std::string& name);
-  void write_node_record(uint16_t id, const Value& node);
+  void write_name_record(std::vector<uint8_t>& out, uint8_t kind, uint16_t id,
+                         const std::string& name);
+  void write_node_record(std::vector<uint8_t>& out, uint16_t id,
+                         const Value& node);
   bool fits_checkpoint_format(const Event& e) const;
   void serialize(const Event& e, std::vector<uint8_t>& out) const;
-  Event decode(size_t entry) const;  // entry index into ckpt_offsets_
+  // Decodes RAM-checkpoint entry `entry` (index into ckpt_offsets_) into
+  // `cur`'s storage.
+  Event decode(size_t entry, DecodeCursor& cur) const;
+  // Erases the oldest `n` live Event structs (after they became durable)
+  // and drops the cause-arena prefix they owned.
+  void drop_live_prefix(size_t n);
+  // Streams the sink's events through fn as pool-backed Events (every
+  // name/node/tuple in a self-spilled prefix is already interned, so this
+  // is pure lookup — never an intern).
+  void replay_spilled(const std::function<void(const Event&)>& fn) const;
+  size_t spilled_bytes() const {
+    return spill_ != nullptr ? spill_->bytes() : 0;
+  }
 
   ndlog::Catalog* names_ = nullptr;  // attached or own_names_.get()
   std::unique_ptr<ndlog::Catalog> own_names_;
@@ -381,13 +494,17 @@ class EventLog {
   std::vector<ChainHead> body_index_;      // by body TupleRef
   std::vector<BodyLink> body_links_;       // parallel to body_arena_
 
-  std::vector<uint8_t> ckpt_;          // serialized compacted entries
+  std::vector<uint8_t> ckpt_;          // serialized compacted entries (RAM)
   std::vector<size_t> ckpt_offsets_;   // entry i starts at ckpt_[offsets[i]]
   std::vector<uint8_t> ckpt_names_;    // string-table section (names, once)
+  // Name-dedup per checkpoint unit: once per log lifetime for the RAM
+  // checkpoint, reset per section when a sink is attached (each spilled
+  // section must be self-contained so segments can rotate between any
+  // two sections).
   std::vector<uint8_t> table_name_written_;  // by TableId
   std::vector<uint8_t> rule_name_written_;   // by RuleId
   std::vector<uint8_t> node_written_;        // by NodeRef
-  mutable std::vector<EventId> decode_causes_;  // scratch for decode()
+  CheckpointSink* spill_ = nullptr;
   EventId base_id_ = 0;
 };
 

@@ -1,0 +1,205 @@
+#include "storage/segment.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "eval/ckpt_format.h"
+
+namespace mp::storage {
+
+namespace ckpt = mp::eval::ckpt;
+
+uint32_t crc32(const uint8_t* data, size_t n, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < n; ++i) c = kTable[(c ^ data[i]) & 0xff] ^ (c >> 8);
+  return ~c;
+}
+
+void append_chunk_header(std::vector<uint8_t>& out, uint8_t kind,
+                         uint64_t first_event_id, uint32_t count,
+                         const uint8_t* payload, uint32_t payload_len) {
+  const size_t start = out.size();
+  ckpt::put_u32(out, kChunkMagic);
+  out.push_back(kind);
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);
+  ckpt::put_u64(out, first_event_id);
+  ckpt::put_u32(out, count);
+  ckpt::put_u32(out, payload_len);
+  ckpt::put_u32(out, crc32(payload, payload_len));
+  // Header CRC over the 28 bytes above: a write torn inside the header
+  // itself is caught without trusting payload_len.
+  ckpt::put_u32(out, crc32(out.data() + start, kChunkHeaderBytes - 4));
+}
+
+SegmentReader::SegmentReader(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return;
+  }
+  size_ = static_cast<size_t>(st.st_size);
+  void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    size_ = 0;
+    return;
+  }
+  data_ = static_cast<const uint8_t*>(map);
+  validate();
+}
+
+SegmentReader::~SegmentReader() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+void SegmentReader::validate() {
+  if (size_ < kFileHeaderBytes ||
+      std::memcmp(data_, kFileMagic, sizeof(kFileMagic)) != 0 ||
+      ckpt::get_u16(data_ + 6) != kFormatVersion) {
+    return;
+  }
+  ok_ = true;
+  first_id_ = ckpt::get_u64(data_ + 8);
+  valid_bytes_ = kFileHeaderBytes;
+  // Walk chunks; the valid prefix ends at the first torn or out-of-place
+  // chunk. valid_bytes_ only advances past a complete section (its
+  // entries chunk): a trailing lone names chunk carries no events and is
+  // dropped with the tail.
+  size_t pos = kFileHeaderBytes;
+  while (pos + kChunkHeaderBytes <= size_) {
+    const uint8_t* h = data_ + pos;
+    if (ckpt::get_u32(h) != kChunkMagic) break;
+    if (crc32(h, kChunkHeaderBytes - 4) !=
+        ckpt::get_u32(h + kChunkHeaderBytes - 4)) {
+      break;
+    }
+    const uint8_t kind = h[4];
+    const uint64_t chunk_first = ckpt::get_u64(h + 8);
+    const uint32_t count = ckpt::get_u32(h + 16);
+    const uint32_t payload_len = ckpt::get_u32(h + 20);
+    if (kind != kChunkNames && kind != kChunkEntries) break;
+    if (pos + kChunkHeaderBytes + payload_len > size_) break;  // torn tail
+    const uint8_t* payload = h + kChunkHeaderBytes;
+    if (crc32(payload, payload_len) != ckpt::get_u32(h + 24)) break;
+    if (kind == kChunkEntries) {
+      // Sections must cover a contiguous id range from the file header's
+      // first id: a gap means lost data, not a usable suffix.
+      if (chunk_first != first_id_ + events_) break;
+      events_ += count;
+      valid_bytes_ = pos + kChunkHeaderBytes + payload_len;
+    }
+    pos += kChunkHeaderBytes + payload_len;
+  }
+}
+
+size_t SegmentReader::for_each(
+    const std::function<bool(const eval::RawEvent&)>& fn) const {
+  if (!ok_) return 0;
+  // Per-segment name tables, rebuilt at every names chunk (each section
+  // is self-contained). Name/rule views point into the mmap; node Values
+  // are materialized once per record.
+  std::vector<std::string_view> tables;
+  std::vector<std::string_view> rules;
+  std::vector<Value> nodes;
+  Row row;
+  std::vector<eval::EventId> causes;
+  size_t visited = 0;
+  size_t pos = kFileHeaderBytes;
+  while (pos + kChunkHeaderBytes <= valid_bytes_) {
+    const uint8_t* h = data_ + pos;
+    const uint8_t kind = h[4];
+    const uint32_t count = ckpt::get_u32(h + 16);
+    const uint32_t payload_len = ckpt::get_u32(h + 20);
+    const uint8_t* p = h + kChunkHeaderBytes;
+    const uint8_t* end = p + payload_len;
+    if (kind == kChunkNames) {
+      tables.clear();
+      rules.clear();
+      nodes.clear();
+      while (p < end) {
+        const uint8_t rec_kind = *p++;
+        const uint16_t id = ckpt::get_u16(p);
+        p += 2;
+        if (rec_kind == ckpt::kNameNode) {
+          Value v = ckpt::get_value(p);
+          if (id >= nodes.size()) nodes.resize(id + 1);
+          nodes[id] = std::move(v);
+        } else {
+          const uint16_t len = ckpt::get_u16(p);
+          p += 2;
+          const std::string_view name(reinterpret_cast<const char*>(p), len);
+          p += len;
+          auto& table = rec_kind == ckpt::kNameTable ? tables : rules;
+          if (id >= table.size()) table.resize(id + 1);
+          table[id] = name;
+        }
+      }
+    } else {
+      for (uint32_t i = 0; i < count && p < end; ++i) {
+        eval::RawEvent re;
+        re.id = ckpt::get_u64(p) - 1;  // stored time == id + 1
+        re.tags = ckpt::get_u64(p + 8);
+        re.kind = static_cast<eval::EventKind>(p[16]);
+        const uint16_t table_id = ckpt::get_u16(p + ckpt::kTableIdOffset);
+        const uint16_t rule_id = ckpt::get_u16(p + ckpt::kRuleIdOffset);
+        const uint16_t nvals = ckpt::get_u16(p + ckpt::kNValsOffset);
+        const uint16_t ncauses = ckpt::get_u16(p + ckpt::kNCausesOffset);
+        const uint16_t node_id = ckpt::get_u16(p + ckpt::kNodeIdOffset);
+        const uint32_t entry_payload =
+            ckpt::get_u32(p + ckpt::kPayloadLenOffset);
+        const uint8_t* next = p + ckpt::kHeaderBytes + entry_payload;
+        // CRC already vouched for the bytes; these guards keep a
+        // miswritten (not torn) file from walking out of bounds.
+        if (next > end || table_id >= tables.size() ||
+            node_id >= nodes.size() ||
+            (rule_id != ckpt::kNoRuleSerialized && rule_id >= rules.size())) {
+          return visited;
+        }
+        p += ckpt::kHeaderBytes;
+        row.clear();
+        row.reserve(nvals);
+        for (uint16_t v = 0; v < nvals; ++v) row.push_back(ckpt::get_value(p));
+        causes.clear();
+        causes.reserve(ncauses);
+        for (uint16_t c = 0; c < ncauses; ++c) {
+          causes.push_back(ckpt::get_u64(p));
+          p += 8;
+        }
+        re.table = tables[table_id];
+        re.rule = rule_id == ckpt::kNoRuleSerialized ? std::string_view{}
+                                                     : rules[rule_id];
+        re.node = &nodes[node_id];
+        re.row = &row;
+        re.causes = {causes.data(), causes.size()};
+        ++visited;
+        if (!fn(re)) return visited;
+        p = next;
+      }
+    }
+    pos += kChunkHeaderBytes + payload_len;
+  }
+  return visited;
+}
+
+}  // namespace mp::storage

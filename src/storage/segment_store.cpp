@@ -1,0 +1,187 @@
+#include "storage/segment_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+
+#include "eval/ckpt_format.h"
+
+namespace mp::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string segment_path(const std::string& dir, size_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06zu.mpseg", seq);
+  return dir + "/" + name;
+}
+
+void write_all(int fd, const uint8_t* p, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      assert(false && "segment write failed");
+      return;
+    }
+    p += static_cast<size_t>(w);
+    n -= static_cast<size_t>(w);
+  }
+}
+
+}  // namespace
+
+SegmentStore::SegmentStore(std::string dir, SegmentStoreOptions opt)
+    : dir_(std::move(dir)), opt_(opt) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  recover();
+}
+
+SegmentStore::~SegmentStore() {
+  flush(opt_.fsync != FsyncPolicy::kNever);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SegmentStore::recover() {
+  // Segment names embed a zero-padded sequence number, so lexicographic
+  // order is id order.
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(dir_, ec)) {
+    const std::string name = ent.path().filename().string();
+    if (name.rfind("seg-", 0) == 0 &&
+        name.size() > 10 && name.substr(name.size() - 6) == ".mpseg") {
+      paths.push_back(ent.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  size_t i = 0;
+  for (; i < paths.size(); ++i) {
+    SegmentReader r(paths[i]);
+    // A segment must pick up exactly where the previous one ended; a bad
+    // header or an id gap means this file (and everything after it) holds
+    // nothing recoverable.
+    if (!r.ok() || r.first_id() != events_) break;
+    if (r.valid_bytes() < r.file_bytes()) {
+      // Torn tail: truncate to the durable prefix. Later files cannot be
+      // valid (they would leave an id gap), so the loop below drops them.
+      dropped_bytes_ += r.file_bytes() - r.valid_bytes();
+      ::truncate(paths[i].c_str(), static_cast<off_t>(r.valid_bytes()));
+    }
+    segments_.push_back(SegmentMeta{paths[i], r.first_id(), r.events(),
+                                    r.valid_bytes()});
+    events_ += r.events();
+    disk_bytes_ += r.valid_bytes();
+    if (r.valid_bytes() < r.file_bytes()) {
+      ++i;
+      break;
+    }
+  }
+  for (; i < paths.size(); ++i) {
+    std::error_code rm_ec;
+    dropped_bytes_ += fs::file_size(paths[i], rm_ec);
+    fs::remove(paths[i], rm_ec);
+  }
+  recovered_events_ = events_;
+}
+
+void SegmentStore::open_new_segment() {
+  assert(buffer_.empty());
+  const std::string path = segment_path(dir_, segments_.size());
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  assert(fd_ >= 0 && "cannot create segment file");
+  segments_.push_back(SegmentMeta{path, events_, 0, 0});
+  // File header goes through the group buffer like everything else.
+  buffer_.insert(buffer_.end(), kFileMagic, kFileMagic + sizeof(kFileMagic));
+  eval::ckpt::put_u16(buffer_, kFormatVersion);
+  eval::ckpt::put_u64(buffer_, events_);
+}
+
+void SegmentStore::open_last_for_append() {
+  fd_ = ::open(segments_.back().path.c_str(), O_WRONLY | O_APPEND);
+  assert(fd_ >= 0 && "cannot reopen segment for append");
+}
+
+void SegmentStore::rotate() {
+  flush(opt_.fsync != FsyncPolicy::kNever);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  open_new_segment();
+}
+
+void SegmentStore::flush(bool sync) const {
+  if (!buffer_.empty() && fd_ >= 0) {
+    write_all(fd_, buffer_.data(), buffer_.size());
+    disk_bytes_ += buffer_.size();
+    const_cast<SegmentStore*>(this)->segments_.back().flushed_bytes +=
+        buffer_.size();
+    buffer_.clear();
+  }
+  if (sync && fd_ >= 0) ::fsync(fd_);
+}
+
+void SegmentStore::append_section(eval::EventId first_id, size_t count,
+                                  std::span<const uint8_t> entries,
+                                  std::span<const uint8_t> names) {
+  assert(first_id == events_ && "sections must arrive in id order");
+  (void)first_id;
+  if (fd_ < 0) {
+    if (segments_.empty()) {
+      open_new_segment();
+    } else {
+      open_last_for_append();
+    }
+  }
+  const size_t incoming =
+      2 * kChunkHeaderBytes + entries.size() + names.size();
+  // Rotate at section boundaries only (each section is self-contained),
+  // and never on an empty segment — an oversized section must still land
+  // somewhere.
+  if (segments_.back().events > 0 &&
+      segments_.back().flushed_bytes + buffer_.size() + incoming >
+          opt_.rotate_bytes) {
+    rotate();
+  }
+  append_chunk_header(buffer_, kChunkNames, events_,
+                      0, names.data(), static_cast<uint32_t>(names.size()));
+  buffer_.insert(buffer_.end(), names.begin(), names.end());
+  append_chunk_header(buffer_, kChunkEntries, events_,
+                      static_cast<uint32_t>(count), entries.data(),
+                      static_cast<uint32_t>(entries.size()));
+  buffer_.insert(buffer_.end(), entries.begin(), entries.end());
+  segments_.back().events += count;
+  events_ += count;
+  if (opt_.fsync == FsyncPolicy::kOnAppend) {
+    flush(true);
+  } else if (buffer_.size() >= opt_.group_buffer_bytes) {
+    flush(false);
+  }
+}
+
+void SegmentStore::replay_raw(
+    const std::function<bool(const eval::RawEvent&)>& fn) const {
+  flush(false);  // readers mmap the files; pending bytes must be visible
+  for (const SegmentMeta& meta : segments_) {
+    bool stopped = false;
+    SegmentReader r(meta.path);
+    r.for_each([&](const eval::RawEvent& re) {
+      if (!fn(re)) {
+        stopped = true;
+        return false;
+      }
+      return true;
+    });
+    if (stopped) return;
+  }
+}
+
+}  // namespace mp::storage

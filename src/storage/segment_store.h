@@ -1,0 +1,90 @@
+// SegmentStore: the durable CheckpointSink (see eval/event_log.h).
+//
+// EventLog::compact() sections are framed into CRC'd chunks (format in
+// storage/segment.h) and group-committed sequentially into append-only
+// segment files `dir/seg-NNNNNN.mpseg`. Writes accumulate in a RAM buffer
+// and hit the file when the buffer crosses group_buffer_bytes (or on
+// flush()/fsync policy); a segment seals and the store rotates to a fresh
+// file when it crosses rotate_bytes — always at a section boundary, so
+// every segment decodes standalone.
+//
+// Construction is crash recovery: scan the directory, validate each
+// segment front to back with SegmentReader (CRC + id continuity),
+// truncate the torn tail of the last usable segment, delete anything
+// after the first unusable one, and resume appending where the durable
+// prefix ends. A store therefore always exposes a contiguous event range
+// [0, events()) regardless of how the previous process died.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/event_log.h"
+#include "storage/segment.h"
+
+namespace mp::storage {
+
+struct SegmentStoreOptions {
+  size_t rotate_bytes = 4u << 20;        // seal a segment past this size
+  size_t group_buffer_bytes = 256u << 10;  // group-commit threshold
+  FsyncPolicy fsync = FsyncPolicy::kNever;
+};
+
+class SegmentStore final : public eval::CheckpointSink {
+ public:
+  // Creates `dir` if needed and recovers whatever segments it holds.
+  explicit SegmentStore(std::string dir, SegmentStoreOptions opt = {});
+  ~SegmentStore() override;
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  // --- CheckpointSink ---------------------------------------------------
+  void append_section(eval::EventId first_id, size_t count,
+                      std::span<const uint8_t> entries,
+                      std::span<const uint8_t> names) override;
+  void replay_raw(
+      const std::function<bool(const eval::RawEvent&)>& fn) const override;
+  size_t events() const override { return events_; }
+  // Durable footprint: flushed file bytes plus the pending group buffer.
+  size_t bytes() const override { return disk_bytes_ + buffer_.size(); }
+
+  // Writes the group buffer through to the current segment file
+  // (optionally fsyncing). Logically const: moves queued bytes to disk
+  // without changing the store's contents — replay_raw flushes first so
+  // the mmap readers see everything appended.
+  void flush(bool sync) const;
+
+  size_t segment_count() const { return segments_.size(); }
+  const std::string& dir() const { return dir_; }
+  // Recovery report: events found durable at construction, and bytes
+  // discarded as torn/unreachable.
+  size_t recovered_events() const { return recovered_events_; }
+  size_t dropped_bytes() const { return dropped_bytes_; }
+
+ private:
+  struct SegmentMeta {
+    std::string path;
+    uint64_t first_id = 0;
+    size_t events = 0;
+    size_t flushed_bytes = 0;  // bytes actually in the file
+  };
+
+  void recover();
+  void open_new_segment();
+  void open_last_for_append();
+  void rotate();
+
+  std::string dir_;
+  SegmentStoreOptions opt_;
+  std::vector<SegmentMeta> segments_;  // in id order; back() is current
+  size_t events_ = 0;
+  size_t recovered_events_ = 0;
+  size_t dropped_bytes_ = 0;
+  // Group-commit state (mutable: flush() is logically const, see above).
+  mutable std::vector<uint8_t> buffer_;
+  mutable size_t disk_bytes_ = 0;  // flushed bytes across all segments
+  mutable int fd_ = -1;            // current segment, positioned at end
+};
+
+}  // namespace mp::storage

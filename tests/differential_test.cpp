@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <span>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "backtest/replay.h"
+#include "storage/segment_store.h"
 #include "ndlog/parser.h"
 #include "repair/forest.h"
 #include "runtime/sharded_engine.h"
@@ -227,6 +229,55 @@ TEST(Differential, ShardedMatchesSerialOnAllScenarios) {
       // ...and repair exploration on top of it is byte-identical.
       EXPECT_EQ(explore_all(s, rebuilt), want_repairs);
     }
+  }
+}
+
+// Durable-segment round trip row (PR 7): the same auto-compacting run
+// with its checkpoint sections spilled to segment files (src/storage)
+// must be observably identical to the in-RAM checkpoint engine — same
+// fixpoint, same full event sequence walked back through the mmap'd
+// segments — and a reload from the segment files ALONE (fresh process:
+// recovery scan + replay_base_stream over the store, no source EventLog)
+// must rebuild the identical snapshot on every scenario.
+TEST(Differential, SegmentReloadMatchesInRamCheckpointOnAllScenarios) {
+  for (const Scenario& s : all_scenarios()) {
+    SCOPED_TRACE("scenario " + s.id);
+    const std::vector<eval::Tuple> trace = engine_trace(s, 1200);
+
+    eval::EngineOptions ram_opt;
+    ram_opt.compact_after_events = 150;
+    ram_opt.compact_keep_live = 40;
+    const EngineSnapshot want = run_trace(s, trace, 64, ram_opt);
+    EXPECT_GT(want.firings, 0u);
+
+    const std::string dir =
+        ::testing::TempDir() + "mp_differential_segments/" + s.id;
+    std::filesystem::remove_all(dir);
+    eval::EngineOptions seg_opt = ram_opt;
+    seg_opt.segment_dir = dir;
+    seg_opt.segment_store.rotate_bytes = 16 << 10;
+    {
+      eval::Engine engine(s.program, seg_opt);
+      for (size_t i = 0; i < trace.size(); i += 64) {
+        const size_t n = std::min<size_t>(64, trace.size() - i);
+        engine.insert_batch(std::span<const eval::Tuple>(trace.data() + i, n));
+      }
+      ASSERT_NE(engine.segments(), nullptr);
+      EXPECT_GT(engine.segments()->events(), 0u)
+          << "auto-compaction never spilled: the row pins nothing";
+      expect_equal(snapshot(engine), want, s.id + " spilled");
+      engine.log().compact(0);  // seal the full history into the store
+      EXPECT_EQ(testutil::event_sequence_hash(engine.log()),
+                want.event_sequence_hash)
+          << "fully-spilled log must still walk the identical sequence";
+    }
+
+    storage::SegmentStore store(dir);
+    EXPECT_EQ(store.recovered_events(), want.log_events);
+    eval::Engine rebuilt(s.program);
+    const size_t applied = backtest::replay_base_stream(store, rebuilt);
+    EXPECT_GT(applied, 0u);
+    expect_equal(snapshot(rebuilt), want, s.id + " segment reload");
   }
 }
 

@@ -10,6 +10,7 @@
 //     the ordered scan they replaced.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <string>
@@ -271,6 +272,99 @@ TEST(EventLogCheckpoint, CompactedDeleteEventsReplayToo) {
   backtest::replay_base_stream(original.log(), rebuilt);
   EXPECT_EQ(table_snapshot(rebuilt), want_tables);
   EXPECT_EQ(event_sequence_hash(rebuilt.log()), want_hash);
+}
+
+// Regression (PR 7): a decoded event's cause span used to point into one
+// shared mutable scratch vector that the next decode silently clobbered,
+// so nested iteration — holding one checkpoint-decoded event's causes
+// while walking the rest of the checkpoint, exactly what segment replay
+// does — read garbage. Each for_each_event pass now decodes through its
+// own cursor; the outer span must survive a full inner pass untouched.
+TEST(EventLogCheckpoint, DecodedCausesSurviveInterleavedDecodes) {
+  const scenario::Scenario s = scenario::q1_copy_paste({});
+  Engine e(s.program);
+  e.insert_batch(scenario::engine_trace(s, 300));
+  e.log().compact(0);  // everything decodes from the checkpoint
+  const EventLog& log = e.log();
+
+  // Ground truth, collected one event per decode (no interleaving).
+  std::map<EventId, std::vector<EventId>> want;
+  log.for_each_event([&](const Event& ev) {
+    const auto c = log.causes_of(ev);
+    want[ev.id].assign(c.begin(), c.end());
+  });
+  size_t with_causes = 0;
+  for (const auto& [id, c] : want) with_causes += c.empty() ? 0 : 1;
+  ASSERT_GT(with_causes, 10u) << "fixture records no causal links";
+
+  // Adversarial interleaving: while holding each outer event's span, run
+  // a complete inner decode pass over the same checkpoint, then read the
+  // outer span.
+  size_t checked = 0;
+  log.for_each_event([&](const Event& outer) {
+    const auto span = log.causes_of(outer);
+    if (span.empty()) return;
+    uint64_t inner_sum = 0;
+    log.for_each_event([&](const Event& inner) {
+      for (EventId c : log.causes_of(inner)) inner_sum += c;
+    });
+    ASSERT_GT(inner_sum, 0u);
+    EXPECT_TRUE(std::equal(span.begin(), span.end(), want[outer.id].begin(),
+                           want[outer.id].end()))
+        << "event " << outer.id
+        << ": cause span clobbered by interleaved decodes";
+    ++checked;
+  });
+  EXPECT_EQ(checked, with_causes);
+}
+
+// Regression (PR 7): checkpoint decode used to resolve the serialized
+// 16-bit table/rule/node ids through the attached live catalog — correct
+// only for the log that wrote the checkpoint. A checkpoint must decode
+// through its own string-table section, so loading it into a fresh
+// standalone log whose interners are deliberately scrambled (junk names
+// interned first, shifting every id) reproduces the byte-identical event
+// sequence.
+TEST(EventLogCheckpoint, CheckpointDecodesSelfContainedIntoScrambledCatalog) {
+  const scenario::Scenario s = scenario::q1_copy_paste({});
+  Engine e(s.program);
+  e.insert_batch(scenario::engine_trace(s, 300));
+  std::vector<std::string> want;
+  e.log().for_each_event([&](const Event& ev) {
+    std::string line = e.log().to_string(ev);
+    for (EventId c : e.log().causes_of(ev)) line += " <" + std::to_string(c) + ">";
+    want.push_back(std::move(line));
+  });
+  e.log().compact(0);
+  ASSERT_EQ(e.log().live_size(), 0u);
+
+  // A standalone log (private catalog), scrambled so no id can happen to
+  // line up with the writer's: every table/rule/node id space is shifted
+  // before the checkpoint is loaded.
+  EventLog fresh;
+  for (int i = 0; i < 7; ++i) {
+    const std::string junk = "zz_junk_" + std::to_string(i);
+    fresh.intern_tuple(junk, Row{Value(i)});
+    fresh.intern_rule(junk);
+    fresh.intern_node(Value::str(junk));
+  }
+  fresh.load_checkpoint(e.log().checkpoint_entries(),
+                        e.log().checkpoint_names());
+  ASSERT_EQ(fresh.size(), want.size());
+  ASSERT_EQ(fresh.base_id(), want.size());
+
+  std::vector<std::string> got;
+  fresh.for_each_event([&](const Event& ev) {
+    std::string line = fresh.to_string(ev);
+    for (EventId c : fresh.causes_of(ev)) line += " <" + std::to_string(c) + ">";
+    got.push_back(std::move(line));
+  });
+  EXPECT_EQ(got, want) << "decode leaked the writer's id space";
+  // And the loaded checkpoint re-serializes: a second-generation log
+  // loads the first copy's bytes and still agrees.
+  EventLog second;
+  second.load_checkpoint(fresh.checkpoint_entries(), fresh.checkpoint_names());
+  EXPECT_EQ(event_sequence_hash(second), event_sequence_hash(fresh));
 }
 
 // --- repair regression --------------------------------------------------

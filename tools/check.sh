@@ -4,15 +4,19 @@
 # provenance-recording fast path (ROADMAP "Tier-1 verify"). Usage:
 #   tools/check.sh [build-dir]
 # The bench smoke runs a short BM_PacketInProcessing (provenance on) and
-# fails if throughput drops below CHECK_BENCH_FLOOR tuples/sec (default
-# 800000 — the pre-interning recording path ran at ~279k, the PR 5
-# interned fast path at ~565k, and the current recording path at
+# fails if throughput drops below CHECK_BENCH_FLOOR tuples/sec (default:
+# see FLOOR below — the pre-interning recording path ran at ~279k, the
+# PR 5 interned fast path at ~565k, and the current recording path at
 # 1.0-1.2M on the noisy 1-CPU reference box, so the floor catches a
 # regression back to the scalar dispatch path or to per-event
 # allocations while tolerating the box's clock wander, which has been
 # observed to dip short runs ~15% below their quiet-window rate). Skip
 # it with CHECK_BENCH=0; it is skipped automatically when
 # google-benchmark was not found at configure time.
+# With CHECK_CRASH=1 the script additionally runs the exhaustive
+# crash-recovery sweep (every truncation offset of the newest segment,
+# all scenarios) from storage_test:
+#   CHECK_CRASH=1 tools/check.sh
 # With CHECK_TSAN=1 the script additionally configures a side build
 # directory with -fsanitize=thread (CMake option MP_TSAN) and runs the
 # `concurrency`-labelled suites (the sharded runtime) under
@@ -40,7 +44,7 @@ echo "--- smoke (Q1 pipeline) ---"
 # bench binary is the right artifact).
 if [[ "${CHECK_BENCH:-1}" == "1" && -x "$BUILD_DIR/bench_overhead" ]]; then
   echo "--- bench smoke (provenance recording floor) ---"
-  FLOOR="${CHECK_BENCH_FLOOR:-800000}"
+  FLOOR="${CHECK_BENCH_FLOOR:-900000}"
   RAW="$(mktemp)"
   trap 'rm -f "$RAW"' EXIT
   "$BUILD_DIR/bench_overhead" \
@@ -58,6 +62,12 @@ if rate < floor:
     sys.exit(f"bench smoke FAILED: provenance-on throughput {rate:,.0f} "
              f"below floor {floor:,.0f} tuples/s")
 EOF
+fi
+
+if [[ "${CHECK_CRASH:-0}" == "1" ]]; then
+  echo "--- crash-recovery sweep (every truncation offset, all scenarios) ---"
+  MP_CRASH_SWEEP=all "$BUILD_DIR/storage_test" \
+    --gtest_filter='*CrashRecovery*'
 fi
 
 if [[ "${CHECK_TSAN:-0}" == "1" ]]; then

@@ -22,7 +22,7 @@ trap 'rm -f "$RAW"' EXIT
 # --benchmark_out: bench_overhead prints a storage-accounting preamble to
 # stdout, so the JSON must go to a file.
 "$BENCH" \
-  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_JoinHeavyBatchInsert|BM_PacketInProcessing|BM_RepairHistoryProbe|BM_ShardedEval|BM_CascadeFanout' \
+  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_JoinHeavyBatchInsert|BM_PacketInProcessing|BM_RepairHistoryProbe|BM_ShardedEval|BM_CascadeFanout|BM_SegmentWrite|BM_SegmentReload' \
   --benchmark_min_time=1 \
   --benchmark_out_format=json --benchmark_out="$RAW" >/dev/null
 
@@ -161,6 +161,23 @@ for name, key in (("BM_PacketInProcessing/1", "packet_in_provenance_on"),
         perf[key] = row
 perf_counters = perf if perf else {"available": False}
 
+# Durable segment store (src/storage): write side is sequential
+# group-commit bandwidth of checkpoint sections rotating into segment
+# files (with inserts/sec for the same run, durability in the loop);
+# read side is a cold reload — recovery scan + full mmap standalone
+# decode — in events/sec, the rate that bounds crash-recovery time.
+durable = {}
+w = results.get("BM_SegmentWrite")
+if w:
+    durable["segment_write_mb_per_sec"] = (
+        w["bytes_per_second"] / 1e6 if w.get("bytes_per_second") else None)
+    durable["segment_write_inserts_per_sec"] = rate(w)
+    durable["segment_files"] = w.get("segment_files")
+r = results.get("BM_SegmentReload")
+if r:
+    durable["reload_events_per_sec"] = rate(r)
+    durable["reload_store_events"] = r.get("events")
+
 # Sharded end-to-end scaling: Arg(0) is the serial Engine baseline, the
 # other args are ShardedEngine worker counts over the identical workload.
 sharded = {}
@@ -196,6 +213,7 @@ out = {
     "columnar_firing": columnar,
     "perf_counters": perf_counters,
     "sharded_eval": sharded,
+    "durable_log": durable,
 }
 with open(out_path, "w") as f:
     json.dump(out, f, indent=2)
@@ -227,6 +245,10 @@ for pkey, c in columnar.items():
     print(f"  columnar firing ({pkey}): {c['columnar_packets_per_sec']:,.0f} packets/s "
           f"vs {c['tuple_at_a_time_packets_per_sec']:,.0f} scalar "
           f"({c['speedup']:.2f}x)")
+if durable.get("segment_write_mb_per_sec"):
+    print(f"  durable log: {durable['segment_write_mb_per_sec']:.1f} MB/s segment write "
+          f"({durable['segment_write_inserts_per_sec']:,.0f} inserts/s durable), "
+          f"{durable.get('reload_events_per_sec') or 0:,.0f} events/s reload")
 if perf:
     for key, row in perf.items():
         parts = ", ".join(f"{k.replace('_per_tuple','')}={v:,.0f}"
