@@ -4,10 +4,15 @@
 //
 // Containers and locked-down kernels routinely deny the syscall
 // (perf_event_paranoid, seccomp): every failure path degrades to
-// available() == false and the caller simply omits the counters — the
-// throughput rows must never depend on perf access.
+// available() == false and the caller simply omits the hardware counters —
+// the throughput rows must never depend on perf access. A portable
+// software sample (getrusage + steady clock: cpu utilisation, page faults,
+// context switches) is taken alongside regardless, so the perf_counters
+// section of BENCH_engine.json always carries something more useful than
+// `available: false`.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 #if defined(__linux__)
@@ -18,18 +23,46 @@
 
 #include <cstring>
 #endif
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define MP_BENCH_HAVE_RUSAGE 1
+#endif
 
 namespace mp::bench {
 
 class PerfCounters {
  public:
   struct Sample {
+    // Hardware block (perf_event_open); valid only when the kernel
+    // granted all four counters.
     bool valid = false;
     uint64_t cycles = 0;
     uint64_t instructions = 0;
     uint64_t cache_misses = 0;
     uint64_t branch_misses = 0;
+    // Software block (getrusage deltas + steady-clock wall time); valid
+    // on any unix-like host, independent of perf access.
+    bool sw_valid = false;
+    uint64_t wall_ns = 0;
+    uint64_t cpu_user_ns = 0;
+    uint64_t cpu_sys_ns = 0;
+    uint64_t minor_faults = 0;
+    uint64_t major_faults = 0;
+    uint64_t ctx_switches = 0;  // voluntary + involuntary
   };
+
+  bool available() const { return available_; }
+
+  void start() {
+    start_hw();
+    start_sw();
+  }
+
+  Sample stop() {
+    Sample s = stop_hw();
+    stop_sw(s);
+    return s;
+  }
 
 #if defined(__linux__)
   PerfCounters() {
@@ -50,9 +83,8 @@ class PerfCounters {
   PerfCounters(const PerfCounters&) = delete;
   PerfCounters& operator=(const PerfCounters&) = delete;
 
-  bool available() const { return available_; }
-
-  void start() {
+ private:
+  void start_hw() {
     if (!available_) return;
     for (int fd : fds_) {
       ioctl(fd, PERF_EVENT_IOC_RESET, 0);
@@ -60,7 +92,7 @@ class PerfCounters {
     }
   }
 
-  Sample stop() {
+  Sample stop_hw() {
     Sample s;
     if (!available_) return s;
     uint64_t vals[4] = {0, 0, 0, 0};
@@ -79,7 +111,6 @@ class PerfCounters {
     return s;
   }
 
- private:
   static int open_counter(uint32_t type, uint64_t config) {
     perf_event_attr attr;
     std::memset(&attr, 0, sizeof(attr));
@@ -100,12 +131,51 @@ class PerfCounters {
     available_ = false;
   }
   int fds_[4] = {-1, -1, -1, -1};
-  bool available_ = false;
 #else
-  bool available() const { return false; }
-  void start() {}
-  Sample stop() { return {}; }
+ private:
+  void start_hw() {}
+  Sample stop_hw() { return {}; }
 #endif
+
+#if defined(MP_BENCH_HAVE_RUSAGE)
+  static uint64_t tv_ns(const timeval& tv) {
+    return static_cast<uint64_t>(tv.tv_sec) * 1'000'000'000ull +
+           static_cast<uint64_t>(tv.tv_usec) * 1'000ull;
+  }
+
+  void start_sw() {
+    sw_started_ = getrusage(RUSAGE_SELF, &ru_start_) == 0;
+    t_start_ = std::chrono::steady_clock::now();
+  }
+
+  void stop_sw(Sample& s) {
+    const auto t_end = std::chrono::steady_clock::now();
+    rusage ru_end;
+    if (!sw_started_ || getrusage(RUSAGE_SELF, &ru_end) != 0) return;
+    s.sw_valid = true;
+    s.wall_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t_end - t_start_)
+            .count());
+    s.cpu_user_ns = tv_ns(ru_end.ru_utime) - tv_ns(ru_start_.ru_utime);
+    s.cpu_sys_ns = tv_ns(ru_end.ru_stime) - tv_ns(ru_start_.ru_stime);
+    s.minor_faults =
+        static_cast<uint64_t>(ru_end.ru_minflt - ru_start_.ru_minflt);
+    s.major_faults =
+        static_cast<uint64_t>(ru_end.ru_majflt - ru_start_.ru_majflt);
+    s.ctx_switches =
+        static_cast<uint64_t>((ru_end.ru_nvcsw - ru_start_.ru_nvcsw) +
+                              (ru_end.ru_nivcsw - ru_start_.ru_nivcsw));
+  }
+
+  rusage ru_start_{};
+  bool sw_started_ = false;
+#else
+  void start_sw() { t_start_ = std::chrono::steady_clock::now(); }
+  void stop_sw(Sample&) {}
+#endif
+
+  std::chrono::steady_clock::time_point t_start_{};
+  bool available_ = false;
 };
 
 }  // namespace mp::bench

@@ -4,11 +4,19 @@
 // with no live engine attached. One definition of the layout so the two
 // decoders cannot drift.
 //
-// Entry layout (little-endian, 32-byte fixed header):
-//   u64 time | u64 tags | u8 kind | u8 reserved | u16 table_id |
-//   u16 rule_id | u16 nvals | u16 ncauses | u16 node_id | u32 payload_len
+// Entry layout v2 (little-endian, 22-byte fixed header):
+//   u64 tags | u8 kind | u8 ncauses | u16 table_id | u16 rule_id |
+//   u16 nvals | u16 node_id | u32 payload_len
 // followed by payload: nvals row values (u8 tag, then i64 or u16 len +
 // bytes), ncauses x u64 cause ids.
+//
+// v2 dropped the leading u64 time of v1: times are assigned densely in
+// id order (EventLog::event_time() == id + 1), and both decoders already
+// know every entry's id from its position — the in-RAM checkpoint from
+// the entry index, the segment reader from the chunk header's first_id.
+// Ten redundant bytes per entry bought nothing. ncauses also narrowed
+// u16 -> u8, matching the 32-byte in-memory Event (an event's causes are
+// one per body atom or a single link; the writer asserts the cap).
 //
 // String-table records (name blob): u8 kind (0 = table, 1 = rule) |
 // u16 id | u16 len | bytes, or for nodes: u8 kind (2) | u16 id |
@@ -23,18 +31,19 @@
 
 namespace mp::eval::ckpt {
 
-inline constexpr size_t kHeaderBytes = 32;
+inline constexpr size_t kHeaderBytes = 22;
 inline constexpr uint16_t kNoRuleSerialized = 0xffff;
 
-// Fixed byte offsets of the u16 id fields inside an entry header (the
-// load path patches these in place when translating a foreign checkpoint
-// into the loading log's id space).
-inline constexpr size_t kTableIdOffset = 18;
-inline constexpr size_t kRuleIdOffset = 20;
-inline constexpr size_t kNValsOffset = 22;
-inline constexpr size_t kNCausesOffset = 24;
-inline constexpr size_t kNodeIdOffset = 26;
-inline constexpr size_t kPayloadLenOffset = 28;
+// Fixed byte offsets of the fields inside an entry header (the load path
+// patches the u16 ids in place when translating a foreign checkpoint into
+// the loading log's id space).
+inline constexpr size_t kKindOffset = 8;
+inline constexpr size_t kNCausesOffset = 9;
+inline constexpr size_t kTableIdOffset = 10;
+inline constexpr size_t kRuleIdOffset = 12;
+inline constexpr size_t kNValsOffset = 14;
+inline constexpr size_t kNodeIdOffset = 16;
+inline constexpr size_t kPayloadLenOffset = 18;
 
 // String-table record kinds.
 inline constexpr uint8_t kNameTable = 0;

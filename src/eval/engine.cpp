@@ -1,5 +1,7 @@
 #include "eval/engine.h"
 
+#include <algorithm>
+
 namespace mp::eval {
 
 bool eval_expr(const ndlog::Expr& e, const Env& env, Value& out) {
@@ -56,15 +58,58 @@ Engine::Engine(ndlog::Program program, EngineOptions opt)
                                            static_cast<uint32_t>(b));
     }
   }
+  // Struct-of-arrays hot columns: for every stored table whose trigger
+  // plans are all pure (the precondition for columnar lanes), the sorted
+  // union of the plans' flattened predicate columns. Tables interned
+  // after construction (external-only tables) have no rules, so sizing to
+  // the post-compile catalog covers every table a lane can fire.
+  if (opt_.batch_firing && opt_.soa_columns) {
+    soa_specs_.resize(catalog_.size());
+    for (TableId tid = 0; tid < soa_specs_.size(); ++tid) {
+      if (catalog_.is_event(tid)) continue;
+      std::vector<uint32_t>& cols = soa_specs_[tid];
+      bool all_pure = true;
+      for (const auto& [rule_idx, body_idx] : triggers_by_table_[tid]) {
+        const TriggerPlan& tp = compiled_[rule_idx].triggers[body_idx];
+        if (tp.dead) continue;
+        if (!tp.columnar.pure) {
+          all_pure = false;
+          break;
+        }
+        for (const ColumnarGroup& grp : tp.columnar.groups) {
+          for (const ColumnarPred& pr : grp.preds) {
+            cols.push_back(pr.col);
+            if (pr.kind == ColumnarPred::Kind::ColEq) cols.push_back(pr.col2);
+          }
+        }
+      }
+      if (!all_pure) {
+        cols.clear();  // the lane never runs columnar for this table
+        continue;
+      }
+      std::sort(cols.begin(), cols.end());
+      cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    }
+  }
 }
 
 Database& Engine::node_db(const Value& node) {
   if (node_cache_key_ != nullptr && *node_cache_key_ == node) {
     return *node_cache_db_;
   }
+  if (node_cache_key2_ != nullptr && *node_cache_key2_ == node) {
+    std::swap(node_cache_key_, node_cache_key2_);  // keep MRU first
+    std::swap(node_cache_db_, node_cache_db2_);
+    return *node_cache_db_;
+  }
   auto [it, inserted] = nodes_.try_emplace(node);
-  if (inserted) it->second.init(&catalog_, &index_specs_, &log_.pool());
+  if (inserted) {
+    it->second.init(&catalog_, &index_specs_,
+                    soa_specs_.empty() ? nullptr : &soa_specs_, &log_.pool());
+  }
   // Safe to cache: nodes_ is a std::map (node-stable) and never erased.
+  node_cache_key2_ = node_cache_key_;
+  node_cache_db2_ = node_cache_db_;
   node_cache_key_ = &it->first;
   node_cache_db_ = &it->second;
   return it->second;
@@ -74,8 +119,15 @@ Database* Engine::find_node_db(const Value& node) {
   if (node_cache_key_ != nullptr && *node_cache_key_ == node) {
     return node_cache_db_;
   }
+  if (node_cache_key2_ != nullptr && *node_cache_key2_ == node) {
+    std::swap(node_cache_key_, node_cache_key2_);
+    std::swap(node_cache_db_, node_cache_db2_);
+    return node_cache_db_;
+  }
   auto it = nodes_.find(node);
   if (it == nodes_.end()) return nullptr;
+  node_cache_key2_ = node_cache_key_;
+  node_cache_db2_ = node_cache_db_;
   node_cache_key_ = &it->first;
   node_cache_db_ = &it->second;
   return &it->second;
@@ -106,11 +158,11 @@ void Engine::release_row(Row&& row) {
 }
 
 void Engine::dispatch_external(const Tuple& t, TableId tid, TagMask tags,
-                               EventId cause, TupleRef ref) {
+                               EventId cause, TupleRef ref, NodeRef nref) {
   if (running_ || !queue_.empty()) {
     // Re-entrant entry (from an on_appear callback): queue it so the
     // outer drain keeps sequential order.
-    enqueue_appear(t, tid, tags, cause, ref);
+    enqueue_appear(t, tid, tags, cause, ref, nref);
     run_queue();
     return;
   }
@@ -124,7 +176,7 @@ void Engine::dispatch_external(const Tuple& t, TableId tid, TagMask tags,
     return;
   }
   running_ = true;
-  handle_appear(t, tid, tags, cause, ref);
+  handle_appear(t, tid, tags, cause, ref, nref);
   running_ = false;
   run_queue();
 }
@@ -134,11 +186,13 @@ void Engine::insert(const Tuple& t, TagMask tags) {
   const TableId tid = intern_extern_table(t.table);
   EventId cause = kNoEvent;
   TupleRef ref = kNoTupleRef;
+  NodeRef nref = kNoNode;
   if (opt_.record_provenance) {
     ref = log_.pool().intern(tid, t.row);
-    cause = log_.append(EventKind::Insert, t.location(), ref, tags);
+    nref = log_.intern_node(t.location());
+    cause = log_.append(EventKind::Insert, nref, ref, tags);
   }
-  dispatch_external(t, tid, tags, cause, ref);
+  dispatch_external(t, tid, tags, cause, ref, nref);
   maybe_autocompact();
 }
 
@@ -147,11 +201,13 @@ EventId Engine::receive_remote(Tuple t, TagMask tags) {
   const TableId tid = intern_extern_table(t.table);
   EventId cause = kNoEvent;
   TupleRef ref = kNoTupleRef;
+  NodeRef nref = kNoNode;
   if (opt_.record_provenance) {
     ref = log_.pool().intern(tid, t.row);
-    cause = log_.append(EventKind::Receive, t.location(), ref, tags);
+    nref = log_.intern_node(t.location());
+    cause = log_.append(EventKind::Receive, nref, ref, tags);
   }
-  dispatch_external(t, tid, tags, cause, ref);
+  dispatch_external(t, tid, tags, cause, ref, nref);
   maybe_autocompact();
   return cause;
 }
@@ -177,11 +233,13 @@ void Engine::stage_insert(const Tuple& t, TagMask tags,
   }
   EventId cause = kNoEvent;
   TupleRef ref = kNoTupleRef;
+  NodeRef nref = kNoNode;
   if (opt_.record_provenance) {
     ref = log_.pool().intern(last_id, t.row);
-    cause = log_.append(EventKind::Insert, t.location(), ref, tags);
+    nref = log_.intern_node(t.location());
+    cause = log_.append(EventKind::Insert, nref, ref, tags);
   }
-  dispatch_external(t, last_id, tags, cause, ref);
+  dispatch_external(t, last_id, tags, cause, ref, nref);
 }
 
 void Engine::insert_batch(std::span<const Tuple> batch, TagMask tags) {
@@ -189,7 +247,31 @@ void Engine::insert_batch(std::span<const Tuple> batch, TagMask tags) {
   begin_bulk();
   const std::string* last_name = nullptr;
   TableId last_id = 0;
-  for (const Tuple& t : batch) stage_insert(t, tags, last_name, last_id);
+  size_t i = 0;
+  while (i < batch.size()) {
+    // Lane formation at the entry point: a maximal run of >=2 consecutive
+    // same-table tuples goes through the columnar path in one pass when
+    // the engine is quiescent (top-level call, drained queue) and the
+    // table qualifies — see try_insert_lane. Shard-hooked engines stay
+    // scalar: forwarded tuples re-enter mid-run.
+    if (opt_.batch_firing && !running_ && queue_.empty() && !diverged_ &&
+        !hooks_.is_local && i + 1 < batch.size() &&
+        batch[i + 1].table == batch[i].table) {
+      size_t j = i + 2;
+      while (j < batch.size() && batch[j].table == batch[i].table) ++j;
+      const TableId tid = intern_extern_table(batch[i].table);
+      if (try_insert_lane(batch.subspan(i, j - i), tid, tags)) {
+        i = j;
+        continue;
+      }
+      // Ineligible table: stage the whole run scalar so the run scan is
+      // not repeated per tuple.
+      for (; i < j; ++i) stage_insert(batch[i], tags, last_name, last_id);
+      continue;
+    }
+    stage_insert(batch[i], tags, last_name, last_id);
+    ++i;
+  }
   end_bulk();
   maybe_autocompact();
 }
@@ -327,6 +409,7 @@ void Engine::on_appear(const std::string& table,
   // A callback makes the table ineligible for columnar batched firing
   // (the callback must observe each appearance mid-lane).
   if (tid < batch_eligible_.size()) batch_eligible_[tid] = BatchEligible::No;
+  if (tid < entry_eligible_.size()) entry_eligible_[tid] = BatchEligible::No;
 }
 
 void Engine::run_callbacks(TableId tid, const Tuple& t, TagMask tags) {
@@ -343,8 +426,8 @@ void Engine::set_rule_restrict(const std::string& rule, TagMask mask) {
 }
 
 void Engine::enqueue_appear(Tuple t, TableId tid, TagMask tags, EventId cause,
-                            TupleRef ref) {
-  queue_.push_back(PendingAppear{std::move(t), tid, tags, cause, ref});
+                            TupleRef ref, NodeRef nref) {
+  queue_.push_back(PendingAppear{std::move(t), tid, tags, cause, ref, nref});
 }
 
 void Engine::run_queue() {
@@ -365,7 +448,7 @@ void Engine::run_queue() {
     }
     PendingAppear p = std::move(queue_.front());
     queue_.pop_front();
-    handle_appear(p.tuple, p.table_id, p.tags, p.cause, p.ref);
+    handle_appear(p.tuple, p.table_id, p.tags, p.cause, p.ref, p.node_ref);
     release_row(std::move(p.tuple.row));
   }
   running_ = false;
@@ -395,33 +478,255 @@ void Engine::run_queue() {
 // replacement (retracts mid-lane interleave events), registered callbacks
 // (they observe appearances mid-lane and may insert re-entrantly), and
 // lanes that could exhaust the step budget mid-batch.
-bool Engine::run_batch_lane() {
-  const TableId tid = queue_.front().table_id;
+bool Engine::ensure_batch_eligible(TableId tid) {
   if (tid >= batch_eligible_.size()) {
     batch_eligible_.resize(tid + 1, BatchEligible::Unknown);
     batch_step_cost_.resize(tid + 1, 0);
   }
-  if (batch_eligible_[tid] == BatchEligible::No) return false;
-  if (batch_eligible_[tid] == BatchEligible::Unknown) {
-    batch_eligible_[tid] = BatchEligible::No;  // until proven otherwise
-    if (tid < callbacks_.size() && !callbacks_[tid].empty()) return false;
-    const ndlog::TableDecl& decl = catalog_.decl(tid);
-    if (!catalog_.is_event(tid) && !decl.keys.empty() &&
-        decl.keys.size() < decl.arity) {
-      return false;
+  if (batch_eligible_[tid] != BatchEligible::Unknown) {
+    return batch_eligible_[tid] == BatchEligible::Yes;
+  }
+  batch_eligible_[tid] = BatchEligible::No;  // until proven otherwise
+  if (tid < callbacks_.size() && !callbacks_[tid].empty()) return false;
+  const ndlog::TableDecl& decl = catalog_.decl(tid);
+  if (!catalog_.is_event(tid) && !decl.keys.empty() &&
+      decl.keys.size() < decl.arity) {
+    return false;
+  }
+  size_t per_tuple = 1;  // the queue pop
+  if (tid < triggers_by_table_.size()) {
+    for (const auto& [rule_idx, body_idx] : triggers_by_table_[tid]) {
+      const TriggerPlan& tp = compiled_[rule_idx].triggers[body_idx];
+      if (tp.dead) continue;
+      if (!tp.columnar.pure) return false;
+      per_tuple += 1 + tp.steps.size();
     }
-    size_t per_tuple = 1;  // the queue pop
-    if (tid < triggers_by_table_.size()) {
-      for (const auto& [rule_idx, body_idx] : triggers_by_table_[tid]) {
-        const TriggerPlan& tp = compiled_[rule_idx].triggers[body_idx];
+  }
+  batch_step_cost_[tid] = per_tuple;
+  batch_eligible_[tid] = BatchEligible::Yes;
+  return true;
+}
+
+bool Engine::ensure_entry_eligible(TableId tid) {
+  if (tid >= entry_eligible_.size()) {
+    entry_eligible_.resize(tid + 1, BatchEligible::Unknown);
+  }
+  if (entry_eligible_[tid] != BatchEligible::Unknown) {
+    return entry_eligible_[tid] == BatchEligible::Yes;
+  }
+  entry_eligible_[tid] = BatchEligible::No;  // until proven otherwise
+  if (!ensure_batch_eligible(tid)) return false;
+  if (!catalog_.is_event(tid)) {
+    // A stored run is store-passed up front, before any tuple's cascade
+    // runs; that is only equivalent to the interleaved scalar order if no
+    // cascade can read or write this table's store. No rule may derive
+    // into it (a cascade insert would race the pre-stored run's support
+    // and appearance accounting), and no live plan may join against it (a
+    // cascade firing would see later run tuples the scalar order had not
+    // stored yet). Events need neither check: they are never stored.
+    for (const CompiledRule& cr : compiled_) {
+      if (cr.head_table == tid) return false;
+      for (const TriggerPlan& tp : cr.triggers) {
         if (tp.dead) continue;
-        if (!tp.columnar.pure) return false;
-        per_tuple += 1 + tp.steps.size();
+        for (const AtomStep& st : tp.steps) {
+          if (st.table == tid && st.access != AtomStep::Access::TriggerSelf) {
+            return false;
+          }
+        }
       }
     }
-    batch_step_cost_[tid] = per_tuple;
-    batch_eligible_[tid] = BatchEligible::Yes;
   }
+  entry_eligible_[tid] = BatchEligible::Yes;
+  return true;
+}
+
+template <typename RowAt, typename TagsAt>
+void Engine::columnar_fire(const LaneView& lv, RowAt row_at, TagsAt in_tags,
+                           std::vector<std::vector<StagedFiring>>& firings) {
+  const size_t nplans =
+      lv.tid < triggers_by_table_.size() ? triggers_by_table_[lv.tid].size()
+                                         : 0;
+  if (firings.size() < nplans) firings.resize(nplans);
+  for (size_t p = 0; p < nplans; ++p) firings[p].clear();
+  if (nplans == 0) return;
+  // Struct-of-arrays predicate reads: when the lane's rows are stored and
+  // the table has a hot-column mirror, each predicate's column values are
+  // read slot-indexed from the per-column vectors instead of through each
+  // row's heap vector. The mirror holds exactly the union of predicate
+  // columns (computed at construction), so every predicate column
+  // resolves; reads stay behind the same arity checks as the row path.
+  const std::vector<uint32_t>* soa = nullptr;
+  if (lv.stores != nullptr && lv.tid < soa_specs_.size() &&
+      !soa_specs_[lv.tid].empty()) {
+    soa = &soa_specs_[lv.tid];
+  }
+  auto soa_k = [&](uint32_t col) {
+    return static_cast<size_t>(
+        std::lower_bound(soa->begin(), soa->end(), col) - soa->begin());
+  };
+  // Filters match_ by one flattened predicate, column-major.
+  auto filter_pred = [&](const ColumnarPred& pr) {
+    size_t w = 0;
+    if (soa != nullptr) {
+      const size_t k1 = soa_k(pr.col);
+      if (pr.kind == ColumnarPred::Kind::ConstEq) {
+        for (uint32_t i : match_) {
+          if (pr.cval == lv.stores[i]->soa_at(k1, lv.slots[i])) {
+            match_[w++] = i;
+          }
+        }
+      } else {
+        const size_t k2 = soa_k(pr.col2);
+        for (uint32_t i : match_) {
+          const TableStore* s = lv.stores[i];
+          if (s->soa_at(k1, lv.slots[i]) == s->soa_at(k2, lv.slots[i])) {
+            match_[w++] = i;
+          }
+        }
+      }
+    } else {
+      for (uint32_t i : match_) {
+        const Row& row = row_at(i);
+        const bool ok = pr.kind == ColumnarPred::Kind::ConstEq
+                            ? pr.cval == row[pr.col]
+                            : row[pr.col] == row[pr.col2];
+        if (ok) match_[w++] = i;
+      }
+    }
+    match_.resize(w);
+  };
+  size_t ord = 0;
+  for (const auto& [rule_idx, body_idx] : triggers_by_table_[lv.tid]) {
+    const size_t my_ord = ord++;
+    const CompiledRule& cr = compiled_[rule_idx];
+    const TriggerPlan& tp = cr.triggers[body_idx];
+    if (tp.dead) continue;
+    const ColumnarPlan& cp = tp.columnar;
+    const bool pushdown = opt_.pushdown_selections;
+    // Rebuilds the frame for one lane row: every slot a pure plan binds
+    // comes from the trigger row. The col guard mirrors the scalar
+    // path: a step whose arity check has not yet passed for this row
+    // cannot have bound its slots either, and no selection evaluated
+    // before that point may read them.
+    auto bind_frame = [&](const Row& row) {
+      frame_.reset(cr.nslots);
+      for (const auto& [slot, col] : cp.slot_cols) {
+        if (col < row.size()) frame_.bind(slot, row[col]);
+      }
+    };
+    auto filter_sels = [&](const std::vector<uint32_t>& sels) {
+      size_t w = 0;
+      for (uint32_t i : match_) {
+        bind_frame(row_at(i));
+        if (eval_pushed_sels(cr, sels)) match_[w++] = i;
+      }
+      match_.resize(w);
+    };
+    // Group 0 — the trigger atom. Failures here are charge-free, exactly
+    // like fire_rules' pre-exec_step filtering.
+    match_.clear();
+    for (size_t i = 0; i < lv.n; ++i) {
+      if (!lv.appears[i]) continue;
+      if (opt_.tag_mode && (in_tags(i) & rule_restrict_[rule_idx]) == 0) {
+        continue;
+      }
+      if (row_at(i).size() != tp.arity) continue;
+      match_.push_back(static_cast<uint32_t>(i));
+    }
+    for (const ColumnarPred& pr : cp.groups[0].preds) filter_pred(pr);
+    if (pushdown && !cp.groups[0].sels.empty()) {
+      filter_sels(cp.groups[0].sels);
+    }
+    // Groups 1..n — the TriggerSelf steps, one step charge per surviving
+    // row at each boundary (the exec_step calls the scalar path makes).
+    // Entry lanes divert the charges into a per-row counter so emission
+    // can charge each tuple exactly where the scalar order would.
+    for (size_t g = 0;; ++g) {
+      if (lv.charges != nullptr) {
+        for (uint32_t i : match_) ++lv.charges[i];
+      } else {
+        steps_ += match_.size();
+      }
+      if (g + 1 == cp.groups.size()) break;
+      const ColumnarGroup& grp = cp.groups[g + 1];
+      size_t w = 0;
+      for (uint32_t i : match_) {
+        if (row_at(i).size() == grp.arity) match_[w++] = i;
+      }
+      match_.resize(w);
+      for (const ColumnarPred& pr : grp.preds) filter_pred(pr);
+      if (pushdown && !grp.sels.empty()) filter_sels(grp.sels);
+    }
+    // Finish the survivors. Flat plans (no assignments, all selections
+    // pushed, bare-variable/constant head args) build head rows straight
+    // from the trigger columns — no Frame anywhere on the columnar path.
+    if (pushdown && cp.flat_finish) {
+      for (uint32_t i : match_) {
+        const Row& row = row_at(i);
+        StagedFiring sf;
+        sf.row = i;
+        sf.mask = opt_.tag_mode ? (in_tags(i) & rule_restrict_[rule_idx])
+                                : in_tags(i);
+        sf.head = acquire_row();
+        sf.head.reserve(cp.head_cols.size());
+        for (const ColumnarPlan::HeadCol& hc : cp.head_cols) {
+          sf.head.push_back(hc.is_const ? hc.cval : row[hc.col]);
+        }
+        firings[my_ord].push_back(std::move(sf));
+      }
+      continue;
+    }
+    // General finish: assignments, unpushed selections, head args —
+    // finish_rule's body over the rebuilt frame.
+    const uint64_t pushed = pushdown ? tp.pushed_mask : 0;
+    for (uint32_t i : match_) {
+      bind_frame(row_at(i));
+      bool ok = true;
+      for (const CompiledAssign& asg : cr.assigns) {
+        Value v;
+        if (!asg.expr.eval(frame_, v)) {
+          ok = false;
+          break;
+        }
+        frame_.rebind(asg.slot, std::move(v));
+      }
+      for (size_t si = 0; ok && si < cr.sels.size(); ++si) {
+        if (si < 64 && ((pushed >> si) & 1)) continue;
+        const CompiledSelection& sel = cr.sels[si];
+        Value sa, sb;
+        const Value* a = sel.lhs.eval_ref(frame_, sa);
+        const Value* b = sel.rhs.eval_ref(frame_, sb);
+        if (a == nullptr || b == nullptr || !ndlog::cmp_eval(sel.op, *a, *b)) {
+          ok = false;
+        }
+      }
+      if (!ok) continue;
+      StagedFiring sf;
+      sf.row = i;
+      sf.mask = opt_.tag_mode ? (in_tags(i) & rule_restrict_[rule_idx])
+                              : in_tags(i);
+      sf.head = acquire_row();
+      sf.head.reserve(cr.head_args.size());
+      for (const SlotExpr& arg : cr.head_args) {
+        Value v;
+        if (!arg.eval(frame_, v)) {
+          ok = false;
+          break;
+        }
+        sf.head.push_back(std::move(v));
+      }
+      if (!ok) {
+        release_row(std::move(sf.head));
+        continue;
+      }
+      firings[my_ord].push_back(std::move(sf));
+    }
+  }
+}
+
+bool Engine::run_batch_lane() {
+  const TableId tid = queue_.front().table_id;
+  if (!ensure_batch_eligible(tid)) return false;
 
   size_t lane = 2;  // caller verified the first two entries share tid
   while (lane < queue_.size() && queue_[lane].table_id == tid) ++lane;
@@ -445,6 +750,7 @@ bool Engine::run_batch_lane() {
   lane_appears_.assign(lane, 1);
   lane_tags_.assign(lane, 0);
   lane_slots_.assign(lane, 0);
+  lane_stores_.assign(lane, nullptr);
   for (size_t i = 0; i < lane; ++i) {
     PendingAppear& p = lane_[i];
     if (p.ref == kNoTupleRef && (!is_event || opt_.record_provenance)) {
@@ -461,6 +767,7 @@ bool Engine::run_batch_lane() {
     }
     Entry& e = store.insert_ref(p.ref);
     lane_slots_[i] = store.slot_of(e);
+    lane_stores_[i] = &store;
     const bool was_present = e.support > 0;
     const TagMask new_tags = opt_.tag_mode ? (e.tags | p.tags) : kAllTags;
     e.support += 1;
@@ -473,154 +780,15 @@ bool Engine::run_batch_lane() {
   // Phase 2: plan-major columnar firing into the staging buffer.
   const size_t nplans =
       tid < triggers_by_table_.size() ? triggers_by_table_[tid].size() : 0;
-  if (lane_firings_.size() < nplans) lane_firings_.resize(nplans);
-  size_t ord = 0;
-  for (size_t p = 0; p < nplans; ++p) lane_firings_[p].clear();
-  if (nplans > 0) {
-    for (const auto& [rule_idx, body_idx] : triggers_by_table_[tid]) {
-      const size_t my_ord = ord++;
-      const CompiledRule& cr = compiled_[rule_idx];
-      const TriggerPlan& tp = cr.triggers[body_idx];
-      if (tp.dead) continue;
-      const ColumnarPlan& cp = tp.columnar;
-      const bool pushdown = opt_.pushdown_selections;
-      // Rebuilds the frame for one lane row: every slot a pure plan binds
-      // comes from the trigger row. The col guard mirrors the scalar
-      // path: a step whose arity check has not yet passed for this row
-      // cannot have bound its slots either, and no selection evaluated
-      // before that point may read them.
-      auto bind_frame = [&](const Row& row) {
-        frame_.reset(cr.nslots);
-        for (const auto& [slot, col] : cp.slot_cols) {
-          if (col < row.size()) frame_.bind(slot, row[col]);
-        }
-      };
-      auto filter_sels = [&](const std::vector<uint32_t>& sels) {
-        size_t w = 0;
-        for (uint32_t i : match_) {
-          bind_frame(lane_[i].tuple.row);
-          if (eval_pushed_sels(cr, sels)) match_[w++] = i;
-        }
-        match_.resize(w);
-      };
-      // Group 0 — the trigger atom. Failures here are charge-free, exactly
-      // like fire_rules' pre-exec_step filtering.
-      match_.clear();
-      for (size_t i = 0; i < lane; ++i) {
-        if (!lane_appears_[i]) continue;
-        if (opt_.tag_mode &&
-            (lane_[i].tags & rule_restrict_[rule_idx]) == 0) {
-          continue;
-        }
-        if (lane_[i].tuple.row.size() != tp.arity) continue;
-        match_.push_back(static_cast<uint32_t>(i));
-      }
-      for (const ColumnarPred& pr : cp.groups[0].preds) {
-        size_t w = 0;
-        for (uint32_t i : match_) {
-          const Row& row = lane_[i].tuple.row;
-          const bool ok = pr.kind == ColumnarPred::Kind::ConstEq
-                              ? pr.cval == row[pr.col]
-                              : row[pr.col] == row[pr.col2];
-          if (ok) match_[w++] = i;
-        }
-        match_.resize(w);
-      }
-      if (pushdown && !cp.groups[0].sels.empty()) {
-        filter_sels(cp.groups[0].sels);
-      }
-      // Groups 1..n — the TriggerSelf steps, one step charge per surviving
-      // row at each boundary (the exec_step calls the scalar path makes).
-      for (size_t g = 0;; ++g) {
-        steps_ += match_.size();
-        if (g + 1 == cp.groups.size()) break;
-        const ColumnarGroup& grp = cp.groups[g + 1];
-        size_t w = 0;
-        for (uint32_t i : match_) {
-          if (lane_[i].tuple.row.size() == grp.arity) match_[w++] = i;
-        }
-        match_.resize(w);
-        for (const ColumnarPred& pr : grp.preds) {
-          w = 0;
-          for (uint32_t i : match_) {
-            const Row& row = lane_[i].tuple.row;
-            const bool ok = pr.kind == ColumnarPred::Kind::ConstEq
-                                ? pr.cval == row[pr.col]
-                                : row[pr.col] == row[pr.col2];
-            if (ok) match_[w++] = i;
-          }
-          match_.resize(w);
-        }
-        if (pushdown && !grp.sels.empty()) filter_sels(grp.sels);
-      }
-      // Finish the survivors. Flat plans (no assignments, all selections
-      // pushed, bare-variable/constant head args) build head rows straight
-      // from the trigger columns — no Frame anywhere on the columnar path.
-      if (pushdown && cp.flat_finish) {
-        for (uint32_t i : match_) {
-          const Row& row = lane_[i].tuple.row;
-          StagedFiring sf;
-          sf.row = i;
-          sf.mask = opt_.tag_mode ? (lane_[i].tags & rule_restrict_[rule_idx])
-                                  : lane_[i].tags;
-          sf.head = acquire_row();
-          sf.head.reserve(cp.head_cols.size());
-          for (const ColumnarPlan::HeadCol& hc : cp.head_cols) {
-            sf.head.push_back(hc.is_const ? hc.cval : row[hc.col]);
-          }
-          ++firings_;
-          lane_firings_[my_ord].push_back(std::move(sf));
-        }
-        continue;
-      }
-      // General finish: assignments, unpushed selections, head args —
-      // finish_rule's body over the rebuilt frame.
-      const uint64_t pushed = pushdown ? tp.pushed_mask : 0;
-      for (uint32_t i : match_) {
-        bind_frame(lane_[i].tuple.row);
-        bool ok = true;
-        for (const CompiledAssign& asg : cr.assigns) {
-          Value v;
-          if (!asg.expr.eval(frame_, v)) {
-            ok = false;
-            break;
-          }
-          frame_.rebind(asg.slot, std::move(v));
-        }
-        for (size_t si = 0; ok && si < cr.sels.size(); ++si) {
-          if (si < 64 && ((pushed >> si) & 1)) continue;
-          const CompiledSelection& sel = cr.sels[si];
-          Value sa, sb;
-          const Value* a = sel.lhs.eval_ref(frame_, sa);
-          const Value* b = sel.rhs.eval_ref(frame_, sb);
-          if (a == nullptr || b == nullptr || !ndlog::cmp_eval(sel.op, *a, *b)) {
-            ok = false;
-          }
-        }
-        if (!ok) continue;
-        StagedFiring sf;
-        sf.row = i;
-        sf.mask = opt_.tag_mode ? (lane_[i].tags & rule_restrict_[rule_idx])
-                                : lane_[i].tags;
-        sf.head = acquire_row();
-        sf.head.reserve(cr.head_args.size());
-        for (const SlotExpr& arg : cr.head_args) {
-          Value v;
-          if (!arg.eval(frame_, v)) {
-            ok = false;
-            break;
-          }
-          sf.head.push_back(std::move(v));
-        }
-        if (!ok) {
-          release_row(std::move(sf.head));
-          continue;
-        }
-        ++firings_;
-        lane_firings_[my_ord].push_back(std::move(sf));
-      }
-    }
-  }
+  LaneView lv;
+  lv.tid = tid;
+  lv.n = lane;
+  lv.appears = lane_appears_.data();
+  lv.stores = is_event ? nullptr : lane_stores_.data();
+  lv.slots = lane_slots_.data();
+  columnar_fire(
+      lv, [this](size_t i) -> const Row& { return lane_[i].tuple.row; },
+      [this](size_t i) { return lane_[i].tags; }, lane_firings_);
 
   // Phase 3: tuple-major emission in the scalar order.
   lane_cursor_.assign(nplans, 0);
@@ -631,9 +799,11 @@ bool Engine::run_batch_lane() {
       continue;
     }
     const Value& node = p.tuple.location();
+    NodeRef nref = p.node_ref;
     EventId appear_ev = p.cause;
     if (opt_.record_provenance) {
-      appear_ev = log_.append(EventKind::Appear, node, p.ref, lane_tags_[i],
+      if (nref == kNoNode) nref = log_.intern_node(node);
+      appear_ev = log_.append(EventKind::Appear, nref, p.ref, lane_tags_[i],
                               p.cause == kNoEvent
                                   ? std::span<const EventId>{}
                                   : std::span<const EventId>{&p.cause, 1});
@@ -668,11 +838,13 @@ bool Engine::run_batch_lane() {
           head.table = rule.head.table;
           head.row = std::move(staged[cur].head);
           if (opt_.record_provenance) {
-            derive(cr, rule, node, std::move(head), staged[cur].mask,
+            derive(cr, rule, node, nref, std::move(head), staged[cur].mask,
                    cause_scratch_, body_scratch_);
           } else {
-            derive(cr, rule, node, std::move(head), staged[cur].mask, {}, {});
+            derive(cr, rule, node, nref, std::move(head), staged[cur].mask, {},
+                   {});
           }
+          ++firings_;
           ++cur;
         }
       }
@@ -682,8 +854,169 @@ bool Engine::run_batch_lane() {
   return true;
 }
 
+bool Engine::try_insert_lane(std::span<const Tuple> run, TableId tid,
+                             TagMask tags) {
+  if (!ensure_entry_eligible(tid)) return false;
+  const size_t n = run.size();
+  const bool is_event = catalog_.is_event(tid);
+  ++batched_lanes_;
+  ++entry_lanes_;
+  batched_tuples_ += n;
+
+  // Phase 1: store pass (stored tables only) — sequential support/tag
+  // bookkeeping, exactly the scalar handle_appear updates, with the
+  // pre-image stashed so a mid-lane divergence can unwind rows whose
+  // scalar turn never came. Event tables skip it entirely; their refs are
+  // interned at emission so pool handles are assigned in the scalar
+  // order (interleaved with the cascades' head tuples).
+  entry_appears_.assign(n, 1);
+  entry_tags_.assign(n, 0);
+  entry_slots_.assign(n, 0);
+  entry_stores_.assign(n, nullptr);
+  entry_refs_.assign(n, kNoTupleRef);
+  entry_charge_.assign(n, 0);
+  entry_prev_support_.assign(n, 0);
+  entry_prev_tags_.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (is_event) {
+      entry_tags_[i] = tags;
+      continue;
+    }
+    const TupleRef ref = log_.pool().intern(tid, run[i].row);
+    entry_refs_[i] = ref;
+    TableStore& store = node_db(run[i].location()).store(tid);
+    if (bulk_depth_ > 0 && !store.deferred_indexing()) {
+      store.set_deferred_indexing(true);
+      bulk_stores_.push_back(&store);
+    }
+    Entry& e = store.insert_ref(ref);
+    entry_slots_[i] = store.slot_of(e);
+    entry_stores_[i] = &store;
+    entry_prev_support_[i] = e.support;
+    entry_prev_tags_[i] = e.tags;
+    const bool was_present = e.support > 0;
+    const TagMask new_tags = opt_.tag_mode ? (e.tags | tags) : kAllTags;
+    e.support += 1;
+    const TagMask added = opt_.tag_mode ? (new_tags & ~e.tags) : kAllTags;
+    e.tags = new_tags;
+    if (was_present && (!opt_.tag_mode || added == 0)) entry_appears_[i] = 0;
+    entry_tags_[i] = new_tags;
+  }
+
+  // Phase 2: plan-major columnar matching. Step charges go into the
+  // per-row counter so phase 3 can charge each tuple at its scalar
+  // position (the cascades in between move steps_ too).
+  LaneView lv;
+  lv.tid = tid;
+  lv.n = n;
+  lv.appears = entry_appears_.data();
+  lv.stores = is_event ? nullptr : entry_stores_.data();
+  lv.slots = entry_slots_.data();
+  lv.charges = entry_charge_.data();
+  columnar_fire(
+      lv, [run](size_t i) -> const Row& { return run[i].row; },
+      [tags](size_t) { return tags; }, entry_firings_);
+
+  const size_t nplans =
+      tid < triggers_by_table_.size() ? triggers_by_table_[tid].size() : 0;
+  entry_cursor_.assign(nplans, 0);
+
+  // Phase 3: per-tuple emission in the exact scalar order — Insert,
+  // Appear, this tuple's firings, then its cascade run to fixpoint —
+  // before the next tuple is touched.
+  for (size_t i = 0; i < n; ++i) {
+    if (diverged_ || steps_ + 1 + entry_charge_[i] > opt_.max_steps) {
+      // The scalar path could diverge inside this tuple's own firing (or
+      // already has, in a cascade): unwind what phase 1 pre-did for the
+      // unemitted rows and replay them through the scalar entry point,
+      // which reproduces the divergence bookkeeping exactly. The undo
+      // runs in reverse so stacked duplicate-row deltas peel correctly;
+      // a row whose pre-image was support 0 leaves a shell entry behind,
+      // which every consumer already skips (support > 0 filters).
+      for (size_t j = n; j-- > i;) {
+        if (entry_stores_[j] == nullptr) continue;
+        Entry& e = entry_stores_[j]->entry_at(entry_slots_[j]);
+        e.support = entry_prev_support_[j];
+        e.tags = entry_prev_tags_[j];
+      }
+      for (size_t p = 0; p < nplans; ++p) {
+        std::vector<StagedFiring>& staged = entry_firings_[p];
+        for (size_t cur = entry_cursor_[p]; cur < staged.size(); ++cur) {
+          release_row(std::move(staged[cur].head));
+        }
+      }
+      const std::string* last_name = nullptr;
+      TableId last_id = 0;
+      for (size_t j = i; j < n; ++j) {
+        stage_insert(run[j], tags, last_name, last_id);
+      }
+      return true;
+    }
+
+    const Tuple& t = run[i];
+    const Value& node = t.location();
+    TupleRef ref = entry_refs_[i];
+    NodeRef nref = kNoNode;
+    EventId cause = kNoEvent;
+    if (opt_.record_provenance) {
+      if (ref == kNoTupleRef) ref = log_.pool().intern(tid, t.row);
+      nref = log_.intern_node(node);
+      cause = log_.append(EventKind::Insert, nref, ref, tags);
+    }
+    steps_ += 1 + entry_charge_[i];
+    if (!entry_appears_[i]) continue;  // extra support: no new appearance
+
+    EventId appear_ev = cause;
+    if (opt_.record_provenance) {
+      appear_ev = log_.append(EventKind::Appear, nref, ref, entry_tags_[i],
+                              cause == kNoEvent
+                                  ? std::span<const EventId>{}
+                                  : std::span<const EventId>{&cause, 1});
+      history_.record(tid, ref);
+    }
+    if (!is_event) {
+      entry_stores_[i]->entry_at(entry_slots_[i]).appear_event = appear_ev;
+    }
+    if (nplans > 0) {
+      size_t ord = 0;
+      for (const auto& [rule_idx, body_idx] : triggers_by_table_[tid]) {
+        const size_t my_ord = ord++;
+        std::vector<StagedFiring>& staged = entry_firings_[my_ord];
+        size_t& cur = entry_cursor_[my_ord];
+        while (cur < staged.size() && staged[cur].row == i) {
+          const CompiledRule& cr = compiled_[rule_idx];
+          const TriggerPlan& tp = cr.triggers[body_idx];
+          const ndlog::Rule& rule = program_.rules[rule_idx];
+          if (opt_.record_provenance) {
+            cause_scratch_.assign(rule.body.size(), kNoEvent);
+            body_scratch_.assign(rule.body.size(), kNoTupleRef);
+            for (uint32_t pos : tp.columnar.body_positions) {
+              cause_scratch_[pos] = appear_ev;
+              body_scratch_[pos] = ref;
+            }
+          }
+          Tuple head;
+          head.table = rule.head.table;
+          head.row = std::move(staged[cur].head);
+          if (opt_.record_provenance) {
+            derive(cr, rule, node, nref, std::move(head), staged[cur].mask,
+                   cause_scratch_, body_scratch_);
+          } else {
+            derive(cr, rule, node, nref, std::move(head), staged[cur].mask, {},
+                   {});
+          }
+          ++firings_;
+          ++cur;
+        }
+      }
+    }
+    run_queue();  // this tuple's cascade, to fixpoint, before the next
+  }
+  return true;
+}
+
 void Engine::handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
-                           EventId cause, TupleRef ref) {
+                           EventId cause, TupleRef ref, NodeRef nref) {
   const Value& node = tuple.location();
   const bool is_event = catalog_.is_event(table_id);
   EventId appear_ev = cause;
@@ -694,6 +1027,9 @@ void Engine::handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
   // when the appearance is logged.
   if (ref == kNoTupleRef && (!is_event || opt_.record_provenance)) {
     ref = log_.pool().intern(table_id, tuple.row);
+  }
+  if (nref == kNoNode && opt_.record_provenance) {
+    nref = log_.intern_node(node);
   }
 
   if (!is_event) {
@@ -728,7 +1064,7 @@ void Engine::handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
       return;
     }
     if (opt_.record_provenance) {
-      appear_ev = log_.append(EventKind::Appear, node, ref, e.tags,
+      appear_ev = log_.append(EventKind::Appear, nref, ref, e.tags,
                               cause == kNoEvent
                                   ? std::span<const EventId>{}
                                   : std::span<const EventId>{&cause, 1});
@@ -737,7 +1073,7 @@ void Engine::handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
     e.appear_event = appear_ev;  // e.ref was set by insert_ref
   } else {
     if (opt_.record_provenance) {
-      appear_ev = log_.append(EventKind::Appear, node, ref, tags,
+      appear_ev = log_.append(EventKind::Appear, nref, ref, tags,
                               cause == kNoEvent
                                   ? std::span<const EventId>{}
                                   : std::span<const EventId>{&cause, 1});
@@ -747,11 +1083,11 @@ void Engine::handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
 
   run_callbacks(table_id, tuple, tags);
 
-  fire_rules(node, tuple, table_id, tags, appear_ev, ref);
+  fire_rules(node, nref, tuple, table_id, tags, appear_ev, ref);
 }
 
-void Engine::fire_rules(const Value& node, const Tuple& trigger, TableId tid,
-                        TagMask mask, EventId trigger_event,
+void Engine::fire_rules(const Value& node, NodeRef nref, const Tuple& trigger,
+                        TableId tid, TagMask mask, EventId trigger_event,
                         TupleRef trigger_ref) {
   if (tid >= triggers_by_table_.size()) return;  // interned after construction
   const Database* db = find_node_db(node);
@@ -777,8 +1113,8 @@ void Engine::fire_rules(const Value& node, const Tuple& trigger, TableId tid,
       cause_scratch_[body_idx] = trigger_event;
       body_scratch_[body_idx] = trigger_ref;
     }
-    exec_step(cr, rule, tp, 0, db, node, rule_mask, trigger, trigger_event,
-              trigger_ref);
+    exec_step(cr, rule, tp, 0, db, node, nref, rule_mask, trigger,
+              trigger_event, trigger_ref);
     if (diverged_) return;
   }
 }
@@ -799,15 +1135,15 @@ bool Engine::eval_pushed_sels(const CompiledRule& cr,
 
 void Engine::exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
                        const TriggerPlan& tp, size_t step_idx,
-                       const Database* db, const Value& node, TagMask mask,
-                       const Tuple& trigger, EventId trigger_event,
-                       TupleRef trigger_ref) {
+                       const Database* db, const Value& node, NodeRef nref,
+                       TagMask mask, const Tuple& trigger,
+                       EventId trigger_event, TupleRef trigger_ref) {
   if (++steps_ > opt_.max_steps) {
     diverged_ = true;
     return;
   }
   if (step_idx == tp.steps.size()) {
-    finish_rule(cr, rule, tp, node, mask);
+    finish_rule(cr, rule, tp, node, nref, mask);
     return;
   }
   const AtomStep& st = tp.steps[step_idx];
@@ -824,7 +1160,7 @@ void Engine::exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
         cause_scratch_[st.body_pos] = trigger_event;
         body_scratch_[st.body_pos] = trigger_ref;
       }
-      exec_step(cr, rule, tp, step_idx + 1, db, node, mask, trigger,
+      exec_step(cr, rule, tp, step_idx + 1, db, node, nref, mask, trigger,
                 trigger_event, trigger_ref);
     }
     frame_.undo_to(m);
@@ -861,7 +1197,7 @@ void Engine::exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
           cause_scratch_[st.body_pos] = entry.appear_event;
           body_scratch_[st.body_pos] = entry.ref;
         }
-        exec_step(cr, rule, tp, step_idx + 1, db, node, m2, trigger,
+        exec_step(cr, rule, tp, step_idx + 1, db, node, nref, m2, trigger,
                   trigger_event, trigger_ref);
       }
       frame_.undo_to(m);
@@ -887,7 +1223,7 @@ void Engine::exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
         cause_scratch_[st.body_pos] = entry.appear_event;
         body_scratch_[st.body_pos] = entry.ref;
       }
-      exec_step(cr, rule, tp, step_idx + 1, db, node, m2, trigger,
+      exec_step(cr, rule, tp, step_idx + 1, db, node, nref, m2, trigger,
                 trigger_event, trigger_ref);
     }
     frame_.undo_to(m);
@@ -897,7 +1233,7 @@ void Engine::exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
 
 void Engine::finish_rule(const CompiledRule& cr, const ndlog::Rule& rule,
                          const TriggerPlan& tp, const Value& node,
-                         TagMask mask) {
+                         NodeRef nref, TagMask mask) {
   const size_t m = frame_.mark();
   // Assignments bind new slots in order, then selections filter —
   // skipping those already evaluated inside the join (pushdown); their
@@ -937,23 +1273,24 @@ void Engine::finish_rule(const CompiledRule& cr, const ndlog::Rule& rule,
   }
   ++firings_;
   if (opt_.record_provenance) {
-    derive(cr, rule, node, std::move(head), mask, cause_scratch_,
+    derive(cr, rule, node, nref, std::move(head), mask, cause_scratch_,
            body_scratch_);
   } else {
-    derive(cr, rule, node, std::move(head), mask, {}, {});
+    derive(cr, rule, node, nref, std::move(head), mask, {}, {});
   }
   frame_.undo_to(m);
 }
 
 void Engine::derive(const CompiledRule& cr, const ndlog::Rule& rule,
-                    const Value& src_node, Tuple head, TagMask mask,
-                    std::span<const EventId> cause_events,
+                    const Value& src_node, NodeRef src_ref, Tuple head,
+                    TagMask mask, std::span<const EventId> cause_events,
                     std::span<const TupleRef> body_refs) {
   EventId derive_ev = kNoEvent;
   TupleRef href = kNoTupleRef;
   if (opt_.record_provenance) {
+    if (src_ref == kNoNode) src_ref = log_.intern_node(src_node);
     href = log_.pool().intern(cr.head_table, head.row);
-    derive_ev = log_.append(EventKind::Derive, src_node, href, mask,
+    derive_ev = log_.append(EventKind::Derive, src_ref, href, mask,
                             cause_events, cr.log_rule);
     // body_refs[i] corresponds to rule.body[i] (the repair engine's
     // symbolic re-execution relies on this alignment).
@@ -961,14 +1298,15 @@ void Engine::derive(const CompiledRule& cr, const ndlog::Rule& rule,
   }
   EventId cause = derive_ev;
   const Value& dst = head.location();
-  if (hooks_.is_local && !(dst == src_node) && !hooks_.is_local(dst)) {
+  const bool local_head = dst == src_node;
+  if (hooks_.is_local && !local_head && !hooks_.is_local(dst)) {
     // Cross-shard head: log the Send here, ship the tuple to the owning
     // shard (which logs the Receive and runs the appearance). The
     // DerivRecord stays in this shard's log — the rule fired here, and
     // deletion cascades walk the record where the body tuples live.
     EventId send_ev = kNoEvent;
     if (opt_.record_provenance) {
-      send_ev = log_.append(EventKind::Send, src_node, href, mask,
+      send_ev = log_.append(EventKind::Send, src_ref, href, mask,
                             derive_ev == kNoEvent
                                 ? std::span<const EventId>{}
                                 : std::span<const EventId>{&derive_ev, 1});
@@ -976,15 +1314,17 @@ void Engine::derive(const CompiledRule& cr, const ndlog::Rule& rule,
     hooks_.forward(std::move(head), mask, send_ev);
     return;
   }
-  if (!(dst == src_node) && opt_.record_provenance) {
+  NodeRef dst_ref = local_head ? src_ref : kNoNode;
+  if (!local_head && opt_.record_provenance) {
+    dst_ref = log_.intern_node(dst);
     const EventId send_ev =
-        log_.append(EventKind::Send, src_node, href, mask,
+        log_.append(EventKind::Send, src_ref, href, mask,
                     derive_ev == kNoEvent
                         ? std::span<const EventId>{}
                         : std::span<const EventId>{&derive_ev, 1});
-    cause = log_.append(EventKind::Receive, dst, href, mask, {&send_ev, 1});
+    cause = log_.append(EventKind::Receive, dst_ref, href, mask, {&send_ev, 1});
   }
-  enqueue_appear(std::move(head), cr.head_table, mask, cause, href);
+  enqueue_appear(std::move(head), cr.head_table, mask, cause, href, dst_ref);
 }
 
 void Engine::retract(const Value& node, TableId tid, TupleRef ref) {

@@ -74,6 +74,15 @@ struct EngineOptions {
   // log, derivations, step counts and fixpoint are identical either way
   // (pinned by tests/differential_test.cpp).
   bool batch_firing = true;
+  // Struct-of-arrays hot columns: every TableStore of a columnar-eligible
+  // table keeps the columns its plans' flattened predicates read in
+  // per-column Value vectors (written on insert), and the batched firing
+  // pass filters lanes through those contiguous columns instead of
+  // chasing each row's heap vector. Off: the columnar pass reads rows
+  // (differential cross-check mode); results are identical either way
+  // (pinned by tests/differential_test.cpp). No effect unless
+  // batch_firing is on.
+  bool soa_columns = true;
   size_t max_steps = 1'000'000;   // guard against runaway candidate programs
   // Auto-compaction policy (the ROADMAP's "mechanism only, no policy"
   // item): after a top-level insert/remove reaches fixpoint, if the log's
@@ -222,6 +231,9 @@ class Engine {
   // absorbed (tests assert the fast path actually engaged).
   size_t batched_lanes() const { return batched_lanes_; }
   size_t batched_tuples() const { return batched_tuples_; }
+  // Lanes formed at the insert_batch entry point (try_insert_lane); they
+  // count toward batched_lanes()/batched_tuples() as well.
+  size_t entry_lanes() const { return entry_lanes_; }
 
  private:
   struct PendingAppear {
@@ -230,6 +242,8 @@ class Engine {
     TagMask tags = 0;
     EventId cause = kNoEvent;  // event that produced it (Insert/Receive/Derive)
     TupleRef ref = kNoTupleRef;  // interned handle (provenance on)
+    NodeRef node_ref = kNoNode;  // interned location (provenance on); saves
+                                 // re-interning tuple.location() per append
   };
 
   Database& node_db(const Value& node);
@@ -240,9 +254,9 @@ class Engine {
   // stage_insert): handle_appear in place at a true top level — no queue
   // round trip or Tuple copy — falling back to the queue when re-entrant.
   void dispatch_external(const Tuple& t, TableId tid, TagMask tags,
-                         EventId cause, TupleRef ref);
+                         EventId cause, TupleRef ref, NodeRef nref);
   void enqueue_appear(Tuple t, TableId tid, TagMask tags, EventId cause,
-                      TupleRef ref);
+                      TupleRef ref, NodeRef nref);
   // One insert_batch element: logs the Insert event, then dispatches the
   // appearance directly into handle_appear (no queue round trip) and runs
   // its derived closure to fixpoint; falls back to the queue when called
@@ -258,28 +272,73 @@ class Engine {
   // Applies the EngineOptions auto-compaction policy; called when a
   // top-level mutation (never a nested or mid-fixpoint one) completes.
   void maybe_autocompact();
+  // One staged columnar firing: the lane row it came from and the head
+  // row it derived (mask = the firing's tag mask).
+  struct StagedFiring {
+    uint32_t row = 0;  // index into the lane
+    TagMask mask = 0;
+    Row head;
+  };
   void run_queue();
   // Columnar batched firing over a lane of consecutive same-table queue
   // entries (see the comment at the definition). Returns true when it
   // consumed the lane; false = not eligible, caller runs the scalar pop.
   bool run_batch_lane();
+  // Computes (and caches) whether `tid` is eligible for columnar batched
+  // firing, filling batch_step_cost_[tid] on the first Yes.
+  bool ensure_batch_eligible(TableId tid);
+  // Entry-lane eligibility (insert_batch lanes): batch-eligible AND safe
+  // to pre-store a whole run before any tuple's cascade runs — see
+  // try_insert_lane.
+  bool ensure_entry_eligible(TableId tid);
+  // Columnar lane formation at the insert_batch entry point: a run of >=2
+  // consecutive same-table batch tuples is store-passed, matched plan-
+  // major (shared columnar_fire), then emitted per tuple in the exact
+  // scalar order with each tuple's cascade run to fixpoint before the
+  // next. Returns true when it consumed the run; false = not eligible,
+  // caller stages the run tuple-at-a-time.
+  bool try_insert_lane(std::span<const Tuple> run, TableId tid, TagMask tags);
+  // One row of lane input for columnar_fire, plus where its side outputs
+  // go. `stores`/`slots` are per-row (stored lanes; nullptr for event
+  // lanes) and feed the SoA predicate reads; `charges` non-null redirects
+  // the per-group step charges into a per-row counter (entry lanes charge
+  // at emission to keep the scalar steps_ trajectory) instead of steps_.
+  struct LaneView {
+    TableId tid = 0;
+    size_t n = 0;
+    const uint8_t* appears = nullptr;
+    TableStore* const* stores = nullptr;
+    const uint32_t* slots = nullptr;
+    uint32_t* charges = nullptr;
+  };
+  // Plan-major columnar matching over a lane: runs every trigger plan of
+  // lv.tid once across the lane's rows (row_at(i) -> const Row&,
+  // in_tags(i) -> incoming TagMask), staging surviving head rows into
+  // `firings` (one vector per plan, rows ascending). Shared by
+  // run_batch_lane (queue lanes) and try_insert_lane (entry lanes).
+  template <typename RowAt, typename TagsAt>
+  void columnar_fire(const LaneView& lv, RowAt row_at, TagsAt in_tags,
+                     std::vector<std::vector<StagedFiring>>& firings);
   void handle_appear(const Tuple& tuple, TableId table_id, TagMask tags,
-                     EventId cause, TupleRef ref);
-  void fire_rules(const Value& node, const Tuple& trigger, TableId tid,
-                  TagMask mask, EventId trigger_event, TupleRef trigger_ref);
+                     EventId cause, TupleRef ref, NodeRef nref = kNoNode);
+  void fire_rules(const Value& node, NodeRef nref, const Tuple& trigger,
+                  TableId tid, TagMask mask, EventId trigger_event,
+                  TupleRef trigger_ref);
   void exec_step(const CompiledRule& cr, const ndlog::Rule& rule,
                  const TriggerPlan& tp, size_t step_idx, const Database* db,
-                 const Value& node, TagMask mask, const Tuple& trigger,
-                 EventId trigger_event, TupleRef trigger_ref);
+                 const Value& node, NodeRef nref, TagMask mask,
+                 const Tuple& trigger, EventId trigger_event,
+                 TupleRef trigger_ref);
   void run_callbacks(TableId tid, const Tuple& t, TagMask tags);
   void finish_rule(const CompiledRule& cr, const ndlog::Rule& rule,
-                   const TriggerPlan& tp, const Value& node, TagMask mask);
+                   const TriggerPlan& tp, const Value& node, NodeRef nref,
+                   TagMask mask);
   // Evaluates pushed-down selections `sels` on the current frame; false =
   // some selection failed (prune this join branch).
   bool eval_pushed_sels(const CompiledRule& cr,
                         const std::vector<uint32_t>& sels);
   void derive(const CompiledRule& cr, const ndlog::Rule& rule,
-              const Value& src_node, Tuple head, TagMask mask,
+              const Value& src_node, NodeRef src_ref, Tuple head, TagMask mask,
               std::span<const EventId> cause_events,
               std::span<const TupleRef> body_refs);
   void retract(const Value& node, TableId tid, TupleRef ref);
@@ -302,8 +361,15 @@ class Engine {
   std::vector<TagMask> rule_restrict_;  // per rule idx, default kAllTags
   ShardHooks hooks_;  // empty functions = single-engine (serial) mode
   std::map<Value, Database> nodes_;
-  const Value* node_cache_key_ = nullptr;  // into nodes_; see find_node_db
+  // Two-entry node-db cache (keys point at map nodes, which are stable —
+  // nodes are never erased). Two entries, not one: an external insert's
+  // cascade alternates between the source node and the rule head's
+  // destination every tuple, which thrashes a single slot into two tree
+  // walks per tuple. MRU first; see find_node_db.
+  const Value* node_cache_key_ = nullptr;
   Database* node_cache_db_ = nullptr;
+  const Value* node_cache_key2_ = nullptr;
+  Database* node_cache_db2_ = nullptr;
   // Durable checkpoint sink (EngineOptions::segment_dir); declared before
   // log_ so it outlives the log that spills into it.
   std::unique_ptr<storage::SegmentStore> segments_;
@@ -341,20 +407,35 @@ class Engine {
   enum class BatchEligible : uint8_t { Unknown, No, Yes };
   std::vector<BatchEligible> batch_eligible_;
   std::vector<size_t> batch_step_cost_;  // worst-case step charge per tuple
-  struct StagedFiring {
-    uint32_t row = 0;  // index into lane_
-    TagMask mask = 0;
-    Row head;
-  };
+  std::vector<BatchEligible> entry_eligible_;  // insert_batch lanes
+  // Per-table hot columns for the TableStore struct-of-arrays mirrors
+  // (EngineOptions::soa_columns): the sorted union of every columnar
+  // predicate column across a table's (all-pure) trigger plans. Fixed at
+  // construction, shared by every node's stores via Database::init.
+  SoaSpecs soa_specs_;
   // Lane scratch, reused across lanes (the batched path is not re-entrant:
   // eligible lanes have no callbacks, and derivations only enqueue).
   std::vector<PendingAppear> lane_;
   std::vector<uint8_t> lane_appears_;
-  std::vector<TagMask> lane_tags_;
-  std::vector<uint32_t> lane_slots_;  // store slot per stored lane tuple  // tags the Appear event records
+  std::vector<TagMask> lane_tags_;  // post-merge tags the Appear records
+  std::vector<uint32_t> lane_slots_;   // store slot per stored lane tuple
+  std::vector<TableStore*> lane_stores_;  // store per stored lane tuple
   std::vector<uint32_t> match_;     // surviving lane indices, per plan
   std::vector<std::vector<StagedFiring>> lane_firings_;  // per plan
   std::vector<size_t> lane_cursor_;  // per-plan emission cursor
+  // Entry-lane scratch (try_insert_lane). Separate from the queue-lane
+  // arrays above: an entry lane's per-tuple cascades call run_queue,
+  // whose own lanes clobber the lane_* scratch mid-emission.
+  std::vector<uint8_t> entry_appears_;
+  std::vector<TagMask> entry_tags_;      // post-merge tags per row
+  std::vector<uint32_t> entry_slots_;
+  std::vector<TableStore*> entry_stores_;
+  std::vector<TupleRef> entry_refs_;
+  std::vector<uint32_t> entry_charge_;   // per-row step charge (matching)
+  std::vector<int> entry_prev_support_;  // store-pass undo (bail path)
+  std::vector<TagMask> entry_prev_tags_;
+  std::vector<std::vector<StagedFiring>> entry_firings_;
+  std::vector<size_t> entry_cursor_;
   bool diverged_ = false;
   size_t steps_ = 0;
   size_t firings_ = 0;
@@ -362,6 +443,7 @@ class Engine {
   size_t full_scans_ = 0;
   size_t batched_lanes_ = 0;
   size_t batched_tuples_ = 0;
+  size_t entry_lanes_ = 0;
   bool running_ = false;
 };
 

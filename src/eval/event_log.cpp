@@ -31,6 +31,9 @@ std::string EventLog::to_string(const Event& e) const {
 }
 
 RuleId EventLog::intern_rule(const std::string& name) {
+  // Event::rule is 16 bits; kNoRule (0xffff) is the sentinel above the
+  // usable id space. No program comes near 65534 rules.
+  assert(rule_names_.size() < kNoRule);
   auto [it, inserted] =
       rule_ids_.try_emplace(name, static_cast<RuleId>(rule_names_.size()));
   if (inserted) rule_names_.push_back(name);
@@ -41,43 +44,6 @@ TupleRef EventLog::find_ref(const Tuple& t) const {
   const TableId tid = names().id_of(t.table);
   if (tid == ndlog::Catalog::kNoTable) return kNoTupleRef;
   return pool_.find(tid, t.row);
-}
-
-EventId EventLog::append(EventKind kind, const Value& node, TupleRef tuple,
-                         TagMask tags, std::span<const EventId> causes,
-                         RuleId rule) {
-  // ncauses is 16 bits wide; nothing the runtime produces comes close
-  // (causes per event = rule body size or 1), so cap instead of
-  // recording a mod-65536 count that would silently drop causal edges.
-  assert(causes.size() <= 0xffff);
-  if (causes.size() > 0xffff) causes = causes.first(0xffff);
-  const EventId id = size();
-  // Build the record in registers and push it in one store: emplace_back()
-  // followed by field-at-a-time writes costs a zero-init plus scattered
-  // stores into freshly grown heap memory on this 40%-of-profile path.
-  Event e;
-  e.id = id;
-  e.kind = kind;
-  e.node = intern_node(node);
-  e.tuple = tuple;
-  e.rule = rule;
-  e.causes_begin = cause_base_ + cause_arena_.size();
-  e.ncauses = static_cast<uint16_t>(causes.size());
-  e.tags = tags;
-  events_.push_back(e);
-  // `causes` may alias this log's own arena (a span from causes_of(), the
-  // natural way to duplicate an event): copy by index so push_back's
-  // reallocation cannot invalidate the source mid-copy.
-  const EventId* arena_begin = cause_arena_.data();
-  if (!causes.empty() && causes.data() >= arena_begin &&
-      causes.data() < arena_begin + cause_arena_.size()) {
-    const size_t off = static_cast<size_t>(causes.data() - arena_begin);
-    const size_t n = causes.size();
-    for (size_t i = 0; i < n; ++i) cause_arena_.push_back(cause_arena_[off + i]);
-  } else {
-    cause_arena_.insert(cause_arena_.end(), causes.begin(), causes.end());
-  }
-  return id;
 }
 
 EventId EventLog::append(EventKind kind, const Value& node, const Tuple& tuple,
@@ -92,17 +58,18 @@ std::span<const EventId> EventLog::causes_of(const Event& e) const {
   if (e.ncauses == 0) return {};
   if (e.causes_begin & kDecodedCauseTag) {
     // Checkpoint-decoded event: causes live in the producing cursor's (or
-    // segment reader's) own buffer, addressed by the low bits.
-    const auto* buf =
-        reinterpret_cast<const EventId*>(e.causes_begin & ~kDecodedCauseTag);
+    // the spilled-prefix replay's) own buffer, published through the
+    // cursor-buffer registry slot the low bits name.
+    const EventId* buf = cursor_bufs_[e.causes_begin & ~kDecodedCauseTag];
     return {buf, e.ncauses};
   }
-  if (e.causes_begin < cause_base_) {
-    // A copy of a live event whose arena prefix has since been compacted
-    // away: the causes are only reachable through the checkpoint now.
+  if (e.gen != gen_) {
+    // A copy of a live event taken before a cause-arena rebase: its
+    // offset no longer addresses its causes. The causes are reachable
+    // through the checkpoint (for_each_event) instead.
     return {};
   }
-  return {cause_arena_.data() + (e.causes_begin - cause_base_), e.ncauses};
+  return {cause_arena_.data() + e.causes_begin, e.ncauses};
 }
 
 size_t EventLog::add_derivation(RuleId rule, TupleRef head,
@@ -119,30 +86,27 @@ size_t EventLog::add_derivation(RuleId rule, TupleRef head,
   // kNoTupleRef positions (provenance-off merges) carry no provenance and
   // are never looked up; indexing them would blow the dense arrays up to
   // the sentinel.
+  // Chains link newest-first: the record being pushed takes the old chain
+  // head as its predecessor and becomes the new head. Both stores hit hot
+  // memory (this record, the per-ref head slot); the old forward-linked
+  // layout wrote a next-pointer into the cold previous tail record — a
+  // guaranteed cache miss per derivation on the recording hot path.
   constexpr uint32_t kNone = ~uint32_t{0};
   const uint32_t idx32 = static_cast<uint32_t>(idx);
   if (head != kNoTupleRef) {
-    if (head >= head_index_.size()) head_index_.resize(head + 1);
-    ChainHead& ch = head_index_[head];
-    if (ch.first == kNone) {
-      ch.first = idx32;
-    } else {
-      derivations_[ch.last].next_same_head = idx32;
-    }
-    ch.last = idx32;
+    if (head >= head_index_.size()) head_index_.resize(head + 1, kNone);
+    rec.prev_same_head = head_index_[head];
+    head_index_[head] = idx32;
   }
   for (TupleRef b : body) {
     const uint32_t pos = static_cast<uint32_t>(body_links_.size());
-    body_links_.push_back(BodyLink{idx32, kNone});
-    if (b == kNoTupleRef) continue;
-    if (b >= body_index_.size()) body_index_.resize(b + 1);
-    ChainHead& ch = body_index_[b];
-    if (ch.first == kNone) {
-      ch.first = pos;
-    } else {
-      body_links_[ch.last].next = pos;
+    if (b == kNoTupleRef) {
+      body_links_.push_back(BodyLink{idx32, kNone});
+      continue;
     }
-    ch.last = pos;
+    if (b >= body_index_.size()) body_index_.resize(b + 1, kNone);
+    body_links_.push_back(BodyLink{idx32, body_index_[b]});
+    body_index_[b] = pos;
   }
   body_arena_.insert(body_arena_.end(), body.begin(), body.end());
   derivations_.push_back(rec);
@@ -219,15 +183,14 @@ void EventLog::write_node_record(std::vector<uint8_t>& out, uint16_t id,
 void EventLog::serialize(const Event& e, std::vector<uint8_t>& out) const {
   const TableId tid = pool_.table(e.tuple);
   const Row& row = pool_.row(e.tuple);
-  ckpt::put_u64(out, e.id + 1);  // logical time (== id + 1, kept on disk)
+  // v2 layout: no time field — both decoders derive the id (and so the
+  // time, id + 1) from the entry's position; see eval/ckpt_format.h.
   ckpt::put_u64(out, e.tags);
   out.push_back(static_cast<uint8_t>(e.kind));
-  out.push_back(0);
+  out.push_back(e.ncauses);
   ckpt::put_u16(out, static_cast<uint16_t>(tid));
-  ckpt::put_u16(out, e.rule == kNoRule ? ckpt::kNoRuleSerialized
-                                       : static_cast<uint16_t>(e.rule));
+  ckpt::put_u16(out, e.rule);  // u16 id space; kNoRule == kNoRuleSerialized
   ckpt::put_u16(out, static_cast<uint16_t>(row.size()));
-  ckpt::put_u16(out, e.ncauses);
   ckpt::put_u16(out, static_cast<uint16_t>(e.node));
   ckpt::put_u32(out,
                 static_cast<uint32_t>(serialized_bytes(e) - ckpt::kHeaderBytes));
@@ -241,12 +204,12 @@ Event EventLog::decode(size_t entry, DecodeCursor& cur) const {
   // The RAM checkpoint covers the ids immediately below base_id_ (the
   // whole compacted range when the log never spilled or loaded).
   e.id = base_id_ - ckpt_offsets_.size() + entry;
-  e.tags = ckpt::get_u64(p + 8);
-  e.kind = static_cast<EventKind>(p[16]);
+  e.tags = ckpt::get_u64(p);
+  e.kind = static_cast<EventKind>(p[ckpt::kKindOffset]);
+  const uint8_t ncauses = p[ckpt::kNCausesOffset];
   const uint16_t table_id = ckpt::get_u16(p + ckpt::kTableIdOffset);
   const uint16_t rule_id = ckpt::get_u16(p + ckpt::kRuleIdOffset);
   const uint16_t nvals = ckpt::get_u16(p + ckpt::kNValsOffset);
-  const uint16_t ncauses = ckpt::get_u16(p + ckpt::kNCausesOffset);
   // Entry ids are live ids here: compact() wrote this log's own ids, and
   // load_checkpoint() patched a foreign checkpoint's ids to live ones
   // through its string table before installing the bytes. The interners
@@ -258,7 +221,7 @@ Event EventLog::decode(size_t entry, DecodeCursor& cur) const {
   for (uint16_t i = 0; i < nvals; ++i) row.push_back(ckpt::get_value(p));
   e.tuple = pool_.find(table_id, row);
   assert(e.tuple != kNoTupleRef);
-  e.rule = rule_id == ckpt::kNoRuleSerialized ? kNoRule : rule_id;
+  e.rule = rule_id;  // u16 id space; kNoRuleSerialized == kNoRule
   e.ncauses = ncauses;
   cur.causes_.clear();
   cur.causes_.reserve(ncauses);
@@ -266,19 +229,26 @@ Event EventLog::decode(size_t entry, DecodeCursor& cur) const {
     cur.causes_.push_back(ckpt::get_u64(p));
     p += 8;
   }
-  // Tag the event with the cursor's own buffer so causes_of() spans stay
-  // valid across decodes through other cursors.
-  e.causes_begin =
-      kDecodedCauseTag | reinterpret_cast<uint64_t>(cur.causes_.data());
+  // Publish the cursor's buffer through its registry slot (acquired on
+  // first decode) so causes_of() spans stay valid across decodes through
+  // other cursors.
+  if (cur.owner_ == nullptr) {
+    cur.owner_ = this;
+    cur.slot_ = acquire_cursor_slot();
+  }
+  assert(cur.owner_ == this && "cursor reused across logs");
+  cursor_bufs_[cur.slot_] = cur.causes_.data();
+  e.causes_begin = kDecodedCauseTag | cur.slot_;
   return e;
 }
 
 bool EventLog::fits_checkpoint_format(const Event& e) const {
-  // Every length/id the 32-byte header stores is a u16; an event exceeding
-  // one (nothing the runtime produces) must stay live, not decode garbled.
+  // Every length/id the entry header stores is a u16 (ncauses a u8, which
+  // Event::ncauses already is); an event exceeding one (nothing the
+  // runtime produces) must stay live, not decode garbled.
   constexpr size_t kMax = 0xffff;
   const Row& row = pool_.row(e.tuple);
-  if (pool_.table(e.tuple) >= kMax || row.size() > kMax || e.ncauses > kMax) {
+  if (pool_.table(e.tuple) >= kMax || row.size() > kMax) {
     return false;
   }
   if (e.rule != kNoRule && e.rule >= ckpt::kNoRuleSerialized) return false;
@@ -348,15 +318,22 @@ size_t EventLog::compact(size_t keep_live) {
 void EventLog::drop_live_prefix(size_t n) {
   events_.erase(events_.begin(), events_.begin() + static_cast<ptrdiff_t>(n));
   base_id_ += n;
-  // Drop the cause-arena prefix the erased events owned.
-  const uint64_t new_base =
-      events_.empty() ? cause_base_ + cause_arena_.size()
-                      : events_.front().causes_begin;
-  if (new_base > cause_base_) {
-    cause_arena_.erase(cause_arena_.begin(),
-                       cause_arena_.begin() +
-                           static_cast<ptrdiff_t>(new_base - cause_base_));
-    cause_base_ = new_base;
+  // Rebase: erase the cause-arena prefix the erased events owned and shift
+  // the live events' offsets back down to 0 (offsets are u32 and
+  // arena-relative, so the arena never creeps toward the 2^31 tag bit).
+  // The generation tag bumps so Event copies taken before the rebase read
+  // as stale — causes_of() returns empty — instead of aliasing whatever
+  // now lives at their old offset.
+  const uint32_t cut = events_.empty()
+                           ? static_cast<uint32_t>(cause_arena_.size())
+                           : events_.front().causes_begin;
+  if (cut == 0) return;
+  cause_arena_.erase(cause_arena_.begin(),
+                     cause_arena_.begin() + static_cast<ptrdiff_t>(cut));
+  gen_ = (gen_ + 1) & 0xf;
+  for (Event& e : events_) {
+    e.causes_begin -= cut;
+    e.gen = gen_ & 0xf;
   }
 }
 
@@ -403,6 +380,7 @@ void EventLog::replay_spilled(
   RuleId last_rule_id = kNoRule;
   Value last_node;
   NodeRef last_node_ref = kNoNode;
+  const uint32_t slot = acquire_cursor_slot();
   spill_->replay_raw([&](const RawEvent& re) {
     if (last_tid == ndlog::Catalog::kNoTable || last_table != re.table) {
       last_table.assign(re.table);
@@ -433,14 +411,16 @@ void EventLog::replay_spilled(
       last_node_ref = it->second;
     }
     e.node = last_node_ref;
-    e.ncauses = static_cast<uint16_t>(re.causes.size());
+    e.ncauses = static_cast<uint8_t>(re.causes.size());
     // The reader's cause buffer is stable until its next decode, which
-    // happens only after fn returns.
-    e.causes_begin =
-        kDecodedCauseTag | reinterpret_cast<uint64_t>(re.causes.data());
+    // happens only after fn returns; publish it through a registry slot
+    // held for the whole replay.
+    cursor_bufs_[slot] = re.causes.data();
+    e.causes_begin = kDecodedCauseTag | slot;
     fn(e);
     return true;
   });
+  release_cursor_slot(slot);
 }
 
 void EventLog::for_each_event(
@@ -564,7 +544,7 @@ void EventLog::set_spill(CheckpointSink* sink) {
 void EventLog::clear() {
   events_.clear();
   cause_arena_.clear();
-  cause_base_ = 0;
+  gen_ = 0;
   derivations_.clear();
   body_arena_.clear();
   head_index_.clear();

@@ -71,9 +71,13 @@ using EventId = uint64_t;
 using Time = uint64_t;
 inline constexpr EventId kNoEvent = ~0ULL;
 
-// Interned rule name (EventLog::intern_rule / rule_name).
+// Interned rule name (EventLog::intern_rule / rule_name). Event stores
+// rule ids in 16 bits (the checkpoint format always did), so the no-rule
+// sentinel is 0xffff — the same value the serialized format uses — and a
+// u16 Event::rule compares against it correctly under integer promotion.
+// intern_rule() asserts the id space stays below the sentinel.
 using RuleId = uint32_t;
-inline constexpr RuleId kNoRule = ~RuleId{0};
+inline constexpr RuleId kNoRule = 0xffff;
 
 // Interned event-location Value (EventLog::intern_node / node_value).
 // Fixed-width handle so Event stays trivially copyable: the old
@@ -96,32 +100,49 @@ enum class EventKind : uint8_t {
 const char* to_string(EventKind k);
 
 // Tag bit marking a checkpoint-decoded Event whose causes live outside
-// the arena: the low 63 bits of causes_begin then hold the address of the
-// decoding cursor's (or segment reader's) own cause buffer, so a span
-// taken from one decode survives decodes through other cursors. The bit
-// is unreachable as a real arena offset (the arena would have to hold
-// 2^60 ids) and never set in a user-space pointer on any supported
-// platform.
-inline constexpr uint64_t kDecodedCauseTag = 1ULL << 63;
+// the arena: the low 31 bits of causes_begin then hold a slot index into
+// the log's cursor-buffer registry (cursor_bufs_), where the producing
+// DecodeCursor (or the spilled-prefix replay) publishes the address of
+// its own cause buffer. A span taken from one decode therefore survives
+// decodes through other cursors, exactly as the PR 7 tagged-pointer
+// scheme guaranteed — the indirection exists because a 64-bit pointer no
+// longer fits the 32-bit field. The bit is unreachable as a real arena
+// offset (append asserts the arena stays below 2^31 ids).
+inline constexpr uint32_t kDecodedCauseTag = 1u << 31;
 
-// Events carry no timestamp field: append assigns logical times 1, 2, 3,
-// ... in id order, so an event's time is always id + 1 (event_time()).
-// Dropping the redundant u64 shrinks the live record from 48 to 40 bytes;
-// the checkpoint format still stores the explicit u64 time per entry.
+// 32-byte event record (wave 3; was 40 bytes, before that 48).
+//   - No timestamp field: append assigns logical times 1, 2, 3, ... in id
+//     order, so an event's time is always id + 1 (event_time()).
+//   - causes_begin is a u32 offset RELATIVE to the current start of the
+//     cause arena. compact() rebases live offsets to 0 when it drops the
+//     arena prefix, so offsets never grow past the live arena size.
+//   - gen is the log's 4-bit rebase generation: every rebase bumps it and
+//     re-stamps the live events, so causes_of() can reject a stale COPY of
+//     an event taken before a rebase (its offset now points at the wrong
+//     ids). Live references are always current. The counter wraps mod 16 —
+//     detection of copies held across 16+ rebases is best-effort, which
+//     matches the old `causes_begin < cause_base_` check (it too passed
+//     stale copies whose absolute offset happened to stay above the base).
+//   - rule is the u16 id space the checkpoint format always used
+//     (kNoRule == 0xffff fits); ncauses is capped at 255 by append (causes
+//     per event = rule body size or 1).
 struct Event {
   EventId id = kNoEvent;
-  uint64_t causes_begin = 0;     // absolute offset into the cause arena,
-                                 // or kDecodedCauseTag | buffer address
   TagMask tags = kAllTags;
+  uint32_t causes_begin = 0;     // arena-relative offset, or
+                                 // kDecodedCauseTag | cursor-buffer slot
   NodeRef node = kNoNode;        // where it happened (EventLog::node_value)
   TupleRef tuple = kNoTupleRef;  // into the owning log's TuplePool
-  RuleId rule = kNoRule;         // rule for Derive/Underive
-  uint16_t ncauses = 0;          // direct causal predecessors
-  EventKind kind = EventKind::Insert;
+  uint16_t rule = static_cast<uint16_t>(kNoRule);  // for Derive/Underive
+  uint8_t ncauses = 0;           // direct causal predecessors
+  EventKind kind : 4 {EventKind::Insert};
+  uint8_t gen : 4 {0};           // cause-arena rebase generation
 };
 // The live suffix is a vector<Event> appended to on every recorded step;
-// trivial copyability keeps its geometric growth a memmove.
+// trivial copyability keeps its geometric growth a memmove, and the exact
+// 32-byte size keeps two events per cache line on the append hot path.
 static_assert(std::is_trivially_copyable_v<Event>);
+static_assert(sizeof(Event) == 32);
 
 // A derivation record links a derived head tuple to the concrete body
 // tuples that produced it; used for positive provenance trees and for
@@ -132,10 +153,15 @@ struct DerivRecord {
   uint64_t body_begin = 0;      // offset into the body-ref arena
   TupleRef head = kNoTupleRef;
   RuleId rule = kNoRule;
-  // Next record with the same head, in insertion order (the head index is
-  // an intrusive FIFO chain, not a per-ref vector: appending a derivation
-  // allocates nothing).
-  uint32_t next_same_head = ~uint32_t{0};
+  // Previous record with the same head (the head index is an intrusive
+  // chain, not a per-ref vector: appending a derivation allocates
+  // nothing). Linked BACKWARD — the new record points at the old tail —
+  // so an append writes only the hot just-pushed record and the chain
+  // head, never a cold old record (the forward link used to be the one
+  // guaranteed cache miss per derivation on the recording hot path).
+  // Readers walk back and reverse (for_each_derivation_of), preserving
+  // insertion-order visitation.
+  uint32_t prev_same_head = ~uint32_t{0};
   uint16_t nbody = 0;
   bool live = true;  // false once the derivation has been retracted
 };
@@ -245,11 +271,57 @@ class EventLog {
   TupleRef find_ref(const Tuple& t) const;
 
   // --- append (hot path) ------------------------------------------------
-  // `tuple` must be a handle from this log's pool; `causes` is copied into
-  // the cause arena. No allocation beyond amortized arena growth.
+  // Primary form: every handle pre-interned, inline so the 32-byte record
+  // build fuses into the caller. `tuple` must be a handle from this log's
+  // pool, `node` from intern_node(); `causes` is copied into the cause
+  // arena. No allocation beyond amortized arena growth.
+  EventId append(EventKind kind, NodeRef node, TupleRef tuple, TagMask tags,
+                 std::span<const EventId> causes = {}, RuleId rule = kNoRule) {
+    // ncauses is 8 bits wide; nothing the runtime produces comes close
+    // (causes per event = rule body size or 1), so cap instead of
+    // recording a mod-256 count that would silently drop causal edges.
+    assert(causes.size() <= 0xff);
+    if (causes.size() > 0xff) causes = causes.first(0xff);
+    assert(rule == kNoRule || rule < kNoRule);
+    // Arena offsets must stay below the decoded-cause tag bit.
+    assert(cause_arena_.size() + causes.size() < kDecodedCauseTag);
+    const EventId id = size();
+    // Build the record in registers and push it in one store: emplace_back()
+    // followed by field-at-a-time writes costs a zero-init plus scattered
+    // stores into freshly grown heap memory on this 40%-of-profile path.
+    Event e;
+    e.id = id;
+    e.tags = tags;
+    e.causes_begin = static_cast<uint32_t>(cause_arena_.size());
+    e.node = node;
+    e.tuple = tuple;
+    e.rule = static_cast<uint16_t>(rule);
+    e.ncauses = static_cast<uint8_t>(causes.size());
+    e.kind = kind;
+    e.gen = gen_;
+    events_.push_back(e);
+    // `causes` may alias this log's own arena (a span from causes_of(),
+    // the natural way to duplicate an event): copy by index so push_back's
+    // reallocation cannot invalidate the source mid-copy.
+    const EventId* arena_begin = cause_arena_.data();
+    if (!causes.empty() && causes.data() >= arena_begin &&
+        causes.data() < arena_begin + cause_arena_.size()) {
+      const size_t off = static_cast<size_t>(causes.data() - arena_begin);
+      const size_t n = causes.size();
+      for (size_t i = 0; i < n; ++i) {
+        cause_arena_.push_back(cause_arena_[off + i]);
+      }
+    } else {
+      cause_arena_.insert(cause_arena_.end(), causes.begin(), causes.end());
+    }
+    return id;
+  }
+  // Value-node form (interns the location first).
   EventId append(EventKind kind, const Value& node, TupleRef tuple,
                  TagMask tags, std::span<const EventId> causes = {},
-                 RuleId rule = kNoRule);
+                 RuleId rule = kNoRule) {
+    return append(kind, intern_node(node), tuple, tags, causes, rule);
+  }
   // Materialized variant (merge, replay, tests): interns the tuple (and
   // rule name) first.
   EventId append(EventKind kind, const Value& node, const Tuple& tuple,
@@ -264,7 +336,7 @@ class EventLog {
 
   // --- access -----------------------------------------------------------
   // Live (un-compacted) suffix of the log; events()[i] has id base_id()+i.
-  const std::vector<Event>& events() const { return events_; }
+  const std::deque<Event>& events() const { return events_; }
   // Valid only for live ids (id >= base_id()); compacted events are
   // reachable through for_each_event() / event_time().
   const Event& event(EventId id) const {
@@ -312,26 +384,36 @@ class EventLog {
   std::vector<size_t> derivations_using(const Tuple& t) const {
     return derivations_using(find_ref(t));
   }
-  // Allocation-light variants: visit indices of live records in insertion
-  // order; `fn` returns false to stop. Templated so hot callers (retract
-  // cascades) pay no std::function wrapping per call.
+  // Visit indices of live records in insertion order; `fn` returns false
+  // to stop. Templated so hot callers (retract cascades) pay no
+  // std::function wrapping per call. The chains are stored newest-first
+  // (see DerivRecord::prev_same_head), so visitation collects the chain
+  // and reverses — a per-call vector on the cold query path bought the
+  // append path its missing cache line.
   template <typename Fn>
   void for_each_derivation_of(TupleRef t, Fn&& fn) const {
     constexpr uint32_t kNone = ~uint32_t{0};
     if (t == kNoTupleRef || t >= head_index_.size()) return;
-    for (uint32_t idx = head_index_[t].first; idx != kNone;
-         idx = derivations_[idx].next_same_head) {
-      if (derivations_[idx].live && !fn(static_cast<size_t>(idx))) return;
+    std::vector<uint32_t> chain;
+    for (uint32_t idx = head_index_[t]; idx != kNone;
+         idx = derivations_[idx].prev_same_head) {
+      chain.push_back(idx);
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (derivations_[*it].live && !fn(static_cast<size_t>(*it))) return;
     }
   }
   template <typename Fn>
   void for_each_derivation_using(TupleRef t, Fn&& fn) const {
     constexpr uint32_t kNone = ~uint32_t{0};
     if (t == kNoTupleRef || t >= body_index_.size()) return;
-    for (uint32_t pos = body_index_[t].first; pos != kNone;
-         pos = body_links_[pos].next) {
-      const uint32_t idx = body_links_[pos].record;
-      if (derivations_[idx].live && !fn(static_cast<size_t>(idx))) return;
+    std::vector<uint32_t> chain;
+    for (uint32_t pos = body_index_[t]; pos != kNone;
+         pos = body_links_[pos].prev) {
+      chain.push_back(body_links_[pos].record);
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (derivations_[*it].live && !fn(static_cast<size_t>(*it))) return;
     }
   }
   bool has_derivation_of(TupleRef t) const;
@@ -367,13 +449,21 @@ class EventLog {
   Time event_time(EventId id) const { return id + 1; }
 
   // Per-cursor decode state: each cursor owns the cause storage for the
-  // checkpoint entries it decodes (the decoded Event's causes_begin
-  // carries kDecodedCauseTag plus the buffer address, which causes_of()
-  // resolves). A cursor's current event and causes stay valid until ITS
-  // next decode — never clobbered by another cursor, which the old shared
-  // mutable scratch silently did.
+  // checkpoint entries it decodes. On first decode the cursor acquires a
+  // slot in the log's cursor-buffer registry; the decoded Event's
+  // causes_begin carries kDecodedCauseTag plus that slot index, and the
+  // registry entry is refreshed to the cursor's current buffer address on
+  // every decode (the buffer may reallocate). A cursor's current event
+  // and causes stay valid until ITS next decode — never clobbered by
+  // another cursor. The destructor releases the slot; a cursor must not
+  // outlive the log it decoded from (all current uses are call-scoped).
   class DecodeCursor {
    public:
+    DecodeCursor() = default;
+    ~DecodeCursor();
+    DecodeCursor(const DecodeCursor&) = delete;
+    DecodeCursor& operator=(const DecodeCursor&) = delete;
+
     std::span<const EventId> causes() const {
       return {causes_.data(), causes_.size()};
     }
@@ -381,6 +471,8 @@ class EventLog {
    private:
     friend class EventLog;
     std::vector<EventId> causes_;
+    const EventLog* owner_ = nullptr;  // set once a registry slot is held
+    uint32_t slot_ = 0;
   };
 
   // Walks the full event sequence in id order: the spilled prefix (sink
@@ -470,28 +562,28 @@ class EventLog {
   NodeRef node_cache_ref_ = kNoNode;
   NodeRef node_cache_ref2_ = kNoNode;
 
-  std::vector<Event> events_;  // live suffix; events_[i].id == base_id_ + i
-  // Cause arena: every event's causes are one contiguous run; compaction
-  // drops the prefix below the first live event (cause_base_ rebases).
+  std::deque<Event> events_;  // live suffix; events_[i].id == base_id_ + i
+  // Cause arena: every event's causes are one contiguous run, addressed by
+  // arena-relative u32 offsets. Compaction drops the prefix below the
+  // first live event and rebases the live offsets back to 0, bumping gen_
+  // and re-stamping the live events (drop_live_prefix).
   std::vector<EventId> cause_arena_;
-  uint64_t cause_base_ = 0;
+  uint8_t gen_ = 0;  // rebase generation, wraps mod 16 (Event::gen)
   std::vector<DerivRecord> derivations_;
   std::vector<TupleRef> body_arena_;  // DerivRecord body refs
   // Derivation indexes addressed directly by the dense TupleRef (the pool
   // hands out ids contiguously): lookup is an array load, not a hash.
-  // Both are intrusive FIFO chains — (first, last) record per ref, links
-  // in next_same_head / body_links_ — so appending a derivation is a few
-  // integer stores, never a per-ref vector allocation.
-  struct ChainHead {
-    uint32_t first = ~uint32_t{0};
-    uint32_t last = ~uint32_t{0};
-  };
+  // Both are intrusive chains linked newest-first — the per-ref entry
+  // holds the NEWEST record, each record points at its predecessor — so
+  // appending a derivation writes only the chain head and the record
+  // being pushed (both hot), never the cold previous tail. Readers
+  // reverse at visitation (for_each_derivation_of/_using).
   struct BodyLink {
     uint32_t record = ~uint32_t{0};  // derivation index of this occurrence
-    uint32_t next = ~uint32_t{0};    // next body_links_ pos with same ref
+    uint32_t prev = ~uint32_t{0};    // previous body_links_ pos, same ref
   };
-  std::vector<ChainHead> head_index_;      // by head TupleRef
-  std::vector<ChainHead> body_index_;      // by body TupleRef
+  std::vector<uint32_t> head_index_;       // by head TupleRef: newest record
+  std::vector<uint32_t> body_index_;       // by body TupleRef: newest link
   std::vector<BodyLink> body_links_;       // parallel to body_arena_
 
   std::vector<uint8_t> ckpt_;          // serialized compacted entries (RAM)
@@ -506,6 +598,30 @@ class EventLog {
   std::vector<uint8_t> node_written_;        // by NodeRef
   CheckpointSink* spill_ = nullptr;
   EventId base_id_ = 0;
+
+  // Cursor-buffer registry (see DecodeCursor): slot -> current cause
+  // buffer of the holding cursor. Mutable because decoding is a const
+  // read of the log. The free list recycles released slots so the
+  // registry stays as small as the peak number of live cursors.
+  uint32_t acquire_cursor_slot() const {
+    if (!cursor_free_.empty()) {
+      const uint32_t s = cursor_free_.back();
+      cursor_free_.pop_back();
+      return s;
+    }
+    cursor_bufs_.push_back(nullptr);
+    return static_cast<uint32_t>(cursor_bufs_.size() - 1);
+  }
+  void release_cursor_slot(uint32_t slot) const {
+    cursor_bufs_[slot] = nullptr;
+    cursor_free_.push_back(slot);
+  }
+  mutable std::vector<const EventId*> cursor_bufs_;
+  mutable std::vector<uint32_t> cursor_free_;
 };
+
+inline EventLog::DecodeCursor::~DecodeCursor() {
+  if (owner_ != nullptr) owner_->release_cursor_slot(slot_);
+}
 
 }  // namespace mp::eval

@@ -156,15 +156,17 @@ size_t SegmentReader::for_each(
         }
       }
     } else {
+      const uint64_t chunk_first = ckpt::get_u64(h + 8);
       for (uint32_t i = 0; i < count && p < end; ++i) {
         eval::RawEvent re;
-        re.id = ckpt::get_u64(p) - 1;  // stored time == id + 1
-        re.tags = ckpt::get_u64(p + 8);
-        re.kind = static_cast<eval::EventKind>(p[16]);
+        // v2 entries carry no time; ids are dense from the chunk header.
+        re.id = chunk_first + i;
+        re.tags = ckpt::get_u64(p);
+        re.kind = static_cast<eval::EventKind>(p[ckpt::kKindOffset]);
+        const uint8_t ncauses = p[ckpt::kNCausesOffset];
         const uint16_t table_id = ckpt::get_u16(p + ckpt::kTableIdOffset);
         const uint16_t rule_id = ckpt::get_u16(p + ckpt::kRuleIdOffset);
         const uint16_t nvals = ckpt::get_u16(p + ckpt::kNValsOffset);
-        const uint16_t ncauses = ckpt::get_u16(p + ckpt::kNCausesOffset);
         const uint16_t node_id = ckpt::get_u16(p + ckpt::kNodeIdOffset);
         const uint32_t entry_payload =
             ckpt::get_u32(p + ckpt::kPayloadLenOffset);

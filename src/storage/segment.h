@@ -39,7 +39,11 @@
 namespace mp::storage {
 
 inline constexpr char kFileMagic[6] = {'M', 'P', 'S', 'E', 'G', '\0'};
-inline constexpr uint16_t kFormatVersion = 1;
+// Version 2: entries use the 22-byte eval/ckpt_format.h header (no
+// per-entry time field — ids come from the chunk header's first_event_id
+// — and ncauses narrowed to u8). Version-1 segments are rejected on open;
+// recovery of a v1 store requires replaying it with a v1 build first.
+inline constexpr uint16_t kFormatVersion = 2;
 inline constexpr size_t kFileHeaderBytes = 16;
 inline constexpr uint32_t kChunkMagic = 0x314b4843;  // "CHK1"
 inline constexpr size_t kChunkHeaderBytes = 32;

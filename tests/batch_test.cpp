@@ -49,12 +49,19 @@ std::vector<Tuple> join_workload() {
   return w;
 }
 
-std::multiset<std::string> table_snapshot(const Engine& e) {
+constexpr const char* kJoinTables[] = {"A", "L", "R", "Out"};
+
+std::multiset<std::string> table_snapshot(const Engine& e,
+                                          std::span<const char* const> tables) {
   std::multiset<std::string> out;
-  for (const char* table : {"A", "L", "R", "Out"}) {
+  for (const char* table : tables) {
     for (const Tuple& tup : e.all_tuples(table)) out.insert(tup.to_string());
   }
   return out;
+}
+
+std::multiset<std::string> table_snapshot(const Engine& e) {
+  return table_snapshot(e, kJoinTables);
 }
 
 std::multiset<std::string> derivation_snapshot(const Engine& e) {
@@ -80,13 +87,15 @@ std::vector<std::string> event_sequence(const Engine& e) {
 }
 
 void expect_equivalent(const Engine& batched, const Engine& sequential,
-                       const std::string& what) {
+                       const std::string& what,
+                       std::span<const char* const> tables = kJoinTables) {
   EXPECT_EQ(batched.rule_firings(), sequential.rule_firings()) << what;
   EXPECT_EQ(batched.log().size(), sequential.log().size()) << what;
   EXPECT_EQ(batched.log().derivations().size(),
             sequential.log().derivations().size())
       << what;
-  EXPECT_EQ(table_snapshot(batched), table_snapshot(sequential)) << what;
+  EXPECT_EQ(table_snapshot(batched, tables), table_snapshot(sequential, tables))
+      << what;
   EXPECT_EQ(derivation_snapshot(batched), derivation_snapshot(sequential))
       << what;
   // The batch path keeps the per-tuple evaluation order, so even the exact
@@ -461,6 +470,139 @@ TEST(BatchFiring, LaneCountersTrackWholeLanes) {
     scalar.insert(Tuple{"In", {Value(1), Value(i)}});
   }
   expect_equivalent(engine, scalar, "lane counter program");
+}
+
+// --- entry lanes: columnar firing straight off insert_batch runs ------
+
+// Pure selection/assignment plans (the PacketIn shape from the bench):
+// same-table runs inside insert_batch go through try_insert_lane instead
+// of per-tuple stage_insert.
+const char* kEntryEventProgram =
+    "table FlowTable/4.\nevent PacketIn/4.\n"
+    "p1 FlowTable(@Swi,Hdr,Src,Prt) :- PacketIn(@C,Swi,Hdr,Src), Swi == 1, "
+    "Hdr == 80, Prt := 2.\n"
+    "p2 FlowTable(@Swi,Hdr,Src,Prt) :- PacketIn(@C,Swi,Hdr,Src), Swi == 1, "
+    "Hdr == 53, Prt := 3.\n";
+
+TEST(EntryLane, EventRunMatchesScalarInserts) {
+  std::vector<Tuple> work;
+  for (int i = 0; i < 64; ++i) {
+    // Mix of rule-1 matches, rule-2 matches, and no-match rows.
+    const int hdr = i % 3 == 0 ? 80 : (i % 3 == 1 ? 53 : 22);
+    work.push_back(t("PacketIn",
+                     {Value::str("C"), Value(1), Value(hdr), Value(i % 7)}));
+  }
+  Engine scalar(ndlog::parse_program(kEntryEventProgram));
+  for (const Tuple& tup : work) scalar.insert(tup);
+
+  Engine lanes(ndlog::parse_program(kEntryEventProgram));
+  lanes.insert_batch(work);
+  EXPECT_GT(lanes.entry_lanes(), 0u) << "event run must form an entry lane";
+  EXPECT_EQ(scalar.entry_lanes(), 0u);
+  constexpr const char* tables[] = {"FlowTable"};
+  expect_equivalent(lanes, scalar, "entry event lane", tables);
+}
+
+TEST(EntryLane, MixedTableBatchFormsRunsPerTable) {
+  // Alternating tables never form runs (entry lanes need length >= 2);
+  // grouped tables form one run each. Both must match scalar inserts.
+  std::vector<Tuple> grouped, alternating;
+  for (int i = 0; i < 6; ++i) {
+    grouped.push_back(t("PacketIn",
+                        {Value::str("C"), Value(1), Value(80), Value(i)}));
+  }
+  for (int i = 0; i < 6; ++i) {
+    grouped.push_back(t("Probe", {Value(1), Value(i)}));
+  }
+  for (size_t i = 0; i < grouped.size(); ++i) {
+    alternating.push_back(grouped[i % 2 == 0 ? i / 2 : 6 + i / 2]);
+  }
+  const char* prog =
+      "table FlowTable/4.\nevent PacketIn/4.\ntable Probe/2.\n"
+      "p1 FlowTable(@Swi,Hdr,Src,Prt) :- PacketIn(@C,Swi,Hdr,Src), Swi == 1, "
+      "Hdr == 80, Prt := 2.\n";
+  Engine scalar(ndlog::parse_program(prog));
+  for (const Tuple& tup : grouped) scalar.insert(tup);
+
+  Engine runs(ndlog::parse_program(prog));
+  runs.insert_batch(grouped);
+  EXPECT_GE(runs.entry_lanes(), 2u) << "one run per table";
+
+  Engine alt(ndlog::parse_program(prog));
+  alt.insert_batch(alternating);
+  EXPECT_EQ(alt.entry_lanes(), 0u) << "runs of one stay scalar";
+
+  constexpr const char* tables[] = {"FlowTable", "Probe"};
+  expect_equivalent(runs, scalar, "grouped entry runs", tables);
+  EXPECT_EQ(table_snapshot(alt, tables), table_snapshot(scalar, tables));
+  EXPECT_EQ(alt.rule_firings(), scalar.rule_firings());
+}
+
+TEST(EntryLane, StoredRunWithDuplicatesMatchesScalarAndSoaOff) {
+  // S is never a rule head and only appears as its own trigger, so stored
+  // runs are entry-eligible; duplicates inside the run exercise the
+  // support/tag pre-merge. K == 1 compiles to a columnar const-equality
+  // predicate, which is what puts column K in S's SoA mirror; V > 2 stays
+  // a pushed selection and runs off the row.
+  const char* prog =
+      "table S/3.\ntable Out/2.\n"
+      "s1 Out(@X,V) :- S(@X,K,V), K == 1, V > 2.\n";
+  std::vector<Tuple> work;
+  for (int i = 0; i < 12; ++i) {
+    work.push_back(
+        t("S", {Value(1), Value(i % 2), Value(i % 5)}));  // dup rows late
+  }
+  Engine scalar(ndlog::parse_program(prog));
+  for (const Tuple& tup : work) scalar.insert(tup);
+
+  Engine lanes(ndlog::parse_program(prog));
+  lanes.insert_batch(work);
+  EXPECT_GT(lanes.entry_lanes(), 0u) << "stored run must form an entry lane";
+  const Database* db = lanes.db(Value(1));
+  ASSERT_NE(db, nullptr);
+  ASSERT_NE(db->table("S"), nullptr);
+  EXPECT_TRUE(db->table("S")->has_soa())
+      << "pure-plan stored table must carry its SoA selection columns";
+
+  EngineOptions no_soa;
+  no_soa.soa_columns = false;
+  Engine plain(ndlog::parse_program(prog), no_soa);
+  plain.insert_batch(work);
+  const Database* pdb = plain.db(Value(1));
+  ASSERT_NE(pdb, nullptr);
+  EXPECT_FALSE(pdb->table("S")->has_soa());
+
+  constexpr const char* tables[] = {"S", "Out"};
+  expect_equivalent(lanes, scalar, "stored entry lane", tables);
+  expect_equivalent(plain, scalar, "stored entry lane, SoA off", tables);
+}
+
+TEST(EntryLane, DivergenceBailRestoresStoreAndReplaysScalar) {
+  // The first S row's cascade runs away and trips the divergence guard
+  // inside the lane's fixpoint drain. The lane must undo the bulk store
+  // writes it staged for the seven unprocessed rows (including duplicate
+  // support merges) and replay them through the scalar path so the final
+  // state matches a scalar run exactly.
+  const char* prog =
+      "table S/2.\ntable B/2.\n"
+      "s1 B(@X,V) :- S(@X,V).\n"
+      "s2 B(@X,Q) :- B(@X,P), Q := P + 1, P < 1000000.\n";
+  std::vector<Tuple> work;
+  for (int i = 0; i < 8; ++i) {
+    work.push_back(t("S", {Value(1), Value(i % 3)}));  // dup rows in the run
+  }
+  EngineOptions opt;
+  opt.max_steps = 200;
+  Engine scalar(ndlog::parse_program(prog), opt);
+  for (const Tuple& tup : work) scalar.insert(tup);
+  ASSERT_TRUE(scalar.diverged());
+
+  Engine lanes(ndlog::parse_program(prog), opt);
+  lanes.insert_batch(work);
+  EXPECT_TRUE(lanes.diverged());
+  EXPECT_GT(lanes.entry_lanes(), 0u) << "lane must form before the bail";
+  constexpr const char* tables[] = {"S", "B"};
+  expect_equivalent(lanes, scalar, "divergence bail", tables);
 }
 
 }  // namespace

@@ -360,6 +360,85 @@ TEST(SegmentStore, RecoveryContinuationMatchesUninterruptedRun) {
   EXPECT_EQ(store_lines(store), log_lines(ref.log()));
 }
 
+// --- cause-arena rebase generations -------------------------------------
+
+// The 32-byte Event stores its cause run as an arena-relative u32 offset
+// plus a 4-bit rebase generation; every compaction drops the dead arena
+// prefix and re-stamps the live suffix under the next generation (wrapping
+// mod 16). Compact often enough for the generation counter to wrap several
+// times and the whole history — live suffix, RAM checkpoint, spilled
+// segments — must still decode byte-identically, cause lists included.
+TEST(SegmentStore, RebaseGenerationWrapRoundTrip) {
+  const std::string dir = fresh_dir("rebase_wrap");
+  SegmentStore store(dir, SegmentStoreOptions{});
+
+  eval::EventLog ref;      // never compacted
+  eval::EventLog log;      // RAM checkpoint, compacted every round
+  eval::EventLog spilled;  // identical appends, sections spill to the store
+  spilled.set_spill(&store);
+
+  auto append_all = [&](eval::EventKind kind, const Value& node,
+                        const eval::Tuple& tup, eval::TagMask tags,
+                        const std::vector<eval::EventId>& causes,
+                        const std::string& rule) {
+    ref.append(kind, node, tup, tags, causes, rule);
+    log.append(kind, node, tup, tags, causes, rule);
+    spilled.append(kind, node, tup, tags, causes, rule);
+  };
+
+  // 40 rounds x one rebase per compact = the 4-bit generation wraps twice
+  // and ends mid-cycle, so stale-generation offsets would mis-decode both
+  // early and late in the run.
+  constexpr size_t kRounds = 40;
+  constexpr size_t kPerRound = 6;
+  for (size_t round = 0; round < kRounds; ++round) {
+    for (size_t k = 0; k < kPerRound; ++k) {
+      const auto n = static_cast<eval::EventId>(ref.size());
+      std::vector<eval::EventId> causes;
+      if (n >= 1) causes.push_back(n - 1);
+      if (n >= 4) causes.push_back(n - 4);  // reaches into compacted ids
+      const eval::Tuple tup{"T", {Value(1), Value(static_cast<int64_t>(n))}};
+      const auto kind = k % 3 == 2 ? eval::EventKind::Derive
+                                   : eval::EventKind::Insert;
+      append_all(kind, Value(1), tup, eval::TagMask{n % 4},
+                 kind == eval::EventKind::Derive ? causes
+                                                 : std::vector<eval::EventId>{},
+                 kind == eval::EventKind::Derive ? "rw" : std::string{});
+    }
+    log.compact(3);
+    spilled.compact(3);
+    ASSERT_EQ(log.base_id(), spilled.base_id());
+    if (round % 8 == 7) {
+      // Decode through the checkpoint + re-stamped live suffix mid-run,
+      // not only after the final rebase.
+      EXPECT_EQ(log_lines(log), log_lines(ref)) << "round " << round;
+    }
+  }
+  ASSERT_GT(log.base_id(), 16u * kPerRound) << "generation never wrapped";
+  EXPECT_EQ(log_lines(log), log_lines(ref));
+  EXPECT_EQ(log_lines(spilled), log_lines(ref));
+
+  // The serialized RAM checkpoint alone rebuilds the compacted prefix in a
+  // fresh log (fresh interners: decode can't lean on shared ids).
+  eval::EventLog fresh;
+  fresh.load_checkpoint(log.checkpoint_entries(), log.checkpoint_names());
+  ASSERT_EQ(fresh.size(), log.base_id());
+  const std::vector<std::string> want = log_lines(ref);
+  const std::vector<std::string> got = log_lines(fresh);
+  ASSERT_LE(got.size(), want.size());
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()))
+      << "checkpoint decode diverged from the uncompacted reference";
+
+  // Seal the rest into the store: the standalone segment decoder (fresh
+  // process, no EventLog) walks the identical sequence.
+  spilled.compact(0);
+  store.flush(false);
+  EXPECT_EQ(store_lines(store), want);
+  SegmentStore reloaded(dir, SegmentStoreOptions{});
+  EXPECT_EQ(reloaded.recovered_events(), want.size());
+  EXPECT_EQ(store_lines(reloaded), want);
+}
+
 // --- store mechanics ----------------------------------------------------
 
 eval::Engine make_toy(const std::string& dir, FsyncPolicy fsync,

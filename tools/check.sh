@@ -3,14 +3,20 @@
 # suites, the smoke tool and a Release-mode bench smoke guarding the
 # provenance-recording fast path (ROADMAP "Tier-1 verify"). Usage:
 #   tools/check.sh [build-dir]
-# The bench smoke runs a short BM_PacketInProcessing (provenance on) and
-# fails if throughput drops below CHECK_BENCH_FLOOR tuples/sec (default:
-# see FLOOR below — the pre-interning recording path ran at ~279k, the
-# PR 5 interned fast path at ~565k, and the current recording path at
-# 1.0-1.2M on the noisy 1-CPU reference box, so the floor catches a
-# regression back to the scalar dispatch path or to per-event
-# allocations while tolerating the box's clock wander, which has been
-# observed to dip short runs ~15% below their quiet-window rate). Skip
+# The bench smoke runs short provenance-on PacketIn benchmarks — the
+# single-insert row and the wave-3 batched-arrival row (entry lanes) —
+# and fails if the batched recording path drops below CHECK_BENCH_FLOOR
+# tuples/sec (default: see FLOOR below — the pre-interning recording
+# path ran at ~279k, the PR 5 interned fast path at ~565k, wave 2 at
+# ~937k, and the wave-3 batched entry path at ~1.45M on the noisy 1-CPU
+# reference box). The floor is asserted against the best of several
+# repetitions: it guards against the path regressing — scalar dispatch,
+# per-event allocations, the 40-byte record coming back — not against a
+# noisy-neighbour window (short runs have been observed to dip ~35%
+# below their quiet-window rate). The smoke also fails if the serialized
+# event footprint exceeds CHECK_BENCH_BYTES_CEILING bytes/event
+# (default 64; the 32-byte record layout measures ~62.4 on this
+# workload, and the number is deterministic, not a throughput). Skip
 # it with CHECK_BENCH=0; it is skipped automatically when
 # google-benchmark was not found at configure time.
 # With CHECK_CRASH=1 the script additionally runs the exhaustive
@@ -43,24 +49,45 @@ echo "--- smoke (Q1 pipeline) ---"
 # above the floor (the default build type is Release, so the main build's
 # bench binary is the right artifact).
 if [[ "${CHECK_BENCH:-1}" == "1" && -x "$BUILD_DIR/bench_overhead" ]]; then
-  echo "--- bench smoke (provenance recording floor) ---"
-  FLOOR="${CHECK_BENCH_FLOOR:-900000}"
+  echo "--- bench smoke (provenance recording floor + event-size ceiling) ---"
+  FLOOR="${CHECK_BENCH_FLOOR:-1400000}"
+  BYTES_CEILING="${CHECK_BENCH_BYTES_CEILING:-64}"
   RAW="$(mktemp)"
   trap 'rm -f "$RAW"' EXIT
   "$BUILD_DIR/bench_overhead" \
-    --benchmark_filter='BM_PacketInProcessing/1' \
-    --benchmark_min_time=0.2 \
+    --benchmark_filter='BM_PacketInProcessing/1$|BM_PacketInBatchedArrival/1$' \
+    --benchmark_min_time=0.2 --benchmark_repetitions=3 \
     --benchmark_out_format=json --benchmark_out="$RAW" >/dev/null
-  python3 - "$RAW" "$FLOOR" <<'EOF'
+  python3 - "$RAW" "$FLOOR" "$BYTES_CEILING" <<'EOF'
 import json, sys
-raw, floor = json.load(open(sys.argv[1])), float(sys.argv[2])
-rows = [b for b in raw["benchmarks"] if b["name"] == "BM_PacketInProcessing/1"]
-assert rows, "bench smoke: BM_PacketInProcessing/1 missing from output"
-rate = rows[0]["items_per_second"]
-print(f"provenance_on: {rate:,.0f} tuples/s (floor {floor:,.0f})")
-if rate < floor:
-    sys.exit(f"bench smoke FAILED: provenance-on throughput {rate:,.0f} "
-             f"below floor {floor:,.0f} tuples/s")
+raw = json.load(open(sys.argv[1]))
+floor, ceiling = float(sys.argv[2]), float(sys.argv[3])
+
+def reps(name):
+    out = [b for b in raw["benchmarks"]
+           if b["name"] == name and b.get("run_type") != "aggregate"]
+    assert out, f"bench smoke: {name} missing from output"
+    return out
+
+# Floor: the batched-arrival recording path (entry lanes over the
+# 32-byte record), best of the repetitions — a regression of the path
+# itself depresses every repetition, a noisy window only some.
+batched = max(b["items_per_second"] for b in reps("BM_PacketInBatchedArrival/1"))
+single = max(b["items_per_second"] for b in reps("BM_PacketInProcessing/1"))
+print(f"provenance_on: batched {batched:,.0f} t/s, single {single:,.0f} t/s "
+      f"(floor {floor:,.0f} on batched)")
+if batched < floor:
+    sys.exit(f"bench smoke FAILED: batched provenance-on throughput "
+             f"{batched:,.0f} below floor {floor:,.0f} tuples/s")
+# Ceiling: serialized footprint of the recording format. Deterministic
+# for the workload, so no noise tolerance — any layout growth fails.
+for name in ("BM_PacketInProcessing/1", "BM_PacketInBatchedArrival/1"):
+    bpe = reps(name)[0].get("bytes_per_event")
+    assert bpe is not None, f"bench smoke: {name} reported no bytes_per_event"
+    print(f"{name}: {bpe:.1f} bytes/event (ceiling {ceiling:.0f})")
+    if bpe > ceiling:
+        sys.exit(f"bench smoke FAILED: {name} serialized footprint "
+                 f"{bpe:.1f} bytes/event exceeds ceiling {ceiling:.0f}")
 EOF
 fi
 

@@ -22,7 +22,7 @@ trap 'rm -f "$RAW"' EXIT
 # --benchmark_out: bench_overhead prints a storage-accounting preamble to
 # stdout, so the JSON must go to a file.
 "$BENCH" \
-  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_JoinHeavyBatchInsert|BM_PacketInProcessing|BM_RepairHistoryProbe|BM_ShardedEval|BM_CascadeFanout|BM_SegmentWrite|BM_SegmentReload' \
+  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_JoinHeavyBatchInsert|BM_PacketInProcessing|BM_PacketInBatchedArrival|BM_RepairHistoryProbe|BM_ShardedEval|BM_CascadeFanout|BM_SegmentWrite|BM_SegmentReload' \
   --benchmark_min_time=1 \
   --benchmark_out_format=json --benchmark_out="$RAW" >/dev/null
 
@@ -85,6 +85,16 @@ for arg, key in ((0, "provenance_off"), (1, "provenance_on")):
         packetin[key] = {"tuples_per_sec": rate(b)}
         if b.get("bytes_per_event") is not None:
             packetin[key]["bytes_per_event"] = b["bytes_per_event"]
+# The same workload arriving in 64-tuple bursts through insert_batch:
+# same-table runs form entry lanes (Engine::try_insert_lane) and the
+# trigger plans match columnar over the whole run.
+for arg, key in ((0, "batched_provenance_off"), (1, "batched_provenance_on")):
+    b = results.get(f"BM_PacketInBatchedArrival/{arg}")
+    if b:
+        packetin[key] = {"tuples_per_sec": rate(b),
+                         "entry_lanes": b.get("entry_lanes")}
+        if b.get("bytes_per_event") is not None:
+            packetin[key]["bytes_per_event"] = b["bytes_per_event"]
 
 # Provenance-recording overhead trajectory. `pre_interning` pins the
 # last string-carrying measurement (commit cc2d1c4: full
@@ -114,6 +124,14 @@ overhead = {
         "bytes_per_event": 77.41,
     },
 }
+# `wave2` pins the wave-2 head (PR 7, commit 315ee3e: durable segmented
+# store on top of the columnar dispatch) as measured on the reference
+# box — the baseline the wave-3 row's speedup is against.
+overhead["wave2"] = {
+    "commit": "315ee3e",
+    "provenance_on_tuples_per_sec": 937152.2962907294,
+    "bytes_per_event": 72.4,
+}
 on = packetin.get("provenance_on", {})
 off = packetin.get("provenance_off", {})
 if on.get("tuples_per_sec") and off.get("tuples_per_sec"):
@@ -128,6 +146,23 @@ if on.get("tuples_per_sec") and off.get("tuples_per_sec"):
         "speedup_vs_pre_interning":
             on["tuples_per_sec"]
             / overhead["pre_interning"]["provenance_on_tuples_per_sec"],
+    }
+    # Wave 3 (32-byte events + SoA columns + entry lanes), measured
+    # against the wave-2 head above. The headline is the batched-arrival
+    # path — the entry point this wave built; the single-insert rate is
+    # recorded alongside (its gain is the record-layout shrink alone,
+    # since a lone insert never forms an entry lane).
+    batched_on = packetin.get("batched_provenance_on", {})
+    wave3_rate = batched_on.get("tuples_per_sec") or on["tuples_per_sec"]
+    overhead["wave3"] = {
+        "provenance_on_tuples_per_sec": wave3_rate,
+        "single_insert_tuples_per_sec": on["tuples_per_sec"],
+        "bytes_per_event": on.get("bytes_per_event"),
+        "speedup_vs_before":
+            wave3_rate / overhead["wave2"]["provenance_on_tuples_per_sec"],
+        "single_insert_speedup_vs_before":
+            on["tuples_per_sec"]
+            / overhead["wave2"]["provenance_on_tuples_per_sec"],
     }
 
 # Columnar batched firing (BM_CascadeFanout): same cascade workload with
@@ -147,17 +182,24 @@ for prov, pkey in ((0, "provenance_off"), (1, "provenance_on")):
         "speedup": rate(lanes) / rate(scalar) if rate(scalar) else None,
     }
 
-# Hardware counters (bench/perf_counters.h): present only when the kernel
-# grants perf_event_open; containers commonly deny it, in which case the
-# throughput rows above stand alone.
+# Measured-region counters (bench/perf_counters.h). Hardware rows are
+# present only when the kernel grants perf_event_open; the software
+# fallback (getrusage + steady clock: cpu utilisation, fault and
+# context-switch rates) is sampled regardless, so locked-down containers
+# record those instead of just `available: false`.
 perf = {}
 for name, key in (("BM_PacketInProcessing/1", "packet_in_provenance_on"),
+                  ("BM_PacketInBatchedArrival/1",
+                   "packet_in_batched_provenance_on"),
                   ("BM_CascadeFanout/1/1", "cascade_columnar_provenance_on")):
     b = results.get(name, {})
     row = {k: b[k] for k in ("cycles_per_tuple", "instructions_per_tuple",
                              "cache_misses_per_tuple",
-                             "branch_misses_per_tuple") if b.get(k) is not None}
+                             "branch_misses_per_tuple",
+                             "cpu_utilisation", "minor_faults_per_mtuple",
+                             "ctx_switches_per_sec") if b.get(k) is not None}
     if row:
+        row["hardware"] = b.get("cycles_per_tuple") is not None
         perf[key] = row
 perf_counters = perf if perf else {"available": False}
 
@@ -241,6 +283,12 @@ if "after" in overhead:
     print(f"  provenance overhead: {a['provenance_on_tuples_per_sec']:,.0f} tuples/s recording on "
           f"({a['speedup_vs_before']:.2f}x vs PR 5, "
           f"{a['speedup_vs_pre_interning']:.1f}x vs pre-interning{bpe})")
+if "wave3" in overhead:
+    w = overhead["wave3"]
+    print(f"  wave 3: {w['provenance_on_tuples_per_sec']:,.0f} tuples/s batched arrival "
+          f"({w['speedup_vs_before']:.2f}x vs wave 2), "
+          f"{w['single_insert_tuples_per_sec']:,.0f} single "
+          f"({w['single_insert_speedup_vs_before']:.2f}x)")
 for pkey, c in columnar.items():
     print(f"  columnar firing ({pkey}): {c['columnar_packets_per_sec']:,.0f} packets/s "
           f"vs {c['tuple_at_a_time_packets_per_sec']:,.0f} scalar "
