@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/obs.h"
+#include "obs/span.h"
 #include "util/threads.h"
 #include "util/timer.h"
 
@@ -26,6 +28,9 @@ std::vector<const BacktestEntry*> BacktestReport::ranked_accepted() const {
 BacktestReport Backtester::run(
     ReplayHarness& harness,
     const std::vector<repair::RepairCandidate>& candidates) const {
+  static const obs::PhaseId kSpanBacktest = obs::phase_id("backtest.run");
+  obs::Span span(kSpanBacktest);
+  const uint64_t t0 = obs::now_ns();
   BacktestReport report;
   Timer timer;
   const ReplayOutcome baseline = harness.replay_baseline();
@@ -73,6 +78,11 @@ BacktestReport Backtester::run(
     report.entries.push_back(std::move(e));
   }
   report.replay_seconds = timer.seconds();
+  if (obs::enabled()) {
+    static obs::Histogram& lat =
+        obs::Registry::global().histogram("repair.backtest.latency_ns");
+    lat.record(obs::now_ns() - t0);
+  }
   return report;
 }
 

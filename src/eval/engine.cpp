@@ -1,6 +1,9 @@
 #include "eval/engine.h"
 
 #include <algorithm>
+#include <iterator>
+
+#include "obs/obs.h"
 
 namespace mp::eval {
 
@@ -91,6 +94,40 @@ Engine::Engine(ndlog::Program program, EngineOptions opt)
       cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
     }
   }
+}
+
+Engine::~Engine() { publish_obs(); }
+
+void Engine::publish_obs() {
+  if (!obs::enabled()) return;
+  // Process-wide cumulative counters (eval.engine.*); per-engine exact
+  // numbers stay in the plain members the accessors read — publication is
+  // a cold-path delta add, never a hot-path atomic.
+  obs::Registry& reg = obs::Registry::global();
+  static obs::Counter* const counters[] = {
+      &reg.counter("eval.engine.steps"),
+      &reg.counter("eval.engine.rule_firings"),
+      &reg.counter("eval.engine.index_probes"),
+      &reg.counter("eval.engine.full_scans"),
+      &reg.counter("eval.engine.batched_lanes"),
+      &reg.counter("eval.engine.batched_tuples"),
+      &reg.counter("eval.engine.entry_lanes"),
+      &reg.counter("eval.engine.log_events_appended"),
+  };
+  const size_t current[] = {
+      steps_,          firings_,        index_probes_, full_scans_,
+      batched_lanes_,  batched_tuples_, entry_lanes_,  log_.size(),
+  };
+  static_assert(std::size(current) ==
+                sizeof(obs_published_) / sizeof(obs_published_[0]));
+  for (size_t i = 0; i < std::size(current); ++i) {
+    if (current[i] > obs_published_[i]) {
+      counters[i]->add(current[i] - obs_published_[i]);
+      obs_published_[i] = current[i];
+    }
+  }
+  static obs::Gauge& live_events = reg.gauge("eval.engine.log_live_events");
+  live_events.set(static_cast<int64_t>(log_.live_size()));
 }
 
 Database& Engine::node_db(const Value& node) {

@@ -111,6 +111,8 @@ struct EngineOptions {
 class Engine {
  public:
   explicit Engine(ndlog::Program program, EngineOptions opt = {});
+  // Publishes outstanding obs deltas (see publish_obs) before teardown.
+  ~Engine();
   // Compiled plans and per-node stores point into catalog_/index_specs_.
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -234,6 +236,19 @@ class Engine {
   // Lanes formed at the insert_batch entry point (try_insert_lane); they
   // count toward batched_lanes()/batched_tuples() as well.
   size_t entry_lanes() const { return entry_lanes_; }
+
+  // --- observability (src/obs) -----------------------------------------
+  // The per-engine counters above are the exact, test-pinned numbers for
+  // THIS engine; the process-wide obs registry carries their cumulative
+  // sum across every engine under `eval.engine.*`. Publication is
+  // deliberately off the hot path: publish_obs() adds the delta since the
+  // last publish into the registry (and sets the eval.engine.log_events
+  // gauge) — called automatically from the destructor, and explicitly by
+  // exporters (the pipeline, smoke's --metrics-out) that want the
+  // registry current while engines are still alive. No-op when
+  // obs::set_enabled(false); counters themselves never reset (windowed
+  // readings come from obs::Snapshot::delta — see src/obs/README.md).
+  void publish_obs();
 
  private:
   struct PendingAppear {
@@ -444,6 +459,9 @@ class Engine {
   size_t batched_lanes_ = 0;
   size_t batched_tuples_ = 0;
   size_t entry_lanes_ = 0;
+  // Counter values as of the last publish_obs() (same order as the
+  // publication table in engine.cpp).
+  size_t obs_published_[8] = {};
   bool running_ = false;
 };
 

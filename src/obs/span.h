@@ -1,0 +1,105 @@
+// Lightweight trace spans over per-thread ring buffers.
+//
+// A Span is an RAII scope labelled with an interned PhaseId
+// (src/obs/phase.h). On destruction it records (phase, start_ns, dur_ns)
+// into the calling thread's fixed-capacity ring buffer — no lock, no
+// allocation on the record path (the thread's buffer is registered once,
+// under a mutex, on its first span). Buffers outlive their threads, so a
+// worker pool's spans survive until drained.
+//
+// drain_all() collects and clears every thread's buffer and returns the
+// records in a deterministic order — (start_ns, thread, seq), where
+// `thread` is the buffer's registration index and `seq` the per-thread
+// record sequence — so two drains over the same records always produce
+// the same merged trace (pinned by tests/obs_test.cpp). write_trace_json
+// renders a drain as a JSON-lines trace log.
+//
+// Recording honours obs::enabled() plus a trace-specific switch
+// (set_trace_enabled). A full ring drops new records and counts them in
+// dropped_spans() — tracing is bounded, never a memory leak. Hot-path
+// sites use the MP_OBS_DETAIL_SPAN macro, which compiles to nothing
+// unless the build defines MP_OBS_DETAIL (CMake option MP_OBS_DETAIL) —
+// the "expensive span paths" stay out of release hot loops entirely.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "obs/phase.h"
+
+namespace mp::obs {
+
+struct SpanRecord {
+  PhaseId phase = 0;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t thread = 0;  // buffer registration index
+  uint64_t seq = 0;     // per-thread record sequence
+};
+
+// Trace master switch (independent of the metrics switch; both must be on
+// for spans to record). Default on — span sites are cold unless
+// MP_OBS_DETAIL compiled the hot ones in.
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+// Monotonic nanoseconds (steady clock).
+inline uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Records a span into the calling thread's ring buffer. Exposed directly
+// (besides the RAII Span) so tests can inject records with synthetic
+// timestamps.
+void record_span(PhaseId phase, uint64_t start_ns, uint64_t dur_ns);
+
+// Collects and clears every thread's buffer; deterministic order (see
+// file comment).
+std::vector<SpanRecord> drain_all_spans();
+// Records refused because a ring was full (cumulative).
+uint64_t dropped_spans();
+// Per-thread ring capacity (records). Applies to buffers created after
+// the call; for tests.
+void set_span_capacity(size_t records);
+
+// Renders a drain as JSON lines:
+//   {"phase":"history lookups","start_ns":...,"dur_ns":...,"thread":0,"seq":1}
+std::string spans_to_json(const std::vector<SpanRecord>& spans);
+// drain_all_spans() + append to `path` (creating it); returns false on
+// I/O failure.
+bool write_trace_json(const std::string& path);
+
+// RAII span.
+class Span {
+ public:
+  explicit Span(PhaseId phase)
+      : phase_(phase),
+        active_(enabled() && trace_enabled()),
+        start_ns_(active_ ? now_ns() : 0) {}
+  ~Span() {
+    if (active_) record_span(phase_, start_ns_, now_ns() - start_ns_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  PhaseId phase_;
+  bool active_;
+  uint64_t start_ns_;
+};
+
+}  // namespace mp::obs
+
+// Hot-path span sites: compiled out unless the build defines
+// MP_OBS_DETAIL (CMake -DMP_OBS_DETAIL=ON).
+#if defined(MP_OBS_DETAIL)
+#define MP_OBS_DETAIL_SPAN(id) ::mp::obs::Span mp_obs_span_##__LINE__(id)
+#else
+#define MP_OBS_DETAIL_SPAN(id) ((void)0)
+#endif

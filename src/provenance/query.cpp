@@ -2,9 +2,20 @@
 
 #include <set>
 
+#include "obs/obs.h"
+#include "obs/span.h"
+
 namespace mp::prov {
 
 namespace {
+
+const obs::PhaseId kSpanExplainExists = obs::phase_id("prov.explain_exists");
+const obs::PhaseId kSpanExplainMissing = obs::phase_id("prov.explain_missing");
+
+void record_latency(const char* name, uint64_t t0) {
+  if (!obs::enabled()) return;
+  obs::Registry::global().histogram(name).record(obs::now_ns() - t0);
+}
 
 // Walks the derivation record graph on interned handles; Tuples are
 // materialized only when a vertex is emitted (the graph's labels keep
@@ -56,6 +67,8 @@ void explain_ref(const eval::Engine& engine, ProvenanceGraph& g, size_t parent,
 
 ProvenanceGraph explain_exists(const eval::Engine& engine,
                                const eval::Tuple& tuple, size_t max_depth) {
+  obs::Span span(kSpanExplainExists);
+  const uint64_t t0 = obs::now_ns();
   ProvenanceGraph g;
   Vertex root;
   root.kind = VertexKind::Exist;
@@ -76,19 +89,25 @@ ProvenanceGraph explain_exists(const eval::Engine& engine,
     const size_t idx = g.add(std::move(v));
     g.link(0, idx);
   }
+  record_latency("prov.explain_exists.latency_ns", t0);
   return g;
 }
 
 ProvenanceGraph explain_missing(const eval::Engine& engine,
                                 const TuplePattern& pattern,
                                 size_t max_depth) {
+  obs::Span span(kSpanExplainMissing);
+  const uint64_t t0 = obs::now_ns();
   ProvenanceGraph g;
   Vertex root;
   root.kind = VertexKind::NExist;
   root.tuple.table = pattern.table;
   root.node = Value::str("?");
   g.add(std::move(root));
-  if (max_depth == 0) return g;
+  if (max_depth == 0) {
+    record_latency("prov.explain_missing.latency_ns", t0);
+    return g;
+  }
 
   const auto& program = engine.program();
   const auto& history = engine.history();
@@ -132,6 +151,7 @@ ProvenanceGraph explain_missing(const eval::Engine& engine,
       }
     }
   }
+  record_latency("prov.explain_missing.latency_ns", t0);
   return g;
 }
 

@@ -5,10 +5,20 @@
 #include <set>
 
 #include "ndlog/validate.h"
+#include "obs/obs.h"
+#include "obs/span.h"
 
 namespace mp::repair {
 
 namespace {
+
+// Phase ids interned once per process (src/obs/phase.h); the accumulation
+// paths below pay a vector index instead of the old per-call string-map
+// lookup.
+const obs::PhaseId kPhaseHistory = obs::phase_id("history lookups");
+const obs::PhaseId kPhaseSolve = obs::phase_id("constraint solving");
+const obs::PhaseId kPhasePatch = obs::phase_id("patch generation");
+const obs::PhaseId kSpanExplore = obs::phase_id("repair.explore");
 
 using eval::Env;
 using eval::Tuple;
@@ -94,6 +104,8 @@ std::vector<RepairCandidate> ForestExplorer::explore(const Symptom& symptom,
                                                      ExploreStats* stats) {
   phases_ = phases;
   stats_ = stats;
+  obs::Span span(kSpanExplore);
+  const uint64_t explore_t0 = obs::now_ns();
 
   // Min-priority queue over (cost, pending-goal count): the paper pops the
   // cheapest tree, breaking ties toward fewer unexpanded vertexes.
@@ -142,7 +154,7 @@ std::vector<RepairCandidate> ForestExplorer::explore(const Symptom& symptom,
           valid = apply_candidate(engine_.program(), cand).has_value();
         }
       }
-      if (phases_ != nullptr) phases_->add("patch generation", patch_timer.seconds());
+      if (phases_ != nullptr) phases_->add(kPhasePatch, patch_timer.seconds());
       if (valid) {
         if (stats_ != nullptr) ++stats_->trees_completed;
         out.push_back(std::move(cand));
@@ -166,6 +178,11 @@ std::vector<RepairCandidate> ForestExplorer::explore(const Symptom& symptom,
               if (a.cost != b.cost) return a.cost < b.cost;
               return a.description < b.description;
             });
+  if (obs::enabled()) {
+    static obs::Histogram& lat =
+        obs::Registry::global().histogram("repair.explore.latency_ns");
+    lat.record(obs::now_ns() - explore_t0);
+  }
   return out;
 }
 
@@ -383,7 +400,7 @@ void ForestExplorer::expand_disappear(const TreeState& st, const Goal& goal,
         return matching.size() < 4;  // each match forks its own subtree
       });
   if (stats_ != nullptr) stats_->history_tuples_scanned += scanned;
-  if (phases_ != nullptr) phases_->add("history lookups", history_timer.seconds());
+  if (phases_ != nullptr) phases_->add(kPhaseHistory, history_timer.seconds());
 
   for (const eval::TupleRef target : matching) {
     const auto derivs = log.derivations_of(target);
@@ -580,7 +597,7 @@ std::vector<ForestExplorer::JoinResult> ForestExplorer::enumerate_joins(
     results.push_back(std::move(jr));
     if (results.size() >= cfg_.max_join_combos) break;
   }
-  if (phases_ != nullptr) phases_->add("history lookups", history_timer.seconds());
+  if (phases_ != nullptr) phases_->add(kPhaseHistory, history_timer.seconds());
   return results;
 }
 
@@ -614,7 +631,7 @@ std::vector<Change> ForestExplorer::selection_fix_options(const Rule& rule,
         push_unique(candidates, a->at("K"), cfg_.max_const_variants);
       }
       if (phases_ != nullptr) {
-        phases_->add("constraint solving", solve_timer.seconds());
+        phases_->add(kPhaseSolve, solve_timer.seconds());
       }
       // Direct minimal-edit value.
       const int64_t xi = x.as_int();
@@ -740,7 +757,7 @@ std::vector<Change> ForestExplorer::selection_break_options(const Rule& rule,
         }
       }
       if (phases_ != nullptr) {
-        phases_->add("constraint solving", solve_timer.seconds());
+        phases_->add(kPhaseSolve, solve_timer.seconds());
       }
     }
   }
@@ -856,7 +873,7 @@ std::vector<Change> ForestExplorer::manual_insert_options(const Goal& goal) {
   }
   auto assignment = solver::MiniSolver::solve(
       pool, stats_ != nullptr ? &stats_->solver : nullptr);
-  if (phases_ != nullptr) phases_->add("constraint solving", solve_timer.seconds());
+  if (phases_ != nullptr) phases_->add(kPhaseSolve, solve_timer.seconds());
   if (!assignment) return out;
 
   Timer history_timer;
@@ -867,7 +884,7 @@ std::vector<Change> ForestExplorer::manual_insert_options(const Goal& goal) {
     row = engine_.history().row_of(hist.front());
   }
   if (phases_ != nullptr) {
-    phases_->add("history lookups", history_timer.seconds());
+    phases_->add(kPhaseHistory, history_timer.seconds());
   }
   for (size_t i = 0; i < decl->arity; ++i) {
     auto it = assignment->find("c" + std::to_string(i));
@@ -942,7 +959,7 @@ std::vector<Value> ForestExplorer::domain_of_var(const Rule& rule,
       if (stats_ != nullptr) stats_->history_tuples_scanned += scanned;
     }
   }
-  if (phases_ != nullptr) phases_->add("history lookups", history_timer.seconds());
+  if (phases_ != nullptr) phases_->add(kPhaseHistory, history_timer.seconds());
   // Descending: the loosest domain-suggested constants first (the paper's
   // Sip<2009 / Sip<99 / Sip<16 flavours), ahead of near-misses.
   std::sort(out.begin(), out.end(),

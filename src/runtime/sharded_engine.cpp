@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+#include "obs/span.h"
 #include "util/threads.h"
 
 namespace mp::runtime {
@@ -69,7 +71,68 @@ void ShardedEngine::remove_batch(std::span<const eval::Tuple> batch) {
   run_to_quiescence();
 }
 
+ShardedEngine::~ShardedEngine() { publish_obs(); }
+
+ShardMetrics ShardedEngine::merged_metrics() const {
+  ShardMetrics m;
+  for (const Shard& sh : shards_) {
+    m.rounds += sh.metrics.rounds;
+    m.messages_in += sh.metrics.messages_in;
+    m.messages_out += sh.metrics.messages_out;
+    m.max_inbox_depth = std::max(m.max_inbox_depth, sh.metrics.max_inbox_depth);
+    m.busy_ns += sh.metrics.busy_ns;
+    m.barrier_wait_ns += sh.metrics.barrier_wait_ns;
+  }
+  return m;
+}
+
+void ShardedEngine::publish_obs() {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::Registry::global();
+  auto bump = [&reg](const std::string& name, uint64_t cur, uint64_t& pub) {
+    if (cur > pub) {
+      reg.counter(name).add(cur - pub);
+      pub = cur;
+    }
+  };
+  // Merged view (scheduler-level rounds/messages plus per-shard sums).
+  const ShardMetrics merged = merged_metrics();
+  size_t sched_rounds = rounds_;
+  size_t sched_messages = messages_;
+  bump("runtime.sharded.rounds", sched_rounds, published_rounds_);
+  bump("runtime.sharded.messages", sched_messages, published_messages_);
+  bump("runtime.sharded.shard_rounds", merged.rounds,
+       published_merged_.rounds);
+  bump("runtime.sharded.busy_ns", merged.busy_ns, published_merged_.busy_ns);
+  bump("runtime.sharded.barrier_wait_ns", merged.barrier_wait_ns,
+       published_merged_.barrier_wait_ns);
+  reg.gauge("runtime.sharded.max_inbox_depth")
+      .set_max(static_cast<int64_t>(merged.max_inbox_depth));
+  reg.gauge("runtime.sharded.shards").set(static_cast<int64_t>(shards_.size()));
+  // Per-shard views, tagged by shard index in the instrument name. Engine
+  // counters for each shard flow through the shard engine's own
+  // publish_obs (eval.engine.*) when the engine is destroyed.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const std::string prefix = "runtime.sharded.shard" + std::to_string(s);
+    Shard& sh = shards_[s];
+    // Per-shard published baselines live in a parallel map keyed by the
+    // registry counters themselves: reuse the counter's value as the
+    // baseline (counters are process-cumulative, so a second
+    // ShardedEngine instance keeps adding onto the same instruments).
+    const ShardMetrics& m = sh.metrics;
+    ShardMetrics& pub = sh.published;
+    bump(prefix + ".rounds", m.rounds, pub.rounds);
+    bump(prefix + ".messages_in", m.messages_in, pub.messages_in);
+    bump(prefix + ".messages_out", m.messages_out, pub.messages_out);
+    bump(prefix + ".busy_ns", m.busy_ns, pub.busy_ns);
+    bump(prefix + ".barrier_wait_ns", m.barrier_wait_ns, pub.barrier_wait_ns);
+    reg.gauge(prefix + ".max_inbox_depth")
+        .set_max(static_cast<int64_t>(m.max_inbox_depth));
+  }
+}
+
 void ShardedEngine::run_shard_round(Shard& sh, uint64_t round) {
+  const uint64_t t0 = obs::now_ns();
   eval::Engine& e = *sh.engine;
   // The whole round runs inside one bulk bracket: per-tuple application
   // (the merge needs the log position between tuples) with insert_batch's
@@ -89,6 +152,9 @@ void ShardedEngine::run_shard_round(Shard& sh, uint64_t round) {
     sh.staged.clear();
   }
   if (!sh.inbox.empty()) {
+    sh.metrics.messages_in += sh.inbox.size();
+    sh.metrics.max_inbox_depth =
+        std::max<uint64_t>(sh.metrics.max_inbox_depth, sh.inbox.size());
     sh.spans.push_back(Span{round, 0, e.log().size()});
     for (Message& m : sh.inbox) {
       if (m.kind == Message::Kind::Deliver) {
@@ -104,6 +170,9 @@ void ShardedEngine::run_shard_round(Shard& sh, uint64_t round) {
     sh.inbox.clear();
   }
   e.end_batch();
+  sh.round_busy_ns = obs::now_ns() - t0;
+  sh.metrics.busy_ns += sh.round_busy_ns;
+  ++sh.metrics.rounds;
 }
 
 void ShardedEngine::run_to_quiescence() {
@@ -123,6 +192,7 @@ void ShardedEngine::run_to_quiescence() {
         pending += shards_[s].staged.size() + shards_[s].inbox.size();
       }
     }
+    const uint64_t round_t0 = obs::now_ns();
     if (opt_.parallel && active.size() > 1 &&
         pending >= opt_.min_parallel_work) {
       std::vector<std::function<void()>> thunks;
@@ -135,6 +205,15 @@ void ShardedEngine::run_to_quiescence() {
     } else {
       for (size_t s : active) run_shard_round(shards_[s], round);
     }
+    // Barrier wait: the slice of the round's wall time a shard spent
+    // blocked on its peers (wall minus its own busy time).
+    const uint64_t round_wall = obs::now_ns() - round_t0;
+    for (size_t s : active) {
+      Shard& sh = shards_[s];
+      if (round_wall > sh.round_busy_ns) {
+        sh.metrics.barrier_wait_ns += round_wall - sh.round_busy_ns;
+      }
+    }
     ++rounds_;
     // Barrier: swap outboxes into peer inboxes, source shards in order,
     // so every inbox drain is deterministic regardless of thread timing.
@@ -144,6 +223,7 @@ void ShardedEngine::run_to_quiescence() {
         std::vector<Message>& lane = shards_[s].outbox[d];
         if (lane.empty()) continue;
         messages_ += lane.size();
+        shards_[s].metrics.messages_out += lane.size();
         auto& inbox = shards_[d].inbox;
         inbox.insert(inbox.end(), std::make_move_iterator(lane.begin()),
                      std::make_move_iterator(lane.end()));

@@ -59,10 +59,23 @@ struct ShardedOptions {
   size_t max_rounds = 1'000'000;  // guard against runaway message cycles
 };
 
+// Per-shard scheduler metrics, accumulated by the owning worker between
+// barriers (single-writer, no synchronization needed) and summed into the
+// merged view. All fields are cumulative over the engine's lifetime.
+struct ShardMetrics {
+  uint64_t rounds = 0;        // rounds in which this shard was active
+  uint64_t messages_in = 0;   // cross-shard messages drained from the inbox
+  uint64_t messages_out = 0;  // cross-shard messages shipped from the outbox
+  uint64_t max_inbox_depth = 0;  // deepest inbox seen at a drain
+  uint64_t busy_ns = 0;          // time spent inside run_shard_round
+  uint64_t barrier_wait_ns = 0;  // round wall time minus own busy time
+};
+
 class ShardedEngine {
  public:
   ShardedEngine(const ndlog::Program& program, ShardPlan plan,
                 ShardedOptions opt = {});
+  ~ShardedEngine();
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
@@ -112,6 +125,19 @@ class ShardedEngine {
   size_t rounds() const { return rounds_; }
   size_t messages_shipped() const { return messages_; }
 
+  // Per-shard scheduler metrics and the sum across shards
+  // (max_inbox_depth merges with max, not sum).
+  const ShardMetrics& shard_metrics(size_t i) const {
+    return shards_[i].metrics;
+  }
+  ShardMetrics merged_metrics() const;
+
+  // Publishes scheduler metrics into the obs registry (runtime.sharded.*
+  // merged, runtime.sharded.shard<N>.* per shard) as cumulative deltas
+  // since the last publish. Off the round loop: called from the
+  // destructor and by exporters; no-op while obs::enabled() is false.
+  void publish_obs();
+
   // Rebuilds the canonical merged EventLog (see file comment): events are
   // renumbered densely in merge order, within-shard causal links are
   // remapped, and each cross-shard Receive is reconnected to its Send's
@@ -158,6 +184,9 @@ class ShardedEngine {
     std::vector<Message> inbox;
     std::vector<Span> spans;
     std::vector<CrossLink> links;
+    ShardMetrics metrics;
+    ShardMetrics published;      // baseline for delta publication
+    uint64_t round_busy_ns = 0;  // busy time of the round in flight
   };
 
   void stage(bool is_insert, const eval::Tuple& t, eval::TagMask tags);
@@ -172,6 +201,11 @@ class ShardedEngine {
   size_t rounds_ = 0;
   size_t messages_ = 0;
   bool diverged_ = false;
+  // Values already pushed into the registry, so repeated publishes add
+  // only the increment (counters in the registry are process-cumulative).
+  ShardMetrics published_merged_;
+  uint64_t published_rounds_ = 0;
+  uint64_t published_messages_ = 0;
 };
 
 }  // namespace mp::runtime

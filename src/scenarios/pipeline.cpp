@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/obs.h"
+#include "obs/span.h"
+
 namespace mp::scenario {
 
 ScenarioRun::ScenarioRun(const Scenario& s, const ndlog::Program& program,
@@ -170,6 +173,9 @@ std::vector<backtest::ReplayOutcome> ScenarioHarness::replay_joint(
 }
 
 PipelineResult run_pipeline(const Scenario& s, const PipelineOptions& opt) {
+  static const obs::PhaseId kSpanPipeline = obs::phase_id("scenario.pipeline");
+  obs::Span span(kSpanPipeline);
+  const uint64_t t0 = obs::now_ns();
   PipelineResult result;
   Timer total;
   ScenarioHarness harness(s);
@@ -213,10 +219,16 @@ PipelineResult run_pipeline(const Scenario& s, const PipelineOptions& opt) {
   backtest::Backtester tester(bcfg);
   result.backtest = tester.run(harness, result.generation.candidates);
   result.phases.merge(result.generation.phases);
-  result.phases.add("replay", replay_timer.seconds());
+  static const obs::PhaseId kPhaseReplay = obs::phase_id("replay");
+  result.phases.add(kPhaseReplay, replay_timer.seconds());
   result.effective = result.backtest.effective_count;
   result.accepted = result.backtest.accepted_count;
   result.total_seconds = total.seconds();
+  if (obs::enabled()) {
+    static obs::Histogram& lat =
+        obs::Registry::global().histogram("scenario.pipeline.latency_ns");
+    lat.record(obs::now_ns() - t0);
+  }
   return result;
 }
 

@@ -11,12 +11,36 @@
 #include <filesystem>
 
 #include "eval/ckpt_format.h"
+#include "obs/obs.h"
 
 namespace mp::storage {
 
 namespace fs = std::filesystem;
 
 namespace {
+
+// storage.segment.* instruments (process-cumulative across stores).
+// Registered once; relaxed-atomic adds after that.
+struct SegmentObs {
+  obs::Counter& bytes_written;
+  obs::Counter& flushes;
+  obs::Counter& fsyncs;
+  obs::Counter& rotations;
+  obs::Counter& sections;
+  obs::Counter& recovered_events;
+  obs::Counter& dropped_bytes;
+  static SegmentObs& get() {
+    obs::Registry& r = obs::Registry::global();
+    static SegmentObs o{r.counter("storage.segment.bytes_written"),
+                        r.counter("storage.segment.flushes"),
+                        r.counter("storage.segment.fsyncs"),
+                        r.counter("storage.segment.rotations"),
+                        r.counter("storage.segment.sections"),
+                        r.counter("storage.segment.recovered_events"),
+                        r.counter("storage.segment.dropped_bytes")};
+    return o;
+  }
+};
 
 std::string segment_path(const std::string& dir, size_t seq) {
   char name[32];
@@ -92,6 +116,10 @@ void SegmentStore::recover() {
     fs::remove(paths[i], rm_ec);
   }
   recovered_events_ = events_;
+  if (obs::enabled()) {
+    SegmentObs::get().recovered_events.add(recovered_events_);
+    SegmentObs::get().dropped_bytes.add(dropped_bytes_);
+  }
 }
 
 void SegmentStore::open_new_segment() {
@@ -116,6 +144,7 @@ void SegmentStore::rotate() {
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
   open_new_segment();
+  if (obs::enabled()) SegmentObs::get().rotations.inc();
 }
 
 void SegmentStore::flush(bool sync) const {
@@ -124,9 +153,16 @@ void SegmentStore::flush(bool sync) const {
     disk_bytes_ += buffer_.size();
     const_cast<SegmentStore*>(this)->segments_.back().flushed_bytes +=
         buffer_.size();
+    if (obs::enabled()) {
+      SegmentObs::get().bytes_written.add(buffer_.size());
+      SegmentObs::get().flushes.inc();
+    }
     buffer_.clear();
   }
-  if (sync && fd_ >= 0) ::fsync(fd_);
+  if (sync && fd_ >= 0) {
+    ::fsync(fd_);
+    if (obs::enabled()) SegmentObs::get().fsyncs.inc();
+  }
 }
 
 void SegmentStore::append_section(eval::EventId first_id, size_t count,
@@ -160,6 +196,7 @@ void SegmentStore::append_section(eval::EventId first_id, size_t count,
   buffer_.insert(buffer_.end(), entries.begin(), entries.end());
   segments_.back().events += count;
   events_ += count;
+  if (obs::enabled()) SegmentObs::get().sections.inc();
   if (opt_.fsync == FsyncPolicy::kOnAppend) {
     flush(true);
   } else if (buffer_.size() >= opt_.group_buffer_bytes) {

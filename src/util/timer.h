@@ -7,6 +7,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
+
+#include "obs/phase.h"
 
 namespace mp {
 
@@ -25,40 +28,60 @@ class Timer {
 };
 
 // Accumulates named phase durations; used to produce Fig 9a/9c/10 style
-// breakdowns.
+// breakdowns. Phases are interned process-wide (src/obs/phase.h): the
+// hot add(PhaseId) path is one vector index, no string lookup; the
+// string-keyed API remains at the edges. Instances are not thread-safe —
+// each worker accumulates its own clock and merge()s.
 class PhaseClock {
  public:
-  void add(const std::string& phase, double seconds) { acc_[phase] += seconds; }
+  void add(obs::PhaseId id, double seconds) {
+    if (id >= acc_.size()) acc_.resize(id + 1, 0.0);
+    acc_[id] += seconds;
+  }
+  void add(const std::string& phase, double seconds) {
+    add(obs::phase_id(phase), seconds);
+  }
+  double get(obs::PhaseId id) const { return id < acc_.size() ? acc_[id] : 0.0; }
   double get(const std::string& phase) const {
-    auto it = acc_.find(phase);
-    return it == acc_.end() ? 0.0 : it->second;
+    return get(obs::phase_id(phase));
   }
   double total() const {
     double t = 0;
-    for (const auto& [k, v] : acc_) t += v;
+    for (double v : acc_) t += v;
     return t;
   }
-  const std::map<std::string, double>& phases() const { return acc_; }
+  // String-keyed view for reports; zero-accumulation phases are omitted,
+  // matching the old map behaviour.
+  std::map<std::string, double> phases() const {
+    std::map<std::string, double> out;
+    for (obs::PhaseId id = 0; id < acc_.size(); ++id) {
+      if (acc_[id] != 0.0) out.emplace(obs::phase_name(id), acc_[id]);
+    }
+    return out;
+  }
   void merge(const PhaseClock& o) {
-    for (const auto& [k, v] : o.acc_) acc_[k] += v;
+    if (o.acc_.size() > acc_.size()) acc_.resize(o.acc_.size(), 0.0);
+    for (size_t id = 0; id < o.acc_.size(); ++id) acc_[id] += o.acc_[id];
   }
 
  private:
-  std::map<std::string, double> acc_;
+  std::vector<double> acc_;  // indexed by obs::PhaseId
 };
 
-// RAII phase scope.
+// RAII phase scope; prefer the PhaseId constructor (intern once, at the
+// call site) over the string one on anything resembling a hot path.
 class PhaseScope {
  public:
-  PhaseScope(PhaseClock& clock, std::string phase)
-      : clock_(clock), phase_(std::move(phase)) {}
-  ~PhaseScope() { clock_.add(phase_, timer_.seconds()); }
+  PhaseScope(PhaseClock& clock, obs::PhaseId id) : clock_(clock), id_(id) {}
+  PhaseScope(PhaseClock& clock, const std::string& phase)
+      : clock_(clock), id_(obs::phase_id(phase)) {}
+  ~PhaseScope() { clock_.add(id_, timer_.seconds()); }
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
 
  private:
   PhaseClock& clock_;
-  std::string phase_;
+  obs::PhaseId id_;
   Timer timer_;
 };
 

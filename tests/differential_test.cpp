@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "backtest/replay.h"
+#include "obs/obs.h"
 #include "storage/segment_store.h"
 #include "ndlog/parser.h"
 #include "repair/forest.h"
@@ -203,6 +204,40 @@ TEST(Differential, SoaColumnsOffMatchesDefaultOnAllScenarios) {
     // predicate path also reads the mirror — cover it without batching.
     expect_equal(run_trace(s, trace, 0, no_soa), run_trace(s, trace, 0),
                  s.id + " SoA off, tuple-at-a-time");
+  }
+}
+
+// Observability is pure observation: turning the obs switch off
+// (obs::set_enabled(false), which silences every publishing site — engine
+// counter publication, storage/sharded instruments, latency histograms,
+// span recording) must leave evaluation byte-identical. Same exact event
+// sequence, same tables, same derivations, same repair output, on every
+// scenario, through both the tuple-at-a-time and batched entry points.
+TEST(Differential, ObsOffMatchesObsOnAllScenarios) {
+  struct Restore {
+    ~Restore() { obs::set_enabled(true); }
+  } restore;
+  for (const Scenario& s : all_scenarios()) {
+    SCOPED_TRACE("scenario " + s.id);
+    const std::vector<eval::Tuple> trace = engine_trace(s, 2500);
+
+    obs::set_enabled(true);
+    eval::Engine on(s.program);
+    for (const eval::Tuple& t : trace) on.insert(t);
+    const EngineSnapshot want = snapshot(on);
+    EXPECT_GT(want.firings, 0u);
+    const std::vector<std::string> want_repairs = explore_all(s, on);
+    const EngineSnapshot want_batched = run_trace(s, trace, 64);
+
+    obs::set_enabled(false);
+    eval::Engine off(s.program);
+    for (const eval::Tuple& t : trace) off.insert(t);
+    expect_equal(snapshot(off), want, s.id + " obs off");
+    EXPECT_EQ(explore_all(s, off), want_repairs)
+        << "repair output must not observe the metrics switch";
+    expect_equal(run_trace(s, trace, 64), want_batched,
+                 s.id + " obs off batched");
+    obs::set_enabled(true);
   }
 }
 

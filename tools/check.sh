@@ -19,6 +19,11 @@
 # workload, and the number is deterministic, not a throughput). Skip
 # it with CHECK_BENCH=0; it is skipped automatically when
 # google-benchmark was not found at configure time.
+# Between the smoke and the bench smoke, the metrics gate reruns the Q1
+# pipeline with --metrics-out and validates the obs snapshot JSON
+# (parseable, core eval.engine.* counters and repair latency histograms
+# present and non-zero, per-scenario delta sane) — so the bench floor is
+# always measured with observability enabled.
 # With CHECK_CRASH=1 the script additionally runs the exhaustive
 # crash-recovery sweep (every truncation offset of the newest segment,
 # all scenarios) from storage_test:
@@ -45,6 +50,39 @@ cmake --build "$BUILD_DIR" -j
 echo "--- smoke (Q1 pipeline) ---"
 "$BUILD_DIR/smoke" Q1
 
+# Metrics gate: the smoke run again with --metrics-out must produce a
+# parseable obs snapshot whose core instruments are present and non-zero
+# (obs enabled is the default — this is the "observability on" row of the
+# gate; the bench floor below also runs with obs on).
+echo "--- metrics gate (obs snapshot JSON) ---"
+METRICS="$(mktemp)"
+trap 'rm -f "$METRICS"' EXIT
+"$BUILD_DIR/smoke" Q1 --metrics-out="$METRICS" >/dev/null
+python3 - "$METRICS" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert set(doc) == {"process", "scenarios"}, f"unexpected sections: {set(doc)}"
+proc = doc["process"]
+for section in ("counters", "gauges", "histograms"):
+    assert section in proc, f"missing section {section}"
+counters, hists = proc["counters"], proc["histograms"]
+core_counters = ["eval.engine.steps", "eval.engine.rule_firings",
+                 "eval.engine.log_events_appended"]
+for name in core_counters:
+    assert counters.get(name, 0) > 0, f"core counter {name} missing or zero"
+core_hists = ["repair.explore.latency_ns", "repair.generate.latency_ns",
+              "repair.backtest.latency_ns", "scenario.pipeline.latency_ns"]
+for name in core_hists:
+    h = hists.get(name)
+    assert h and h["count"] > 0, f"core histogram {name} missing or empty"
+    assert h["p50"] <= h["p99"], f"{name}: p50 > p99"
+q1 = doc["scenarios"]["Q1"]
+assert q1["histograms"]["scenario.pipeline.latency_ns"]["count"] == 1, \
+    "per-scenario delta should hold exactly one pipeline run"
+print(f"metrics gate: {len(counters)} counters, {len(hists)} histograms, "
+      "core instruments present")
+EOF
+
 # Release-mode bench smoke: the provenance-recording fast path must stay
 # above the floor (the default build type is Release, so the main build's
 # bench binary is the right artifact).
@@ -53,7 +91,7 @@ if [[ "${CHECK_BENCH:-1}" == "1" && -x "$BUILD_DIR/bench_overhead" ]]; then
   FLOOR="${CHECK_BENCH_FLOOR:-1400000}"
   BYTES_CEILING="${CHECK_BENCH_BYTES_CEILING:-64}"
   RAW="$(mktemp)"
-  trap 'rm -f "$RAW"' EXIT
+  trap 'rm -f "$RAW" "$METRICS"' EXIT
   "$BUILD_DIR/bench_overhead" \
     --benchmark_filter='BM_PacketInProcessing/1$|BM_PacketInBatchedArrival/1$' \
     --benchmark_min_time=0.2 --benchmark_repetitions=3 \

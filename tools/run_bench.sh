@@ -2,7 +2,10 @@
 # Tracks the evaluation-engine perf trajectory: runs the join-heavy and
 # PacketIn benchmarks from bench_overhead and writes BENCH_engine.json
 # (tuples/sec + rule firings/sec, index path vs. forced full scans, and
-# the resulting speedup) at the repo root. Usage:
+# the resulting speedup) at the repo root. Also embeds the obs registry
+# snapshot of a smoke ALL run (`metrics_snapshot`) and per-scenario
+# repair-latency percentiles Q1-Q5 (`repair_latency`, from the
+# repair.explore/scenario.pipeline latency histograms). Usage:
 #   tools/run_bench.sh [build-dir] [output-json]
 set -euo pipefail
 
@@ -18,7 +21,8 @@ if [[ ! -x "$BENCH" ]]; then
 fi
 
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+METRICS="$(mktemp)"
+trap 'rm -f "$RAW" "$METRICS"' EXIT
 # --benchmark_out: bench_overhead prints a storage-accounting preamble to
 # stdout, so the JSON must go to a file.
 "$BENCH" \
@@ -26,7 +30,14 @@ trap 'rm -f "$RAW"' EXIT
   --benchmark_min_time=1 \
   --benchmark_out_format=json --benchmark_out="$RAW" >/dev/null
 
-REPO_ROOT="$REPO_ROOT" python3 - "$RAW" "$OUT" <<'EOF'
+# One smoke run over all scenarios with the obs registry dumped: the
+# per-scenario delta sections carry each Q's repair-latency histograms.
+if [[ ! -x "$BUILD_DIR/smoke" ]]; then
+  cmake --build "$BUILD_DIR" --target smoke -j >/dev/null
+fi
+"$BUILD_DIR/smoke" ALL --metrics-out="$METRICS" >/dev/null
+
+REPO_ROOT="$REPO_ROOT" python3 - "$RAW" "$OUT" "$METRICS" <<'EOF'
 import json, os, subprocess, sys
 
 raw_path, out_path = sys.argv[1], sys.argv[2]
@@ -235,6 +246,33 @@ for workers in (1, 2, 4, 8):
                               if serial and rate(serial) else None),
     }
 
+# Obs registry snapshot from the smoke ALL run: the process-cumulative
+# section verbatim, plus per-scenario repair latency (p50/p99 of the
+# repair.explore.latency_ns and scenario.pipeline.latency_ns histograms
+# inside each scenario's snapshot delta) — the repair-as-a-service
+# baseline the ROADMAP asks for.
+metrics_snapshot = {}
+repair_latency = {}
+try:
+    with open(sys.argv[3]) as f:
+        mdoc = json.load(f)
+    metrics_snapshot = mdoc.get("process", {})
+    for scenario, snap in mdoc.get("scenarios", {}).items():
+        hists = snap.get("histograms", {})
+        row = {}
+        for hname, key in (("repair.explore.latency_ns", "explore"),
+                           ("repair.generate.latency_ns", "generate"),
+                           ("repair.backtest.latency_ns", "backtest"),
+                           ("scenario.pipeline.latency_ns", "pipeline")):
+            h = hists.get(hname)
+            if h and h.get("count"):
+                row[key] = {"count": h["count"], "mean_ns": h["mean"],
+                            "p50_ns": h["p50"], "p99_ns": h["p99"]}
+        if row:
+            repair_latency[scenario] = row
+except Exception as e:
+    print(f"  (metrics snapshot unavailable: {e})", file=sys.stderr)
+
 try:
     commit = subprocess.check_output(
         ["git", "-C", os.environ.get("REPO_ROOT", "."), "rev-parse",
@@ -256,6 +294,8 @@ out = {
     "perf_counters": perf_counters,
     "sharded_eval": sharded,
     "durable_log": durable,
+    "repair_latency": repair_latency,
+    "metrics_snapshot": metrics_snapshot,
 }
 with open(out_path, "w") as f:
     json.dump(out, f, indent=2)
@@ -297,6 +337,12 @@ if durable.get("segment_write_mb_per_sec"):
     print(f"  durable log: {durable['segment_write_mb_per_sec']:.1f} MB/s segment write "
           f"({durable['segment_write_inserts_per_sec']:,.0f} inserts/s durable), "
           f"{durable.get('reload_events_per_sec') or 0:,.0f} events/s reload")
+for scenario, row in sorted(repair_latency.items()):
+    ex = row.get("explore")
+    pipe = row.get("pipeline")
+    if ex and pipe:
+        print(f"  repair latency ({scenario}): explore p50 {ex['p50_ns']/1e6:.2f} ms "
+              f"p99 {ex['p99_ns']/1e6:.2f} ms, pipeline p50 {pipe['p50_ns']/1e6:.1f} ms")
 if perf:
     for key, row in perf.items():
         parts = ", ".join(f"{k.replace('_per_tuple','')}={v:,.0f}"

@@ -1,10 +1,38 @@
+// Runs the repair pipeline on one scenario (or ALL) and prints the
+// candidate table. With --metrics-out=FILE also dumps the obs registry as
+// JSON: the full process snapshot plus a per-scenario delta section
+// (snapshot-before vs snapshot-after, the registry's delta() semantics),
+// which is where run_bench.sh reads per-Q repair latency histograms from.
+// --trace-out=FILE appends the drained span trace as JSON lines.
 #include <cstdio>
+#include <string>
+
+#include "obs/obs.h"
+#include "obs/span.h"
 #include "scenarios/pipeline.h"
+
 using namespace mp;
+
 int main(int argc, char** argv) {
-  const char* which = argc > 1 ? argv[1] : "Q1";
+  std::string which = "Q1";
+  std::string metrics_out;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else {
+      which = arg;
+    }
+  }
+
+  std::string scenarios_json;
+  bool first = true;
   for (auto& s : scenario::all_scenarios()) {
-    if (s.id != which && std::string(which) != "ALL") continue;
+    if (s.id != which && which != "ALL") continue;
+    const obs::Snapshot before = obs::Registry::global().snapshot();
     scenario::PipelineOptions opt;
     opt.multiquery = true;
     auto r = scenario::run_pipeline(s, opt);
@@ -17,6 +45,31 @@ int main(int argc, char** argv) {
                   e.candidate.cost, e.ks.statistic,
                   e.candidate.description.c_str());
     }
+    if (!metrics_out.empty()) {
+      const obs::Snapshot after = obs::Registry::global().snapshot();
+      if (!first) scenarios_json += ",\n";
+      first = false;
+      scenarios_json += "    \"" + s.id +
+                        "\": " + obs::to_json(after.delta(before), 0);
+    }
+  }
+
+  if (!metrics_out.empty()) {
+    const std::string out =
+        "{\n  \"process\": " +
+        obs::to_json(obs::Registry::global().snapshot(), 0) +
+        ",\n  \"scenarios\": {\n" + scenarios_json + "\n  }\n}\n";
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  }
+  if (!trace_out.empty() && !obs::write_trace_json(trace_out)) {
+    std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    return 1;
   }
   return 0;
 }
