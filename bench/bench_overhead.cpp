@@ -4,10 +4,12 @@
 // -9.8% throughput, ~120-byte log entries at 11-20 MB/s per switch).
 #include <benchmark/benchmark.h>
 
+#include <cerrno>
 #include <chrono>
 #include <filesystem>
 #include <string>
 
+#include "fault/fault.h"
 #include "ndlog/parser.h"
 #include "perf_counters.h"
 #include "runtime/sharded_engine.h"
@@ -492,6 +494,63 @@ void BM_SegmentWrite(benchmark::State& state) {
   state.counters["events"] = static_cast<double>(engine.segments()->events());
 }
 BENCHMARK(BM_SegmentWrite);
+
+// The same write-side workload with a 1-in-1000 injected fault mix —
+// EINTR on write(2) plus genuine short writes — through the retry loop
+// (src/storage/README.md). The MB/s delta against BM_SegmentWrite is the
+// price of riding out a flaky disk; the store must finish un-degraded.
+// Requires the failpoint sites: the benchmark skips itself unless built
+// with -DMP_FAULTS=ON (tools/run_bench.sh then records the row as
+// `durable_log_faulty` in BENCH_engine.json from the -faults side
+// build's binary).
+void BM_SegmentWriteFaulty(benchmark::State& state) {
+  if (!fault::compiled_in()) {
+    state.SkipWithError("failpoints not compiled in (needs -DMP_FAULTS=ON)");
+    return;
+  }
+  fault::Registry& reg = fault::Registry::global();
+  fault::Policy every;
+  every.mode = fault::Policy::Mode::kEveryK;
+  every.n = 1000;
+  every.error_code = EINTR;
+  reg.configure("storage.segment.write", every);
+  every.error_code = 1;  // trigger only: the site halves the write length
+  reg.configure("storage.segment.short_write", every);
+
+  const std::string dir = "/tmp/mp_bench_segments_write_faulty";
+  std::filesystem::remove_all(dir);
+  eval::EngineOptions opt;
+  opt.max_steps = ~size_t{0} >> 1;
+  // Tighter compaction + a small group buffer than BM_SegmentWrite: the
+  // write path must issue thousands of write(2) calls per run so a
+  // 1-in-1000 per-syscall mix genuinely engages (injected_faults > 0
+  // below); bandwidth is therefore measured at a section-per-flush
+  // cadence, not the big-buffer cadence of the fault-free row.
+  opt.compact_after_events = 512;
+  opt.compact_keep_live = 0;
+  opt.segment_dir = dir;
+  opt.segment_store.group_buffer_bytes = 4096;
+  eval::Engine engine(ndlog::parse_program(kProgram), opt);
+  int64_t src = 0;
+  for (auto _ : state) {
+    eval::Tuple t{"PacketIn",
+                  {Value::str("C"), Value(1), Value(80), Value(src++ % 4096)}};
+    engine.insert(t);
+    benchmark::DoNotOptimize(engine.rule_firings());
+  }
+  engine.log().compact(0);
+  engine.segments()->flush(false);
+  if (engine.segments()->failed()) {
+    state.SkipWithError("store degraded under transient faults");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<int64_t>(engine.segments()->bytes()));
+  state.counters["injected_faults"] = static_cast<double>(
+      reg.fires("storage.segment.write") +
+      reg.fires("storage.segment.short_write"));
+  reg.clear_all();
+}
+BENCHMARK(BM_SegmentWriteFaulty);
 
 // Durable segment store, read side: each iteration is a cold reload — a
 // recovery scan (header + CRC validation of every chunk) followed by a

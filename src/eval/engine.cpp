@@ -44,7 +44,11 @@ Engine::Engine(ndlog::Program program, EngineOptions opt)
   if (!opt_.segment_dir.empty()) {
     segments_ = std::make_unique<storage::SegmentStore>(opt_.segment_dir,
                                                         opt_.segment_store);
-    log_.set_spill(segments_.get());
+    // A store that failed at attach time (unwritable directory) stays
+    // detached: the log keeps in-RAM checkpoints and the condition is
+    // visible via segments()->failed() and the storage.degraded counter.
+    // (Under ErrorPolicy::kFailStop the constructor above threw instead.)
+    if (!segments_->failed()) log_.set_spill(segments_.get());
   }
   compiled_.reserve(program_.rules.size());
   for (const auto& rule : program_.rules) {
@@ -213,7 +217,18 @@ void Engine::dispatch_external(const Tuple& t, TableId tid, TagMask tags,
     return;
   }
   running_ = true;
-  handle_appear(t, tid, tags, cause, ref, nref);
+  try {
+    handle_appear(t, tid, tags, cause, ref, nref);
+  } catch (...) {
+    // An exception can only come from outside the engine proper — an
+    // on_appear callback, a shard hook, or an injected fault. Reset the
+    // re-entrancy flag and drop the queued cascade so the engine stays
+    // usable (consistent-but-partial: this op's remaining effects are
+    // discarded, matching run_queue's unwind path).
+    running_ = false;
+    queue_.clear();
+    throw;
+  }
   running_ = false;
   run_queue();
 }
@@ -279,9 +294,19 @@ void Engine::stage_insert(const Tuple& t, TagMask tags,
   dispatch_external(t, last_id, tags, cause, ref, nref);
 }
 
+// Closes the bulk bracket on unwind so an exception thrown mid-batch (a
+// callback, a shard hook, an injected fault) cannot leak bulk_depth_ and
+// leave stores in deferred-indexing mode forever.
+struct Engine::BulkBracket {
+  Engine& e;
+  explicit BulkBracket(Engine& eng) : e(eng) { e.begin_bulk(); }
+  ~BulkBracket() { e.end_bulk(); }
+};
+
 void Engine::insert_batch(std::span<const Tuple> batch, TagMask tags) {
   if (!opt_.tag_mode) tags = kAllTags;
-  begin_bulk();
+  {
+  BulkBracket bulk(*this);
   const std::string* last_name = nullptr;
   TableId last_id = 0;
   size_t i = 0;
@@ -309,18 +334,19 @@ void Engine::insert_batch(std::span<const Tuple> batch, TagMask tags) {
     stage_insert(batch[i], tags, last_name, last_id);
     ++i;
   }
-  end_bulk();
+  }  // close the bulk bracket before compaction (it needs bulk_depth_ 0)
   maybe_autocompact();
 }
 
 void Engine::insert_batch(std::span<const std::pair<Tuple, TagMask>> batch) {
-  begin_bulk();
-  const std::string* last_name = nullptr;
-  TableId last_id = 0;
-  for (const auto& [t, tags] : batch) {
-    stage_insert(t, opt_.tag_mode ? tags : kAllTags, last_name, last_id);
+  {
+    BulkBracket bulk(*this);
+    const std::string* last_name = nullptr;
+    TableId last_id = 0;
+    for (const auto& [t, tags] : batch) {
+      stage_insert(t, opt_.tag_mode ? tags : kAllTags, last_name, last_id);
+    }
   }
-  end_bulk();
   maybe_autocompact();
 }
 
@@ -470,6 +496,19 @@ void Engine::enqueue_appear(Tuple t, TableId tid, TagMask tags, EventId cause,
 void Engine::run_queue() {
   if (running_) return;  // re-entrant insert from a callback: outer loop drains
   running_ = true;
+  try {
+    run_queue_body();
+  } catch (...) {
+    // See dispatch_external: only foreign code (callbacks, shard hooks,
+    // injected faults) throws through here. Unwind to a usable engine.
+    running_ = false;
+    queue_.clear();
+    throw;
+  }
+  running_ = false;
+}
+
+void Engine::run_queue_body() {
   while (!queue_.empty()) {
     // Columnar lane: two or more consecutive same-table entries at the
     // front (a cascade fan-out). The two-compare guard keeps the singleton
@@ -488,7 +527,6 @@ void Engine::run_queue() {
     handle_appear(p.tuple, p.table_id, p.tags, p.cause, p.ref, p.node_ref);
     release_row(std::move(p.tuple.row));
   }
-  running_ = false;
 }
 
 // --- columnar batched firing --------------------------------------------

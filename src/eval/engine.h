@@ -294,7 +294,12 @@ class Engine {
     TagMask mask = 0;
     Row head;
   };
+  struct BulkBracket;  // RAII begin_bulk/end_bulk (defined in engine.cpp)
   void run_queue();
+  // The drain loop proper; run_queue wraps it in the running_ bracket and
+  // an unwind path (reset + queue discard) for exceptions thrown by
+  // foreign code — callbacks, shard hooks, injected faults.
+  void run_queue_body();
   // Columnar batched firing over a lane of consecutive same-table queue
   // entries (see the comment at the definition). Returns true when it
   // consumed the lane; false = not eligible, caller runs the scalar pop.

@@ -290,18 +290,43 @@ size_t EventLog::compact(size_t keep_live) {
                         node_value(e.node));
     }
   };
-  if (spill_ != nullptr) {
+  if (spill_ != nullptr && !spill_->failed()) {
     table_name_written_.clear();
     rule_name_written_.clear();
     node_written_.clear();
     std::vector<uint8_t> entries;
     std::vector<uint8_t> names;
+    std::vector<size_t> offsets;  // per-entry starts, for the RAM fallback
+    offsets.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       const Event& e = events_[i];
       write_names_for(e, names);
+      offsets.push_back(entries.size());
       serialize(e, entries);
     }
-    spill_->append_section(base_id_, n, entries, names);
+    bool accepted = false;
+    try {
+      accepted = spill_->append_section(base_id_, n, entries, names);
+    } catch (...) {
+      // A fail-stop sink threw from its post-acceptance flush. Acceptance
+      // means the bytes entered the sink (they count toward its events()
+      // and replay from its retained buffer), so reconcile — drop the
+      // now-sink-held prefix — before letting the error surface; a
+      // pre-acceptance throw leaves the events live for a later compact.
+      if (spill_->events() >= base_id_ + n) drop_live_prefix(n);
+      throw;
+    }
+    if (!accepted) {
+      // Sink degraded (sticky failed(), e.g. ENOSPC after retries): fall
+      // back to the in-RAM checkpoint for this and every later section.
+      // The section's names blob is self-contained (dedup was reset
+      // above), so the RAM string table stays complete from here on.
+      const size_t base = ckpt_.size();
+      ckpt_offsets_.reserve(ckpt_offsets_.size() + n);
+      for (size_t off : offsets) ckpt_offsets_.push_back(base + off);
+      ckpt_.insert(ckpt_.end(), entries.begin(), entries.end());
+      ckpt_names_.insert(ckpt_names_.end(), names.begin(), names.end());
+    }
   } else {
     ckpt_offsets_.reserve(ckpt_offsets_.size() + n);
     for (size_t i = 0; i < n; ++i) {
@@ -522,11 +547,14 @@ void EventLog::set_spill(CheckpointSink* sink) {
     // Drain the existing RAM checkpoint into the sink as one section.
     assert(sink->events() == 0 && "cannot merge a RAM checkpoint into a "
                                   "sink that already holds events");
-    spill_->append_section(base_id_ - ckpt_offsets_.size(),
-                           ckpt_offsets_.size(), ckpt_, ckpt_names_);
-    ckpt_.clear();
-    ckpt_offsets_.clear();
-    ckpt_names_.clear();
+    // A sink that rejects the drain (already degraded) keeps the RAM
+    // checkpoint in place — clearing it would lose the events.
+    if (spill_->append_section(base_id_ - ckpt_offsets_.size(),
+                               ckpt_offsets_.size(), ckpt_, ckpt_names_)) {
+      ckpt_.clear();
+      ckpt_offsets_.clear();
+      ckpt_names_.clear();
+    }
   }
   // Recovery continuation: the caller recovered `sink` from disk, replayed
   // it into this engine (re-interning every tuple), and is now attaching

@@ -196,9 +196,17 @@ class CheckpointSink {
   // `names` holds the string-table records the section references (each
   // section is self-contained: the log resets its name dedup per section
   // so a sink may rotate to a new segment file at any section boundary).
-  virtual void append_section(EventId first_id, size_t count,
+  // Returns true iff the sink accepted the section (it then counts toward
+  // events() and replays through replay_raw). A sink that has latched
+  // failed() returns false; compact() then keeps the section in RAM
+  // instead — graceful degradation, no event is lost in-process.
+  virtual bool append_section(EventId first_id, size_t count,
                               std::span<const uint8_t> entries,
                               std::span<const uint8_t> names) = 0;
+  // Sticky terminal-failure latch: once true, every future append_section
+  // returns false and the log stops offering sections (the sink's
+  // existing events stay replayable).
+  virtual bool failed() const { return false; }
   // Streams events [0, events()) in id order; `fn` returns false to stop.
   virtual void replay_raw(
       const std::function<bool(const RawEvent&)>& fn) const = 0;

@@ -1,0 +1,99 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "util/rng.h"
+
+namespace mp::fault {
+
+struct Registry::Impl {
+  struct Point {
+    Policy policy;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+    Rng rng{1};
+  };
+  mutable std::mutex mu;
+  // std::map: iteration is already name-sorted for points(), and node
+  // stability means nothing here is performance-sensitive (fault builds
+  // only).
+  std::map<std::string, Point> points;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry;  // leaked: usable during static dtors
+  return *r;
+}
+
+void Registry::configure(const std::string& name, Policy policy) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Impl::Point& pt = impl_->points[name];
+  pt.policy = policy;
+  pt.hits = 0;
+  pt.fires = 0;
+  pt.rng = Rng{policy.seed};
+}
+
+void Registry::clear(const std::string& name) { configure(name, Policy{}); }
+
+void Registry::clear_all() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->points.clear();
+}
+
+int Registry::hit(const char* name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Impl::Point& pt = impl_->points[name];
+  ++pt.hits;
+  bool fire = false;
+  switch (pt.policy.mode) {
+    case Policy::Mode::kOff:
+      break;
+    case Policy::Mode::kNth:
+      fire = pt.hits == pt.policy.n;
+      break;
+    case Policy::Mode::kEveryK:
+      fire = pt.policy.n != 0 && pt.hits % pt.policy.n == 0;
+      break;
+    case Policy::Mode::kOneShot:
+      fire = pt.fires == 0;
+      break;
+    case Policy::Mode::kAlways:
+      fire = true;
+      break;
+    case Policy::Mode::kRandom:
+      fire = pt.rng.chance(pt.policy.probability);
+      break;
+  }
+  if (!fire) return 0;
+  ++pt.fires;
+  return pt.policy.error_code;
+}
+
+std::vector<PointStats> Registry::points() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<PointStats> out;
+  out.reserve(impl_->points.size());
+  for (const auto& [name, pt] : impl_->points) {
+    out.push_back(PointStats{name, pt.hits, pt.fires});
+  }
+  return out;
+}
+
+uint64_t Registry::fires(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(name);
+  return it == impl_->points.end() ? 0 : it->second.fires;
+}
+
+uint64_t Registry::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(name);
+  return it == impl_->points.end() ? 0 : it->second.hits;
+}
+
+}  // namespace mp::fault

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "obs/span.h"
 #include "util/threads.h"
@@ -25,11 +26,17 @@ ShardedEngine::ShardedEngine(const ndlog::Program& program, ShardPlan plan,
     // the round barrier — no lane is ever touched from two threads.
     hooks.forward = [this, s](eval::Tuple t, eval::TagMask tags,
                               eval::EventId send_event) {
+      // Fires mid-evaluation (deep inside the shard engine's cascade):
+      // the InjectedFault unwinds through Engine::run_queue — which
+      // resets itself to a usable state — into the round guard, which
+      // discards this round's effects shard-locally.
+      MP_FAILPOINT_THROW("runtime.mailbox.enqueue");
       const uint32_t dst = plan_.shard_of(t.location());
       shards_[s].outbox[dst].push_back(Message{
           Message::Kind::Deliver, std::move(t), tags, s, send_event});
     };
     hooks.forward_retract = [this, s](eval::Tuple head) {
+      MP_FAILPOINT_THROW("runtime.mailbox.enqueue");
       const uint32_t dst = plan_.shard_of(head.location());
       shards_[s].outbox[dst].push_back(Message{
           Message::Kind::Unsupport, std::move(head), 0, s, eval::kNoEvent});
@@ -72,6 +79,14 @@ void ShardedEngine::remove_batch(std::span<const eval::Tuple> batch) {
 }
 
 ShardedEngine::~ShardedEngine() { publish_obs(); }
+
+void ShardedEngine::discard_pending() {
+  for (Shard& sh : shards_) {
+    sh.staged.clear();
+    sh.inbox.clear();
+    for (std::vector<Message>& lane : sh.outbox) lane.clear();
+  }
+}
 
 ShardMetrics ShardedEngine::merged_metrics() const {
   ShardMetrics m;
@@ -133,16 +148,26 @@ void ShardedEngine::publish_obs() {
 
 void ShardedEngine::run_shard_round(Shard& sh, uint64_t round) {
   const uint64_t t0 = obs::now_ns();
+  // Fires before any effect of the round is applied: the cleanly
+  // retryable failure mode (worker stillborn at round entry).
+  MP_FAILPOINT_THROW("runtime.round.begin");
   eval::Engine& e = *sh.engine;
   // The whole round runs inside one bulk bracket: per-tuple application
   // (the merge needs the log position between tuples) with insert_batch's
-  // deferred-index amortization.
-  e.begin_batch();
+  // deferred-index amortization. RAII so an exception unwinding out of
+  // the round closes the bracket (end_batch) instead of leaving the
+  // shard engine in deferred-indexing mode.
+  struct BatchBracket {
+    eval::Engine& e;
+    explicit BatchBracket(eval::Engine& eng) : e(eng) { e.begin_batch(); }
+    ~BatchBracket() { e.end_batch(); }
+  } bracket(e);
   if (!sh.staged.empty()) {
     // Staged external ops, in stream order, one span per op so the
     // canonical merge can interleave shards back into stream order.
     for (StagedOp& op : sh.staged) {
       sh.spans.push_back(Span{round, op.gseq, e.log().size()});
+      sh.round_work_begun = true;
       if (op.is_insert) {
         e.insert(op.tuple, op.tags);
       } else {
@@ -152,11 +177,15 @@ void ShardedEngine::run_shard_round(Shard& sh, uint64_t round) {
     sh.staged.clear();
   }
   if (!sh.inbox.empty()) {
+    // Fires before the drain touches the engine: with no staged ops this
+    // round is still cleanly retryable (the inbox is intact).
+    MP_FAILPOINT_THROW("runtime.mailbox.dequeue");
     sh.metrics.messages_in += sh.inbox.size();
     sh.metrics.max_inbox_depth =
         std::max<uint64_t>(sh.metrics.max_inbox_depth, sh.inbox.size());
     sh.spans.push_back(Span{round, 0, e.log().size()});
     for (Message& m : sh.inbox) {
+      sh.round_work_begun = true;
       if (m.kind == Message::Kind::Deliver) {
         const eval::EventId recv =
             e.receive_remote(std::move(m.tuple), m.tags);
@@ -169,10 +198,46 @@ void ShardedEngine::run_shard_round(Shard& sh, uint64_t round) {
     }
     sh.inbox.clear();
   }
-  e.end_batch();
   sh.round_busy_ns = obs::now_ns() - t0;
   sh.metrics.busy_ns += sh.round_busy_ns;
   ++sh.metrics.rounds;
+}
+
+void ShardedEngine::run_shard_round_guarded(size_t s, uint64_t round) {
+  Shard& sh = shards_[s];
+  // Pre-round snapshot of the shard-local effect sinks: a failed attempt
+  // truncates back to these, so no half-round span, cross-link or outbox
+  // message survives into the merge or the next barrier swap.
+  const size_t spans0 = sh.spans.size();
+  const size_t links0 = sh.links.size();
+  std::vector<size_t> outbox0(sh.outbox.size());
+  for (size_t d = 0; d < sh.outbox.size(); ++d) outbox0[d] = sh.outbox[d].size();
+  for (size_t attempt = 0;; ++attempt) {
+    sh.round_work_begun = false;
+    try {
+      run_shard_round(sh, round);
+      return;
+    } catch (...) {
+      sh.spans.resize(spans0);
+      sh.links.resize(links0);
+      for (size_t d = 0; d < sh.outbox.size(); ++d) {
+        if (sh.outbox[d].size() > outbox0[d]) sh.outbox[d].resize(outbox0[d]);
+      }
+      sh.round_busy_ns = 0;
+      // Retry only a round that failed before applying any engine work
+      // (its staged ops and inbox are untouched): re-running a mid-round
+      // failure would double-apply the prefix that already ran.
+      if (!sh.round_work_begun && attempt < opt_.round_retries) {
+        if (obs::enabled()) {
+          obs::Registry::global().counter("runtime.sharded.round_retries")
+              .inc();
+        }
+        continue;
+      }
+      sh.error = std::current_exception();
+      return;
+    }
+  }
 }
 
 void ShardedEngine::run_to_quiescence() {
@@ -195,15 +260,33 @@ void ShardedEngine::run_to_quiescence() {
     const uint64_t round_t0 = obs::now_ns();
     if (opt_.parallel && active.size() > 1 &&
         pending >= opt_.min_parallel_work) {
+      // The guarded runner never throws: a worker's exception is stashed
+      // per shard and rethrown below, AFTER every worker has joined at
+      // the barrier — a mid-round failure can neither deadlock the
+      // barrier nor leak a joinable thread.
       std::vector<std::function<void()>> thunks;
       thunks.reserve(active.size());
       for (size_t s : active) {
         thunks.push_back(
-            [this, s, round] { run_shard_round(shards_[s], round); });
+            [this, s, round] { run_shard_round_guarded(s, round); });
       }
       run_thunks_parallel(std::move(thunks));
     } else {
-      for (size_t s : active) run_shard_round(shards_[s], round);
+      for (size_t s : active) run_shard_round_guarded(s, round);
+    }
+    // Post-barrier failure check: rethrow the first failed shard's
+    // exception (by shard index — deterministic regardless of thread
+    // timing) after discarding ALL pending work, so the engine is
+    // quiescent and fully usable when the exception surfaces.
+    std::exception_ptr err;
+    for (Shard& sh : shards_) {
+      if (sh.error != nullptr && err == nullptr) err = sh.error;
+      sh.error = nullptr;
+    }
+    if (err != nullptr) {
+      discard_pending();
+      ++rounds_;
+      std::rethrow_exception(err);
     }
     // Barrier wait: the slice of the round's wall time a shard spent
     // blocked on its peers (wall minus its own busy time).

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <span>
@@ -57,6 +58,13 @@ struct ShardedOptions {
   // the identical schedule, so this is a pure latency knob.
   size_t min_parallel_work = 64;
   size_t max_rounds = 1'000'000;  // guard against runaway message cycles
+  // A shard round that throws BEFORE applying any engine work (its staged
+  // ops and inbox are still intact) is retried up to this many times; a
+  // mid-round throw — or an exhausted budget — discards the round's
+  // effects shard-locally and rethrows cleanly after the barrier (no
+  // deadlock, no leaked joinable threads; all shards' pending work is
+  // dropped so the engine stays quiescent and usable).
+  size_t round_retries = 0;
 };
 
 // Per-shard scheduler metrics, accumulated by the owning worker between
@@ -187,11 +195,25 @@ class ShardedEngine {
     ShardMetrics metrics;
     ShardMetrics published;      // baseline for delta publication
     uint64_t round_busy_ns = 0;  // busy time of the round in flight
+    // Barrier-failure state (see run_shard_round_guarded): the stashed
+    // exception of a failed round, and whether the round applied any
+    // engine work before throwing (false = cleanly retryable).
+    std::exception_ptr error;
+    bool round_work_begun = false;
   };
 
   void stage(bool is_insert, const eval::Tuple& t, eval::TagMask tags);
   void run_to_quiescence();
   void run_shard_round(Shard& sh, uint64_t round);
+  // Wraps run_shard_round for the barrier: never throws. On an exception
+  // it rolls the shard's round-local effects back (spans/links/outbox to
+  // their pre-round lengths), retries per opt_.round_retries when no
+  // engine work had begun, and otherwise stashes the exception in
+  // Shard::error for run_to_quiescence to rethrow after the barrier.
+  void run_shard_round_guarded(size_t s, uint64_t round);
+  // Drops every shard's staged ops, inbox and outbox lanes (the cleanup
+  // before a barrier rethrow: the engine returns to quiescence).
+  void discard_pending();
 
   ShardPlan plan_;
   ShardedOptions opt_;

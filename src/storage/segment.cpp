@@ -67,26 +67,41 @@ SegmentReader::SegmentReader(const std::string& path) {
   validate();
 }
 
+SegmentReader::SegmentReader(const uint8_t* data, size_t size,
+                             uint64_t fallback_first_id)
+    : mem_view_(true), first_id_(fallback_first_id), data_(data),
+      size_(size) {
+  validate();
+}
+
 SegmentReader::~SegmentReader() {
-  if (data_ != nullptr) {
+  if (data_ != nullptr && !mem_view_) {
     ::munmap(const_cast<uint8_t*>(data_), size_);
   }
 }
 
 void SegmentReader::validate() {
-  if (size_ < kFileHeaderBytes ||
-      std::memcmp(data_, kFileMagic, sizeof(kFileMagic)) != 0 ||
-      ckpt::get_u16(data_ + 6) != kFormatVersion) {
-    return;
+  const bool has_header =
+      size_ >= kFileHeaderBytes &&
+      std::memcmp(data_, kFileMagic, sizeof(kFileMagic)) == 0;
+  if (has_header) {
+    if (ckpt::get_u16(data_ + 6) != kFormatVersion) return;
+    first_id_ = ckpt::get_u64(data_ + 8);
+    begin_ = kFileHeaderBytes;
+  } else if (mem_view_) {
+    // A headerless RAM stream (mid-segment group buffer): chunks start at
+    // offset 0 and first_id_ keeps the caller's fallback.
+    begin_ = 0;
+  } else {
+    return;  // files must open with a header
   }
   ok_ = true;
-  first_id_ = ckpt::get_u64(data_ + 8);
-  valid_bytes_ = kFileHeaderBytes;
+  valid_bytes_ = begin_;
   // Walk chunks; the valid prefix ends at the first torn or out-of-place
   // chunk. valid_bytes_ only advances past a complete section (its
   // entries chunk): a trailing lone names chunk carries no events and is
   // dropped with the tail.
-  size_t pos = kFileHeaderBytes;
+  size_t pos = begin_;
   while (pos + kChunkHeaderBytes <= size_) {
     const uint8_t* h = data_ + pos;
     if (ckpt::get_u32(h) != kChunkMagic) break;
@@ -125,7 +140,7 @@ size_t SegmentReader::for_each(
   Row row;
   std::vector<eval::EventId> causes;
   size_t visited = 0;
-  size_t pos = kFileHeaderBytes;
+  size_t pos = begin_;
   while (pos + kChunkHeaderBytes <= valid_bytes_) {
     const uint8_t* h = data_ + pos;
     const uint8_t kind = h[4];

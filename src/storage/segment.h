@@ -74,6 +74,14 @@ void append_chunk_header(std::vector<uint8_t>& out, uint8_t kind,
 class SegmentReader {
  public:
   explicit SegmentReader(const std::string& path);
+  // In-memory view (no mmap, nothing owned): decodes a chunk stream held
+  // in RAM — how a degraded store replays its retained group buffer
+  // (SegmentStore::replay_raw). If `data` begins with a segment file
+  // header it is parsed normally; otherwise the stream is taken to start
+  // at a chunk boundary with `fallback_first_id` as its first event id
+  // (the buffer of a mid-segment flush carries no header). `data` must
+  // outlive the reader.
+  SegmentReader(const uint8_t* data, size_t size, uint64_t fallback_first_id);
   ~SegmentReader();
   SegmentReader(const SegmentReader&) = delete;
   SegmentReader& operator=(const SegmentReader&) = delete;
@@ -97,9 +105,11 @@ class SegmentReader {
   void validate();
 
   bool ok_ = false;
+  bool mem_view_ = false;  // borrowed RAM stream: no munmap, header optional
   uint64_t first_id_ = 0;
   size_t events_ = 0;
   size_t valid_bytes_ = 0;
+  size_t begin_ = kFileHeaderBytes;  // offset of the first chunk
   const uint8_t* data_ = nullptr;  // mmap base (nullptr if open failed)
   size_t size_ = 0;
 };

@@ -7,10 +7,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
 #include "eval/ckpt_format.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace mp::storage {
@@ -19,7 +22,8 @@ namespace fs = std::filesystem;
 
 namespace {
 
-// storage.segment.* instruments (process-cumulative across stores).
+// storage.segment.* instruments (process-cumulative across stores), plus
+// the storage.{write_errors,retries,degraded} error surface.
 // Registered once; relaxed-atomic adds after that.
 struct SegmentObs {
   obs::Counter& bytes_written;
@@ -29,6 +33,9 @@ struct SegmentObs {
   obs::Counter& sections;
   obs::Counter& recovered_events;
   obs::Counter& dropped_bytes;
+  obs::Counter& write_errors;
+  obs::Counter& retries;
+  obs::Counter& degraded;
   static SegmentObs& get() {
     obs::Registry& r = obs::Registry::global();
     static SegmentObs o{r.counter("storage.segment.bytes_written"),
@@ -37,7 +44,10 @@ struct SegmentObs {
                         r.counter("storage.segment.rotations"),
                         r.counter("storage.segment.sections"),
                         r.counter("storage.segment.recovered_events"),
-                        r.counter("storage.segment.dropped_bytes")};
+                        r.counter("storage.segment.dropped_bytes"),
+                        r.counter("storage.write_errors"),
+                        r.counter("storage.retries"),
+                        r.counter("storage.degraded")};
     return o;
   }
 };
@@ -48,31 +58,78 @@ std::string segment_path(const std::string& dir, size_t seq) {
   return dir + "/" + name;
 }
 
-void write_all(int fd, const uint8_t* p, size_t n) {
-  while (n > 0) {
-    const ssize_t w = ::write(fd, p, n);
-    if (w <= 0) {
-      if (w < 0 && errno == EINTR) continue;
-      assert(false && "segment write failed");
-      return;
-    }
-    p += static_cast<size_t>(w);
-    n -= static_cast<size_t>(w);
+// Syscall wrappers carrying the failpoints (fault builds only; the
+// macros are the literal 0 otherwise and the branches fold away).
+// "storage.segment.short_write" genuinely writes half the request — the
+// caller must cope with real partial progress, not a simulated flag.
+ssize_t fp_write(int fd, const uint8_t* p, size_t n) {
+  if (const int ec = MP_FAILPOINT("storage.segment.write")) {
+    errno = ec;
+    return -1;
   }
+  if (MP_FAILPOINT("storage.segment.short_write") != 0 && n > 1) {
+    n /= 2;
+  }
+  return ::write(fd, p, n);
+}
+
+int fp_fsync(int fd) {
+  if (const int ec = MP_FAILPOINT("storage.segment.fsync")) {
+    errno = ec;
+    return -1;
+  }
+  return ::fsync(fd);
+}
+
+int fp_open(const char* path, int flags, mode_t mode) {
+  if (const int ec = MP_FAILPOINT("storage.segment.open")) {
+    errno = ec;
+    return -1;
+  }
+  return ::open(path, flags, mode);
+}
+
+bool transient_errno(int err) {
+  return err == EAGAIN || err == EWOULDBLOCK;
 }
 
 }  // namespace
 
 SegmentStore::SegmentStore(std::string dir, SegmentStoreOptions opt)
     : dir_(std::move(dir)), opt_(opt) {
+  if (const int ec = MP_FAILPOINT("storage.segment.mkdir")) {
+    fail(Status(StatusCode::kIoError, "create segment dir " + dir_, ec));
+    return;
+  }
   std::error_code ec;
   fs::create_directories(dir_, ec);
+  if (!fs::is_directory(dir_)) {
+    // Unwritable parent, or a regular file squatting on the path: the
+    // store latches failed() at attach time (or throws under kFailStop)
+    // and stays an inert, interrogable object.
+    fail(Status(StatusCode::kIoError, "create segment dir " + dir_,
+                ec.value() != 0 ? ec.value() : ENOTDIR));
+    return;
+  }
   recover();
 }
 
 SegmentStore::~SegmentStore() {
-  flush(opt_.fsync != FsyncPolicy::kNever);
+  try {
+    flush(opt_.fsync != FsyncPolicy::kNever);
+  } catch (const IoError&) {
+    // kFailStop stores throw on the failing call, but never from here.
+  }
   if (fd_ >= 0) ::close(fd_);
+}
+
+void SegmentStore::fail(Status s) const {
+  if (!failed_) {
+    failed_ = true;
+    status_ = std::move(s);
+    if (obs::enabled()) SegmentObs::get().degraded.inc();
+  }
+  if (opt_.on_error == ErrorPolicy::kFailStop) throw IoError(status_);
 }
 
 void SegmentStore::recover() {
@@ -93,7 +150,8 @@ void SegmentStore::recover() {
     SegmentReader r(paths[i]);
     // A segment must pick up exactly where the previous one ended; a bad
     // header or an id gap means this file (and everything after it) holds
-    // nothing recoverable.
+    // nothing recoverable. A zero-length file (crash between open and the
+    // first header write) lands here too: !ok(), dropped below.
     if (!r.ok() || r.first_id() != events_) break;
     if (r.valid_bytes() < r.file_bytes()) {
       // Torn tail: truncate to the durable prefix. Later files cannot be
@@ -116,40 +174,126 @@ void SegmentStore::recover() {
     fs::remove(paths[i], rm_ec);
   }
   recovered_events_ = events_;
+  buffer_first_id_ = events_;
   if (obs::enabled()) {
     SegmentObs::get().recovered_events.add(recovered_events_);
     SegmentObs::get().dropped_bytes.add(dropped_bytes_);
   }
 }
 
-void SegmentStore::open_new_segment() {
+bool SegmentStore::open_new_segment() {
   assert(buffer_.empty());
   const std::string path = segment_path(dir_, segments_.size());
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  assert(fd_ >= 0 && "cannot create segment file");
+  fd_ = fp_open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    fail(Status(StatusCode::kIoError, "create segment " + path, errno));
+    return false;
+  }
   segments_.push_back(SegmentMeta{path, events_, 0, 0});
+  buffer_first_id_ = events_;
   // File header goes through the group buffer like everything else.
   buffer_.insert(buffer_.end(), kFileMagic, kFileMagic + sizeof(kFileMagic));
   eval::ckpt::put_u16(buffer_, kFormatVersion);
   eval::ckpt::put_u64(buffer_, events_);
+  return true;
 }
 
-void SegmentStore::open_last_for_append() {
-  fd_ = ::open(segments_.back().path.c_str(), O_WRONLY | O_APPEND);
-  assert(fd_ >= 0 && "cannot reopen segment for append");
+bool SegmentStore::open_last_for_append() {
+  fd_ = fp_open(segments_.back().path.c_str(), O_WRONLY | O_APPEND, 0);
+  if (fd_ < 0) {
+    fail(Status(StatusCode::kIoError,
+                "reopen segment " + segments_.back().path, errno));
+    return false;
+  }
+  return true;
 }
 
 void SegmentStore::rotate() {
   flush(opt_.fsync != FsyncPolicy::kNever);
+  // A failed flush aborts the rotation: the retained buffer belongs to
+  // the current segment (the buffer must never span a segment boundary).
+  if (failed_) return;
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
-  open_new_segment();
+  if (!open_new_segment()) return;
   if (obs::enabled()) SegmentObs::get().rotations.inc();
 }
 
+Status SegmentStore::write_all(int fd, const uint8_t* p, size_t n) const {
+  uint32_t attempts = 0;
+  uint32_t backoff = opt_.backoff_initial_us;
+  while (n > 0) {
+    const ssize_t w = fp_write(fd, p, n);
+    if (w > 0) {
+      // A short write is not an error: advance past what landed and keep
+      // going, with a fresh retry budget (progress was made).
+      p += static_cast<size_t>(w);
+      n -= static_cast<size_t>(w);
+      attempts = 0;
+      backoff = opt_.backoff_initial_us;
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;  // always retried, never counted
+    const int err = w < 0 ? errno : 0;  // w == 0: no progress, no errno
+    ++write_errors_;
+    if (obs::enabled()) SegmentObs::get().write_errors.inc();
+    if (w < 0 && !transient_errno(err)) {
+      return Status(err == ENOSPC ? StatusCode::kNoSpace
+                                  : StatusCode::kIoError,
+                    "write " + segments_.back().path, err);
+    }
+    if (attempts >= opt_.max_retries) {
+      return Status(StatusCode::kRetryExhausted,
+                    "write " + segments_.back().path, err);
+    }
+    ++attempts;
+    ++retries_;
+    if (obs::enabled()) SegmentObs::get().retries.inc();
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    }
+    backoff = std::min(backoff * 2, opt_.backoff_cap_us);
+  }
+  return Status();
+}
+
+Status SegmentStore::fsync_with_retry(int fd) const {
+  uint32_t attempts = 0;
+  uint32_t backoff = opt_.backoff_initial_us;
+  while (fp_fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    ++write_errors_;
+    if (obs::enabled()) SegmentObs::get().write_errors.inc();
+    if (!transient_errno(errno) || attempts >= opt_.max_retries) {
+      return Status(errno == ENOSPC ? StatusCode::kNoSpace
+                                    : StatusCode::kIoError,
+                    "fsync " + segments_.back().path, errno);
+    }
+    ++attempts;
+    ++retries_;
+    if (obs::enabled()) SegmentObs::get().retries.inc();
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    }
+    backoff = std::min(backoff * 2, opt_.backoff_cap_us);
+  }
+  return Status();
+}
+
 void SegmentStore::flush(bool sync) const {
+  // Sticky: once failed, the buffer is the accepted-but-not-durable tail
+  // and must be RETAINED — replay_raw decodes it in place, and clearing
+  // it would lose accepted events in-process.
+  if (failed_) return;
   if (!buffer_.empty() && fd_ >= 0) {
-    write_all(fd_, buffer_.data(), buffer_.size());
+    Status st = write_all(fd_, buffer_.data(), buffer_.size());
+    if (!st.ok()) {
+      // The file may hold a partial copy of the buffer (complete sections
+      // included); disk accounting stays conservative and replay dedups
+      // by event id.
+      fail(std::move(st));
+      return;
+    }
     disk_bytes_ += buffer_.size();
     const_cast<SegmentStore*>(this)->segments_.back().flushed_bytes +=
         buffer_.size();
@@ -158,24 +302,28 @@ void SegmentStore::flush(bool sync) const {
       SegmentObs::get().flushes.inc();
     }
     buffer_.clear();
+    buffer_first_id_ = events_;
   }
   if (sync && fd_ >= 0) {
-    ::fsync(fd_);
+    Status st = fsync_with_retry(fd_);
+    if (!st.ok()) {
+      fail(std::move(st));
+      return;
+    }
     if (obs::enabled()) SegmentObs::get().fsyncs.inc();
   }
 }
 
-void SegmentStore::append_section(eval::EventId first_id, size_t count,
+bool SegmentStore::append_section(eval::EventId first_id, size_t count,
                                   std::span<const uint8_t> entries,
                                   std::span<const uint8_t> names) {
+  if (failed_) return false;
   assert(first_id == events_ && "sections must arrive in id order");
   (void)first_id;
   if (fd_ < 0) {
-    if (segments_.empty()) {
-      open_new_segment();
-    } else {
-      open_last_for_append();
-    }
+    const bool opened =
+        segments_.empty() ? open_new_segment() : open_last_for_append();
+    if (!opened) return false;  // nothing buffered; failed() latched
   }
   const size_t incoming =
       2 * kChunkHeaderBytes + entries.size() + names.size();
@@ -186,7 +334,9 @@ void SegmentStore::append_section(eval::EventId first_id, size_t count,
       segments_.back().flushed_bytes + buffer_.size() + incoming >
           opt_.rotate_bytes) {
     rotate();
+    if (failed_) return false;
   }
+  if (buffer_.empty()) buffer_first_id_ = events_;
   append_chunk_header(buffer_, kChunkNames, events_,
                       0, names.data(), static_cast<uint32_t>(names.size()));
   buffer_.insert(buffer_.end(), names.begin(), names.end());
@@ -197,27 +347,48 @@ void SegmentStore::append_section(eval::EventId first_id, size_t count,
   segments_.back().events += count;
   events_ += count;
   if (obs::enabled()) SegmentObs::get().sections.inc();
+  // The section is accepted from here on: its bytes are in the buffer. A
+  // flush failure below latches failed() (or throws, kFailStop) but does
+  // not un-accept — the retained buffer keeps the events replayable.
   if (opt_.fsync == FsyncPolicy::kOnAppend) {
     flush(true);
   } else if (buffer_.size() >= opt_.group_buffer_bytes) {
     flush(false);
   }
+  return true;
 }
 
 void SegmentStore::replay_raw(
     const std::function<bool(const eval::RawEvent&)>& fn) const {
   flush(false);  // readers mmap the files; pending bytes must be visible
+  // `next` is the only id accepted: duplicates below it (a partially
+  // flushed buffer re-decoded from RAM) are skipped, and a gap above it
+  // (a segment deleted out from under the store) ends the replay at the
+  // contiguous prefix instead of replaying a hole.
+  uint64_t next = 0;
+  bool stopped = false;
+  auto emit = [&](const eval::RawEvent& re) {
+    if (re.id < next) return true;
+    if (re.id != next) return false;
+    ++next;
+    if (!fn(re)) {
+      stopped = true;
+      return false;
+    }
+    return true;
+  };
   for (const SegmentMeta& meta : segments_) {
-    bool stopped = false;
     SegmentReader r(meta.path);
-    r.for_each([&](const eval::RawEvent& re) {
-      if (!fn(re)) {
-        stopped = true;
-        return false;
-      }
-      return true;
-    });
+    if (!r.ok() || r.first_id() > next) break;
+    r.for_each(emit);
     if (stopped) return;
+  }
+  if (failed_ && !buffer_.empty()) {
+    // Degraded store: the retained group buffer holds the accepted tail
+    // that never became durable. Decode it in place (it may or may not
+    // start with a file header, depending on where the failure hit).
+    SegmentReader r(buffer_.data(), buffer_.size(), buffer_first_id_);
+    r.for_each(emit);
   }
 }
 

@@ -1,0 +1,65 @@
+// Minimal error surface for components that can fail in production
+// (today: the durable segment store's I/O path). Deliberately tiny — a
+// code, the failing syscall's errno, and a human-readable message — not
+// a general result<T> framework: the storage layer reports failure
+// through a sticky Status latch (SegmentStore::status()), and callers
+// that want exceptions get storage::IoError wrapping the same Status.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace mp {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kIoError,         // open/write failed with a non-transient errno
+  kNoSpace,         // ENOSPC: retrying cannot help
+  kRetryExhausted,  // a transient error persisted past the retry budget
+  kUnavailable,     // the component latched failed() earlier (sticky)
+};
+
+inline const char* to_string(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kNoSpace: return "NO_SPACE";
+    case StatusCode::kRetryExhausted: return "RETRY_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message, int sys_errno = 0)
+      : code_(code), sys_errno_(sys_errno), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  int sys_errno() const { return sys_errno_; }
+  const std::string& message() const { return message_; }
+
+  // "IO_ERROR: write seg-000001.mpseg: No space left on device (errno 28)"
+  std::string to_string() const {
+    if (ok()) return "OK";
+    std::string out = mp::to_string(code_);
+    out += ": ";
+    out += message_;
+    if (sys_errno_ != 0) {
+      out += ": ";
+      out += std::strerror(sys_errno_);
+      out += " (errno " + std::to_string(sys_errno_) + ")";
+    }
+    return out;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  int sys_errno_ = 0;
+  std::string message_;
+};
+
+}  // namespace mp

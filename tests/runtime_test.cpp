@@ -9,9 +9,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <map>
 #include <set>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "backtest/backtester.h"
@@ -22,6 +25,7 @@
 #include "sdn/topology.h"
 #include "sdn/traffic.h"
 #include "test_util.h"
+#include "util/threads.h"
 
 namespace mp::runtime {
 namespace {
@@ -329,6 +333,48 @@ TEST(ShardedScenarios, AllFiveScenariosRunShardedWithEqualTables) {
     EXPECT_EQ(table_multisets(se), table_multisets(serial));
     EXPECT_EQ(se.rule_firings(), serial.rule_firings());
   }
+}
+
+// The fork/join primitive under the round barrier (util/threads.h): a
+// thunk throwing while its peers are still mid-flight must not leak a
+// joinable thread or lose the exception — every peer runs to completion,
+// all threads join, and exactly one exception (the first captured)
+// resurfaces on the calling thread. The sharded scheduler's no-deadlock
+// guarantee under injected round faults (tests/fault_test.cpp) rests on
+// this contract.
+TEST(RunThunksParallel, ThrowingThunkStillJoinsAllPeersAndRethrows) {
+  constexpr size_t kThunks = 4;
+  std::atomic<size_t> started{0};
+  std::atomic<size_t> finished{0};
+  std::vector<std::function<void()>> thunks;
+  for (size_t i = 0; i < kThunks; ++i) {
+    thunks.push_back([&started, &finished, i] {
+      started.fetch_add(1);
+      // Everyone waits for everyone: the throw below provably happens
+      // while all peers are live, not before they were spawned.
+      while (started.load() < kThunks) std::this_thread::yield();
+      if (i == 1) throw std::runtime_error("boom from thunk 1");
+      finished.fetch_add(1);
+    });
+  }
+  try {
+    run_thunks_parallel(std::move(thunks));
+    FAIL() << "the thunk's exception must resurface on the caller";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom from thunk 1");
+  }
+  // Reaching here at all proves every worker joined (an unjoined
+  // std::thread would have aborted the process); the non-throwing peers
+  // all ran to completion despite the failure.
+  EXPECT_EQ(finished.load(), kThunks - 1);
+
+  // Several thunks throwing concurrently: exactly one exception
+  // surfaces and the call still returns (joins) cleanly.
+  std::vector<std::function<void()>> all_throw;
+  for (size_t i = 0; i < kThunks; ++i) {
+    all_throw.push_back([] { throw std::runtime_error("many"); });
+  }
+  EXPECT_THROW(run_thunks_parallel(std::move(all_throw)), std::runtime_error);
 }
 
 }  // namespace

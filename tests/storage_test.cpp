@@ -526,5 +526,130 @@ TEST(SegmentStore, RecoveryDropsUnreachableLaterSegments) {
   EXPECT_FALSE(fs::exists(dir + "/seg-000001.mpseg"));
 }
 
+TEST(SegmentStore, UnusableDirectoryLatchesFailedAtAttach) {
+  // A regular file squatting on the segment-dir path (the portable stand-
+  // in for an unwritable parent — chmod is a no-op for root, which CI
+  // runs as): create_directories cannot win, and the store must come up
+  // as an inert failed() object instead of crashing or asserting.
+  const std::string parent = fresh_dir("squat");
+  const std::string path = parent + "/segs";
+  { std::ofstream(path) << "not a directory"; }
+
+  SegmentStore store(path, SegmentStoreOptions{});  // kDegrade default
+  EXPECT_TRUE(store.failed());
+  EXPECT_FALSE(store.status().ok());
+  EXPECT_EQ(store.events(), 0u);
+  // Inert but safe to poke: appends are rejected, replay yields nothing,
+  // flush is a no-op.
+  std::vector<uint8_t> none;
+  EXPECT_FALSE(store.append_section(0, 0, none, none));
+  size_t replayed = 0;
+  store.replay_raw([&](const eval::RawEvent&) {
+    ++replayed;
+    return true;
+  });
+  EXPECT_EQ(replayed, 0u);
+  store.flush(true);
+
+  // kFailStop: the same condition surfaces as IoError from the ctor.
+  SegmentStoreOptions strict;
+  strict.on_error = ErrorPolicy::kFailStop;
+  EXPECT_THROW(SegmentStore(path, strict), IoError);
+
+  // An engine handed the unusable path degrades to RAM checkpoints and
+  // keeps its full event sequence.
+  eval::EngineOptions opt;
+  opt.segment_dir = path;
+  eval::Engine e(ndlog::parse_program("table T/2.\n"), opt);
+  ASSERT_NE(e.segments(), nullptr);
+  EXPECT_TRUE(e.segments()->failed());
+  for (int i = 0; i < 20; ++i) e.insert(eval::Tuple{"T", {Value(i), Value(i)}});
+  const size_t logged = e.log().size();
+  ASSERT_GE(logged, 20u);
+  e.log().compact(0);
+  EXPECT_EQ(e.log().size(), logged);
+  EXPECT_EQ(e.log().live_size(), 0u);
+  size_t seen = 0;
+  e.log().for_each_event([&](const eval::Event&) { ++seen; });
+  EXPECT_EQ(seen, logged);
+}
+
+TEST(SegmentStore, SegmentDeletedUnderOpenReaderStaysReadable) {
+  const std::string dir = fresh_dir("unlinked");
+  {
+    eval::Engine e = make_toy(dir, FsyncPolicy::kNever, 1 << 10);
+    for (int i = 0; i < 300; ++i) {
+      e.insert(eval::Tuple{"T", {Value(i), Value(i)}});
+      if (i % 30 == 29) e.log().compact(0);
+    }
+    ASSERT_GT(e.segments()->segment_count(), 2u);
+  }
+  SegmentStore store(dir, SegmentStoreOptions{});
+  const size_t total = store.events();
+  SegmentReader first(dir + "/seg-000000.mpseg");
+  ASSERT_TRUE(first.ok());
+  const size_t first_events = first.events();
+  ASSERT_LT(first_events, total);
+
+  // Open a reader on the second segment, then delete its file. The mmap
+  // keeps the pages alive (POSIX unlink semantics), so the open reader
+  // decodes in full.
+  SegmentReader open_reader(dir + "/seg-000001.mpseg");
+  ASSERT_TRUE(open_reader.ok());
+  fs::remove(dir + "/seg-000001.mpseg");
+  size_t via_open = 0;
+  open_reader.for_each([&](const eval::RawEvent&) {
+    ++via_open;
+    return true;
+  });
+  EXPECT_EQ(via_open, open_reader.events());
+
+  // The store, on its next replay, must notice the hole and stop at the
+  // contiguous prefix — never skip over it into later segments.
+  size_t replayed = 0;
+  eval::EventId last = 0;
+  store.replay_raw([&](const eval::RawEvent& re) {
+    last = re.id;
+    ++replayed;
+    return true;
+  });
+  EXPECT_EQ(replayed, first_events);
+  if (replayed > 0) EXPECT_EQ(last, first_events - 1);
+}
+
+TEST(SegmentStore, ZeroLengthSegmentFileIsDroppedCleanly) {
+  const std::string dir = fresh_dir("zerolen");
+  {
+    eval::Engine e = make_toy(dir, FsyncPolicy::kNever, 1 << 10);
+    for (int i = 0; i < 120; ++i) {
+      e.insert(eval::Tuple{"T", {Value(i), Value(i)}});
+      if (i % 30 == 29) e.log().compact(0);
+    }
+    ASSERT_GT(e.segments()->segment_count(), 1u);
+  }
+  // A crash between open_new_segment's open() and the header flush leaves
+  // a zero-length file at the next sequence number.
+  const size_t durable = SegmentStore(dir, SegmentStoreOptions{}).events();
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06zu.mpseg",
+                SegmentStore(dir, SegmentStoreOptions{}).segment_count());
+  { std::ofstream(dir + "/" + name, std::ios::binary); }
+  ASSERT_EQ(fs::file_size(dir + "/" + name), 0u);
+
+  SegmentStore store(dir, SegmentStoreOptions{});
+  EXPECT_FALSE(store.failed());
+  EXPECT_EQ(store.events(), durable);
+  EXPECT_FALSE(fs::exists(dir + "/" + name))
+      << "recovery must remove the stillborn segment";
+  // And the store resumes appending exactly where the prefix ends: the
+  // continuation run equals an uninterrupted one (id continuity).
+  size_t replayed = 0;
+  store.replay_raw([&](const eval::RawEvent&) {
+    ++replayed;
+    return true;
+  });
+  EXPECT_EQ(replayed, durable);
+}
+
 }  // namespace
 }  // namespace mp::storage

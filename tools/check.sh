@@ -33,6 +33,13 @@
 # `concurrency`-labelled suites (the sharded runtime) under
 # ThreadSanitizer:
 #   CHECK_TSAN=1 tools/check.sh
+# With CHECK_FAULTS=1 the script additionally configures a side build
+# directory with -DMP_FAULTS=ON (failpoints compiled in, src/fault) and
+# runs the `fault`-labelled suites — the deterministic fault-injection
+# sweeps of tests/fault_test.cpp. The MAIN build keeps failpoints
+# compiled out, so the bench floor above doubles as the proof that the
+# MP_FAILPOINT macro is zero-cost when off:
+#   CHECK_FAULTS=1 tools/check.sh
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -141,6 +148,14 @@ if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
   cmake -B "$TSAN_DIR" -S "$REPO_ROOT" -DMP_TSAN=ON
   cmake --build "$TSAN_DIR" --target runtime_test -j
   (cd "$TSAN_DIR" && ctest -L concurrency --output-on-failure)
+fi
+
+if [[ "${CHECK_FAULTS:-0}" == "1" ]]; then
+  echo "--- fault injection (failpoint sweeps, -DMP_FAULTS=ON side build) ---"
+  FAULTS_DIR="${BUILD_DIR}-faults"
+  cmake -B "$FAULTS_DIR" -S "$REPO_ROOT" -DMP_FAULTS=ON
+  cmake --build "$FAULTS_DIR" --target fault_test storage_test runtime_test -j
+  (cd "$FAULTS_DIR" && ctest -L fault --output-on-failure)
 fi
 
 echo "check.sh: OK"

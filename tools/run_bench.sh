@@ -26,9 +26,34 @@ trap 'rm -f "$RAW" "$METRICS"' EXIT
 # --benchmark_out: bench_overhead prints a storage-accounting preamble to
 # stdout, so the JSON must go to a file.
 "$BENCH" \
-  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_JoinHeavyBatchInsert|BM_PacketInProcessing|BM_PacketInBatchedArrival|BM_RepairHistoryProbe|BM_ShardedEval|BM_CascadeFanout|BM_SegmentWrite|BM_SegmentReload' \
+  --benchmark_filter='BM_JoinHeavyRuleFiring|BM_JoinHeavyBatchInsert|BM_PacketInProcessing|BM_PacketInBatchedArrival|BM_RepairHistoryProbe|BM_ShardedEval|BM_CascadeFanout|BM_SegmentWrite$|BM_SegmentReload' \
   --benchmark_min_time=1 \
   --benchmark_out_format=json --benchmark_out="$RAW" >/dev/null
+
+# The faulty-write row needs the failpoint sites compiled in, which the
+# main build deliberately lacks (zero-cost-when-off): if a -faults side
+# build with a bench binary exists (CHECK_FAULTS=1 tools/check.sh creates
+# the tree; build bench_overhead in it to opt in), run BM_SegmentWriteFaulty
+# there and splice its result into the same raw JSON.
+FAULTY_BENCH="${BUILD_DIR}-faults/bench_overhead"
+if [[ -x "$FAULTY_BENCH" ]]; then
+  RAW_FAULTY="$(mktemp)"
+  trap 'rm -f "$RAW" "$METRICS" "$RAW_FAULTY"' EXIT
+  "$FAULTY_BENCH" \
+    --benchmark_filter='BM_SegmentWriteFaulty' \
+    --benchmark_min_time=1 \
+    --benchmark_out_format=json --benchmark_out="$RAW_FAULTY" >/dev/null
+  python3 - "$RAW" "$RAW_FAULTY" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    raw = json.load(f)
+with open(sys.argv[2]) as f:
+    faulty = json.load(f)
+raw["benchmarks"].extend(faulty.get("benchmarks", []))
+with open(sys.argv[1], "w") as f:
+    json.dump(raw, f)
+EOF
+fi
 
 # One smoke run over all scenarios with the obs registry dumped: the
 # per-scenario delta sections carry each Q's repair-latency histograms.
@@ -231,6 +256,20 @@ if r:
     durable["reload_events_per_sec"] = rate(r)
     durable["reload_store_events"] = r.get("events")
 
+# Write bandwidth with a 1-in-1000 EINTR/short-write fault mix riding the
+# retry loop (from the -faults side build's bench binary, when present —
+# see the splice above). The delta vs durable_log is the retry overhead.
+durable_faulty = {}
+wf = results.get("BM_SegmentWriteFaulty")
+if wf and not wf.get("error_occurred"):
+    durable_faulty["segment_write_mb_per_sec"] = (
+        wf["bytes_per_second"] / 1e6 if wf.get("bytes_per_second") else None)
+    durable_faulty["segment_write_inserts_per_sec"] = rate(wf)
+    durable_faulty["injected_faults"] = wf.get("injected_faults")
+    if w and w.get("bytes_per_second") and wf.get("bytes_per_second"):
+        durable_faulty["relative_to_fault_free"] = (
+            wf["bytes_per_second"] / w["bytes_per_second"])
+
 # Sharded end-to-end scaling: Arg(0) is the serial Engine baseline, the
 # other args are ShardedEngine worker counts over the identical workload.
 sharded = {}
@@ -294,6 +333,7 @@ out = {
     "perf_counters": perf_counters,
     "sharded_eval": sharded,
     "durable_log": durable,
+    "durable_log_faulty": durable_faulty,
     "repair_latency": repair_latency,
     "metrics_snapshot": metrics_snapshot,
 }
@@ -337,6 +377,11 @@ if durable.get("segment_write_mb_per_sec"):
     print(f"  durable log: {durable['segment_write_mb_per_sec']:.1f} MB/s segment write "
           f"({durable['segment_write_inserts_per_sec']:,.0f} inserts/s durable), "
           f"{durable.get('reload_events_per_sec') or 0:,.0f} events/s reload")
+if durable_faulty.get("segment_write_mb_per_sec"):
+    rel = durable_faulty.get("relative_to_fault_free")
+    print(f"  durable log (faulty): {durable_faulty['segment_write_mb_per_sec']:.1f} MB/s "
+          f"with 1-in-1000 EINTR/short-write injection"
+          + (f" ({rel:.2f}x of fault-free)" if rel else ""))
 for scenario, row in sorted(repair_latency.items()):
     ex = row.get("explore")
     pipe = row.get("pipeline")
